@@ -1,0 +1,53 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module reproduces one of the paper's evaluation artefacts
+(Table 1 or a figure-style scaling/illustration; see DESIGN.md §2).  The
+helpers here take care of the bookkeeping that is common to all of them:
+
+* caching expansion profiles (mixing time, conductance, ...) per topology so
+  the different algorithms under comparison are parameterised identically;
+* recording the rendered report of each experiment both to stdout and to
+  ``benchmarks/results/<experiment>.txt`` so that ``pytest benchmarks/
+  --benchmark-only`` leaves the regenerated tables on disk for
+  EXPERIMENTS.md regardless of output capturing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List
+
+from repro.analysis import render_table
+from repro.graphs import ExpansionProfile, Topology, expansion_profile
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+_PROFILE_CACHE: Dict[str, ExpansionProfile] = {}
+
+
+def profile_for(topology: Topology) -> ExpansionProfile:
+    """Expansion profile of ``topology``, cached across benchmarks."""
+    profile = _PROFILE_CACHE.get(topology.name)
+    if profile is None:
+        profile = expansion_profile(topology)
+        _PROFILE_CACHE[topology.name] = profile
+    return profile
+
+
+def profiles_for(topologies: Iterable[Topology]) -> Dict[str, ExpansionProfile]:
+    return {topology.name: profile_for(topology) for topology in topologies}
+
+
+def record_report(experiment_id: str, *sections: str) -> Path:
+    """Print a report and persist it under ``benchmarks/results/``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    text = "\n\n".join(section for section in sections if section)
+    path = RESULTS_DIR / f"{experiment_id}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n=== {experiment_id} ===\n{text}\n")
+    return path
+
+
+def rows_table(rows: List[dict], title: str, columns=None) -> str:
+    """Thin wrapper over :func:`repro.analysis.render_table`."""
+    return render_table(rows, title=title, columns=columns)

@@ -1,0 +1,68 @@
+"""Experiment ``fig12-impossibility``: the pumping-wheel construction.
+
+Figures 1–2 of the paper illustrate the witness construction behind
+Theorem 2: without knowing ``n``, any algorithm that stops within ``T(n)``
+rounds can be fooled by a long cycle containing many ``2T``-separated
+witnesses, two segments of which then stop with their own leaders.  The
+benchmark runs a natural bounded-time protocol on its design cycle ``C_n``
+(where it is correct) and on pumping wheels with a growing number of
+witnesses, reporting the multi-leader failure rate — which must be high on
+the wheel and grow (weakly) with the number of witnesses — together with
+the astronomically large witness count the paper's union bound would
+require for a worst-case adversarial protocol.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.impossibility import demonstrate_impossibility, paper_witness_count
+
+from _harness import record_report, rows_table
+
+EXPERIMENT_ID = "fig12-impossibility"
+N = 6
+WITNESS_COUNTS = (1, 2, 4, 8)
+SEEDS = tuple(range(12))
+
+
+def _run_all():
+    rows = []
+    for witnesses in WITNESS_COUNTS:
+        report = demonstrate_impossibility(N, num_witnesses=witnesses, seeds=SEEDS)
+        rows.append(
+            {
+                "witnesses": witnesses,
+                "wheel size N": report.wheel_size,
+                "base success rate (C_n)": report.base_success_rate,
+                "wheel failure rate": report.wheel_failure_rate,
+                "mean leaders on wheel": report.mean_wheel_leaders,
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group=EXPERIMENT_ID)
+def test_impossibility_pumping_wheel(benchmark):
+    rows = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+
+    record_report(
+        EXPERIMENT_ID,
+        rows_table(
+            rows,
+            f"Bounded-time unknown-n election on C_{N} vs pumping wheels "
+            f"(Theorem 2, Figures 1-2)",
+        ),
+        f"paper union-bound witness count for n={N}, c=0.9: "
+        f"{paper_witness_count(N, 2 * N, 0.9):.3e}",
+    )
+
+    # --- shape checks ---------------------------------------------------- #
+    # Correct on the cycle it was designed for...
+    assert all(row["base success rate (C_n)"] >= 0.8 for row in rows)
+    # ...but broken on every pumping wheel, with multiple leaders.
+    assert all(row["wheel failure rate"] >= 0.8 for row in rows)
+    assert all(row["mean leaders on wheel"] > 1.5 for row in rows)
+    # More witnesses cannot decrease the number of elected leaders.
+    leaders = [row["mean leaders on wheel"] for row in rows]
+    assert leaders == sorted(leaders)

@@ -1,0 +1,87 @@
+"""Experiment ``fig-time-scaling``: round complexity vs mixing time.
+
+Theorem 1's time bound is ``O(t_mix·log² n)``.  The benchmark runs the
+protocol on two graph families at opposite ends of the mixing spectrum —
+4-regular expanders (``t_mix = O(log n)``-ish) and cycles
+(``t_mix = Θ̃(n²)``) — and reports measured rounds next to the bound
+``t_mix·log² n``, including the ratio between them, which should stay
+within a constant band if the implementation tracks the theorem.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ratio_spread, theory_ratio_series
+from repro.election import IrrevocableConfig, run_irrevocable_election
+from repro.workloads import scaling_family
+
+from _harness import profile_for, record_report, rows_table
+
+EXPERIMENT_ID = "fig-time-scaling"
+EXPANDER_SIZES = (32, 64, 128)
+CYCLE_SIZES = (8, 16, 32)
+SEED = 1
+
+
+def _run_family(family: str, sizes):
+    rows = []
+    for topology in scaling_family(family, sizes, seed=31):
+        profile = profile_for(topology)
+        config = IrrevocableConfig(
+            n=topology.num_nodes,
+            t_mix=profile.mixing_time,
+            conductance=profile.conductance,
+        )
+        result = run_irrevocable_election(topology, seed=SEED, config=config)
+        import math
+
+        log_n = max(1.0, math.log(topology.num_nodes))
+        rows.append(
+            {
+                "family": family,
+                "n": topology.num_nodes,
+                "t_mix": profile.mixing_time,
+                "rounds": result.rounds_executed,
+                "bound t_mix*log^2 n": profile.mixing_time * log_n ** 2,
+                "rounds / bound": result.rounds_executed
+                / (profile.mixing_time * log_n ** 2),
+                "unique_leader": result.success,
+            }
+        )
+    return rows
+
+
+def _run_all():
+    return _run_family("random_regular", EXPANDER_SIZES) + _run_family(
+        "cycle", CYCLE_SIZES
+    )
+
+
+@pytest.mark.benchmark(group=EXPERIMENT_ID)
+def test_time_scaling(benchmark):
+    rows = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+
+    record_report(
+        EXPERIMENT_ID,
+        rows_table(rows, "Rounds vs the O(t_mix log^2 n) bound (Theorem 1)"),
+    )
+
+    # --- shape checks ---------------------------------------------------- #
+    # The measured rounds must track the bound up to a constant: the ratio
+    # series should not drift by more than a small factor across sizes
+    # within each family.
+    for family, sizes in (("random_regular", EXPANDER_SIZES), ("cycle", CYCLE_SIZES)):
+        family_rows = [row for row in rows if row["family"] == family]
+        series = theory_ratio_series(
+            [row["t_mix"] * max(1.0, __import__("math").log(row["n"])) ** 2 for row in family_rows],
+            [row["rounds"] for row in family_rows],
+            lambda bound: bound,
+        )
+        assert ratio_spread(series) < 4.0, family
+    # Cycles mix far more slowly, so they must cost far more rounds even at
+    # smaller n — the qualitative dependence on t_mix.
+    expander_64 = next(r for r in rows if r["family"] == "random_regular" and r["n"] == 64)
+    cycle_32 = next(r for r in rows if r["family"] == "cycle" and r["n"] == 32)
+    assert cycle_32["rounds"] > expander_64["rounds"]
+    assert all(row["unique_leader"] for row in rows)

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: elect a leader in an anonymous expander network.
+
+Runs the paper's known-``n`` protocol (Section 4) on a random 4-regular
+graph, verifies that exactly one node raised its flag, and prints the
+measured cost next to the flooding baseline so the message-complexity
+advantage on well-connected graphs is visible immediately.
+
+Usage::
+
+    python examples/quickstart.py [n] [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import render_kv, render_table
+from repro.baselines import run_flooding_election
+from repro.election import run_irrevocable_election
+from repro.graphs import expansion_profile, random_regular
+
+
+def main(n: int = 64, seed: int = 42) -> int:
+    topology = random_regular(n, 4, seed=seed)
+    profile = expansion_profile(topology)
+    print(render_kv(profile.as_dict(), title=f"== topology: {topology.name} =="))
+    print()
+
+    ours = run_irrevocable_election(topology, seed=seed)
+    flooding = run_flooding_election(topology, seed=seed)
+
+    rows = []
+    for result in (ours, flooding):
+        rows.append(
+            {
+                "algorithm": result.algorithm,
+                "unique leader": result.success,
+                "candidates": len(result.outcome.candidate_indices),
+                "messages": result.messages,
+                "bits": result.bits,
+                "rounds": result.rounds_executed,
+            }
+        )
+    print(render_table(rows, title="== election outcomes =="))
+    print()
+
+    leader = ours.outcome.leader_indices[0] if ours.success else None
+    print(f"leader (node index, known only to the observer): {leader}")
+    print(
+        "phase breakdown (messages): "
+        + ", ".join(
+            f"{name}={phase.messages}" for name, phase in ours.metrics.phases.items()
+        )
+    )
+    return 0 if ours.success else 1
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:3]]
+    raise SystemExit(main(*args))

@@ -1,0 +1,41 @@
+"""repro — reproduction of Kowalski & Mosteiro, "Time and Communication
+Complexity of Leader Election in Anonymous Networks" (ICDCS 2021).
+
+The package is organised as:
+
+* :mod:`repro.core` — synchronous CONGEST simulation substrate;
+* :mod:`repro.graphs` — anonymous port-numbered topologies and expansion
+  analysis (conductance, isoperimetric number, mixing time);
+* :mod:`repro.election` — the paper's protocols: irrevocable leader
+  election for known ``n`` (Section 4) and the blind revocable election
+  (Section 5.2);
+* :mod:`repro.baselines` — prior-work comparators from Table 1;
+* :mod:`repro.impossibility` — the pumping-wheel construction of Theorem 2;
+* :mod:`repro.analysis` — experiment runner, complexity fitting, reports;
+* :mod:`repro.workloads` — named topology suites used by the benchmarks.
+
+Quickstart::
+
+    from repro.graphs import random_regular
+    from repro.election import run_irrevocable_election
+
+    topology = random_regular(64, 4, seed=7)
+    result = run_irrevocable_election(topology, seed=42)
+    assert result.success
+    print(result.messages, result.rounds_executed)
+"""
+
+from . import analysis, baselines, core, election, graphs, impossibility, workloads
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "graphs",
+    "election",
+    "baselines",
+    "impossibility",
+    "analysis",
+    "workloads",
+    "__version__",
+]

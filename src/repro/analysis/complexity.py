@@ -1,0 +1,142 @@
+"""Complexity fitting: do the measured costs scale like the paper's bounds?
+
+The benchmarks produce series of (problem size, measured cost) points.  To
+compare a measured series against an asymptotic claim we use two standard
+devices:
+
+* :func:`fit_power_law` — ordinary least squares on the log–log points,
+  returning the exponent and the fit quality; e.g. a message complexity of
+  ``Θ̃(√n)`` should fit an exponent close to 0.5 on expander families;
+* :func:`theory_ratio_series` — the ratio ``measured / predicted`` for a
+  caller-supplied prediction function; a bounded, slowly varying ratio is
+  evidence the measured cost tracks the claimed bound up to the constants
+  and polylog factors that ``Õ(·)`` hides.
+
+These helpers deliberately avoid any statistics beyond what the comparison
+needs; they are used both by EXPERIMENTS.md generation and by tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+
+__all__ = [
+    "PowerLawFit",
+    "fit_power_law",
+    "theory_ratio_series",
+    "ratio_spread",
+    "geometric_mean",
+    "crossover_point",
+]
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Result of a log–log least-squares fit ``cost ≈ coefficient · size^exponent``."""
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+    num_points: int
+
+    def predict(self, size: float) -> float:
+        return self.coefficient * size ** self.exponent
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "exponent": self.exponent,
+            "coefficient": self.coefficient,
+            "r_squared": self.r_squared,
+            "num_points": self.num_points,
+        }
+
+
+def fit_power_law(sizes: Sequence[float], costs: Sequence[float]) -> PowerLawFit:
+    """Fit ``cost ≈ c · size^a`` by least squares in log–log space."""
+    if len(sizes) != len(costs):
+        raise ConfigurationError("sizes and costs must have the same length")
+    if len(sizes) < 2:
+        raise ConfigurationError("need at least two points to fit a power law")
+    if any(s <= 0 for s in sizes) or any(c <= 0 for c in costs):
+        raise ConfigurationError("sizes and costs must be positive for a log-log fit")
+    log_sizes = np.log(np.asarray(sizes, dtype=float))
+    log_costs = np.log(np.asarray(costs, dtype=float))
+    slope, intercept = np.polyfit(log_sizes, log_costs, 1)
+    predictions = slope * log_sizes + intercept
+    residual = np.sum((log_costs - predictions) ** 2)
+    total = np.sum((log_costs - log_costs.mean()) ** 2)
+    r_squared = 1.0 if total == 0 else max(0.0, 1.0 - residual / total)
+    return PowerLawFit(
+        exponent=float(slope),
+        coefficient=float(math.exp(intercept)),
+        r_squared=float(r_squared),
+        num_points=len(sizes),
+    )
+
+
+def theory_ratio_series(
+    sizes: Sequence[float],
+    costs: Sequence[float],
+    prediction: Callable[[float], float],
+) -> List[Tuple[float, float]]:
+    """``(size, measured / predicted)`` for each measured point."""
+    if len(sizes) != len(costs):
+        raise ConfigurationError("sizes and costs must have the same length")
+    ratios: List[Tuple[float, float]] = []
+    for size, cost in zip(sizes, costs):
+        predicted = prediction(size)
+        if predicted <= 0:
+            raise ConfigurationError(f"prediction must be positive, got {predicted}")
+        ratios.append((size, cost / predicted))
+    return ratios
+
+
+def ratio_spread(ratios: Sequence[Tuple[float, float]]) -> float:
+    """Max/min spread of the ratio series (1.0 means a perfect constant)."""
+    values = [ratio for _, ratio in ratios]
+    if not values:
+        raise ConfigurationError("ratio series is empty")
+    low, high = min(values), max(values)
+    if low <= 0:
+        raise ConfigurationError("ratios must be positive")
+    return high / low
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean, the natural average for multiplicative comparisons."""
+    if not values:
+        raise ConfigurationError("values must be non-empty")
+    if any(v <= 0 for v in values):
+        raise ConfigurationError("values must be positive")
+    return float(np.exp(np.mean(np.log(np.asarray(values, dtype=float)))))
+
+
+def crossover_point(
+    sizes: Sequence[float],
+    costs_a: Sequence[float],
+    costs_b: Sequence[float],
+) -> float:
+    """Size at which series A starts beating series B (∞ if it never does).
+
+    Used for Table 1-style statements such as "the paper's protocol beats
+    the Ω(m)-message flooding baseline beyond moderate sizes on expanders".
+    The crossover is interpolated on the fitted power laws so it is robust
+    to noise at individual points.
+    """
+    fit_a = fit_power_law(sizes, costs_a)
+    fit_b = fit_power_law(sizes, costs_b)
+    if math.isclose(fit_a.exponent, fit_b.exponent, abs_tol=1e-9):
+        return 0.0 if fit_a.coefficient <= fit_b.coefficient else math.inf
+    crossing = (fit_b.coefficient / fit_a.coefficient) ** (
+        1.0 / (fit_a.exponent - fit_b.exponent)
+    )
+    if fit_a.exponent < fit_b.exponent:
+        # A grows slower: it wins for sizes beyond the crossing.
+        return float(crossing)
+    return math.inf if crossing > max(sizes) else float("inf")

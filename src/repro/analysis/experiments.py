@@ -1,0 +1,186 @@
+"""Experiment runner: sweeps of election algorithms over topologies and seeds.
+
+The benchmark harness and the examples share the same driver: an
+:class:`ExperimentSpec` names an algorithm (a callable that takes a topology
+and a seed and returns a :class:`~repro.election.base.LeaderElectionResult`)
+and the grid of topologies/seeds to run it on; :func:`run_experiment`
+executes the grid and aggregates per-cell statistics (success rate, message
+and round means) into :class:`ExperimentCell` records that the reporting
+layer turns into Table 1-style tables or scaling series.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..core.errors import ConfigurationError
+from ..election.base import LeaderElectionResult
+from ..graphs.properties import ExpansionProfile, expansion_profile
+from ..graphs.topology import Topology
+
+__all__ = [
+    "ElectionRunner",
+    "ExperimentSpec",
+    "ExperimentCell",
+    "ExperimentResult",
+    "run_experiment",
+    "summarize_results",
+]
+
+#: An algorithm under test: ``runner(topology, seed) -> LeaderElectionResult``.
+ElectionRunner = Callable[[Topology, int], LeaderElectionResult]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A named sweep of one algorithm over topologies and seeds."""
+
+    name: str
+    runner: ElectionRunner
+    topologies: Sequence[Topology]
+    seeds: Sequence[int] = (0, 1, 2)
+    collect_profile: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.topologies:
+            raise ConfigurationError("an experiment needs at least one topology")
+        if not self.seeds:
+            raise ConfigurationError("an experiment needs at least one seed")
+
+
+@dataclass
+class ExperimentCell:
+    """Aggregated measurements of one (algorithm, topology) cell."""
+
+    algorithm: str
+    topology_name: str
+    num_nodes: int
+    num_edges: int
+    runs: int
+    successes: int
+    mean_messages: float
+    mean_bits: float
+    mean_rounds: float
+    stdev_messages: float
+    mean_wall_clock_seconds: float
+    profile: Optional[ExpansionProfile] = None
+    results: List[LeaderElectionResult] = field(default_factory=list)
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes / self.runs if self.runs else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        row: Dict[str, object] = {
+            "algorithm": self.algorithm,
+            "topology": self.topology_name,
+            "n": self.num_nodes,
+            "m": self.num_edges,
+            "runs": self.runs,
+            "success_rate": self.success_rate,
+            "mean_messages": self.mean_messages,
+            "mean_bits": self.mean_bits,
+            "mean_rounds": self.mean_rounds,
+            "stdev_messages": self.stdev_messages,
+            "mean_wall_clock_seconds": self.mean_wall_clock_seconds,
+        }
+        if self.profile is not None:
+            row.update(
+                {
+                    "diameter": self.profile.diameter,
+                    "conductance": self.profile.conductance,
+                    "isoperimetric_number": self.profile.isoperimetric_number,
+                    "mixing_time": self.profile.mixing_time,
+                }
+            )
+        return row
+
+
+@dataclass
+class ExperimentResult:
+    """All cells of one experiment."""
+
+    name: str
+    cells: List[ExperimentCell] = field(default_factory=list)
+
+    def cell_for(self, topology_name: str) -> ExperimentCell:
+        for cell in self.cells:
+            if cell.topology_name == topology_name:
+                return cell
+        raise KeyError(topology_name)
+
+    def series(self, x_field: str = "n", y_field: str = "mean_messages") -> List[tuple]:
+        """A (x, y) series over the cells, sorted by x (for scaling plots)."""
+        points = [
+            (cell.as_dict()[x_field], cell.as_dict()[y_field]) for cell in self.cells
+        ]
+        return sorted(points)
+
+    def overall_success_rate(self) -> float:
+        runs = sum(cell.runs for cell in self.cells)
+        if runs == 0:
+            return 0.0
+        return sum(cell.successes for cell in self.cells) / runs
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        return [cell.as_dict() for cell in self.cells]
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    *,
+    profiles: Optional[Dict[str, ExpansionProfile]] = None,
+    keep_results: bool = False,
+) -> ExperimentResult:
+    """Run every (topology, seed) pair of the spec and aggregate per topology.
+
+    ``profiles`` lets callers pass pre-computed expansion profiles (the
+    benchmarks reuse them across algorithms to avoid recomputing mixing
+    times); missing entries are computed on demand when
+    ``spec.collect_profile`` is set.
+    """
+    result = ExperimentResult(name=spec.name)
+    profiles = dict(profiles or {})
+    for topology in spec.topologies:
+        runs: List[LeaderElectionResult] = []
+        wall_clock: List[float] = []
+        for seed in spec.seeds:
+            started = time.perf_counter()
+            runs.append(spec.runner(topology, seed))
+            wall_clock.append(time.perf_counter() - started)
+        profile = None
+        if spec.collect_profile:
+            profile = profiles.get(topology.name)
+            if profile is None:
+                profile = expansion_profile(topology)
+                profiles[topology.name] = profile
+        messages = [float(run.messages) for run in runs]
+        result.cells.append(
+            ExperimentCell(
+                algorithm=runs[0].algorithm,
+                topology_name=topology.name,
+                num_nodes=topology.num_nodes,
+                num_edges=topology.num_edges,
+                runs=len(runs),
+                successes=sum(run.success for run in runs),
+                mean_messages=statistics.fmean(messages),
+                mean_bits=statistics.fmean(float(run.bits) for run in runs),
+                mean_rounds=statistics.fmean(float(run.rounds_executed) for run in runs),
+                stdev_messages=statistics.pstdev(messages) if len(messages) > 1 else 0.0,
+                mean_wall_clock_seconds=statistics.fmean(wall_clock),
+                profile=profile,
+                results=list(runs) if keep_results else [],
+            )
+        )
+    return result
+
+
+def summarize_results(results: Iterable[ExperimentResult]) -> List[Dict[str, object]]:
+    """Flatten several experiments into one list of report rows."""
+    rows: List[Dict[str, object]] = []
+    for result in results:
+        rows.extend(result.as_rows())
+    return rows

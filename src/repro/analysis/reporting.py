@@ -1,0 +1,123 @@
+"""Plain-text reporting: Table 1-style tables and scaling series.
+
+The paper's evaluation artefact is Table 1, a comparison of time and
+message complexities across algorithms and knowledge assumptions.  The
+benchmark harness reproduces its *shape* from measurements; this module
+renders those measurements as aligned ASCII tables (so ``pytest -s
+benchmarks/...`` and the examples print something a reader can eyeball and
+EXPERIMENTS.md can embed verbatim).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "format_value",
+    "render_table",
+    "render_comparison_table",
+    "render_series",
+    "render_kv",
+]
+
+
+def format_value(value: object, *, precision: int = 3) -> str:
+    """Human-friendly formatting for table cells."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if math.isinf(value):
+            return "inf"
+        if abs(value) >= 1e6 or abs(value) < 1e-3:
+            return f"{value:.2e}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render a list of dict rows as an aligned ASCII table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no data)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered_rows = [
+        [format_value(row.get(column, "")) for column in columns] for row in rows
+    ]
+    widths = [
+        max(len(str(column)), *(len(cells[i]) for cells in rendered_rows))
+        for i, column in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(column).ljust(width) for column, width in zip(columns, widths))
+    separator = "-+-".join("-" * width for width in widths)
+    lines.append(header)
+    lines.append(separator)
+    for cells in rendered_rows:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(cells, widths)))
+    return "\n".join(lines)
+
+
+def render_comparison_table(
+    cells_by_algorithm: Mapping[str, Sequence[Mapping[str, object]]],
+    *,
+    key_column: str = "topology",
+    value_column: str = "mean_messages",
+    title: Optional[str] = None,
+) -> str:
+    """Pivot per-algorithm rows into a Table 1-style comparison.
+
+    Rows are the values of ``key_column`` (e.g. topologies), columns are the
+    algorithms, and the cells hold ``value_column`` (e.g. mean messages) —
+    the same shape as the paper's Table 1, with measurements instead of
+    asymptotic bounds.
+    """
+    keys: List[object] = []
+    for rows in cells_by_algorithm.values():
+        for row in rows:
+            key = row.get(key_column)
+            if key not in keys:
+                keys.append(key)
+    table_rows: List[Dict[str, object]] = []
+    for key in keys:
+        table_row: Dict[str, object] = {key_column: key}
+        for algorithm, rows in cells_by_algorithm.items():
+            match = next((row for row in rows if row.get(key_column) == key), None)
+            table_row[algorithm] = match.get(value_column) if match else ""
+        table_rows.append(table_row)
+    columns = [key_column] + list(cells_by_algorithm.keys())
+    return render_table(table_rows, columns=columns, title=title)
+
+
+def render_series(
+    series: Iterable[Tuple[object, object]],
+    *,
+    x_label: str = "n",
+    y_label: str = "value",
+    title: Optional[str] = None,
+) -> str:
+    """Render an (x, y) series as a two-column table (a textual 'figure')."""
+    rows = [{x_label: x, y_label: y} for x, y in series]
+    return render_table(rows, columns=[x_label, y_label], title=title)
+
+
+def render_kv(mapping: Mapping[str, object], *, title: Optional[str] = None) -> str:
+    """Render a flat mapping as ``key: value`` lines."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    width = max((len(key) for key in mapping), default=0)
+    for key, value in mapping.items():
+        lines.append(f"{key.ljust(width)} : {format_value(value)}")
+    return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""Prior-work baselines used in the Table 1 comparison."""
+
+from .flooding import (
+    FloodAnnouncement,
+    FloodingConfig,
+    FloodingMaxIdNode,
+    run_flooding_election,
+)
+from .gilbert import (
+    GilbertConfig,
+    GilbertStyleNode,
+    TokenBundle,
+    WalkToken,
+    run_gilbert_election,
+)
+from .uniform_id import run_uniform_id_election
+
+__all__ = [
+    "FloodingConfig",
+    "FloodingMaxIdNode",
+    "FloodAnnouncement",
+    "run_flooding_election",
+    "GilbertConfig",
+    "GilbertStyleNode",
+    "WalkToken",
+    "TokenBundle",
+    "run_gilbert_election",
+    "run_uniform_id_election",
+]

@@ -1,0 +1,44 @@
+"""Naive uniform-ID flooding election (strawman baseline).
+
+Every node — not just a logarithmic sample of candidates — draws a random
+ID from ``{1..n^4}`` and competes; the maximum is flooded for ``D`` rounds.
+This always elects exactly one leader (barring the ``n^{-2}``-probability
+ID collision) but pays for it: every node announces at least once, and a
+node re-announces every time the running maximum improves, so the message
+complexity grows like ``Θ(m)`` with a topology-dependent log-ish factor,
+against which both the paper's Theorem 1 protocol and the candidate-sampled
+flooding baseline compare favourably on sparse well-connected graphs.
+
+Implementation-wise this is the ``all_nodes_compete`` variant of
+:mod:`repro.baselines.flooding`; the thin wrapper exists so experiments can
+refer to the two baselines by distinct names.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.metrics import MetricsCollector
+from ..election.base import LeaderElectionResult
+from ..graphs.topology import Topology
+from .flooding import FloodingConfig, run_flooding_election
+
+__all__ = ["run_uniform_id_election", "ALGORITHM_NAME"]
+
+ALGORITHM_NAME = "uniform-id-flooding"
+
+
+def run_uniform_id_election(
+    topology: Topology,
+    *,
+    seed: Optional[int] = None,
+    metrics: Optional[MetricsCollector] = None,
+) -> LeaderElectionResult:
+    """Run the every-node-competes flooding election once."""
+    config = FloodingConfig.from_topology(topology, all_nodes_compete=True)
+    return run_flooding_election(
+        topology,
+        seed=seed,
+        config=config,
+        metrics=metrics,
+    )

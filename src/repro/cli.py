@@ -1,0 +1,190 @@
+"""Command-line interface.
+
+A small operational layer over the library so that elections, graph
+analysis and the impossibility demonstration can be driven without writing
+Python.  Installed as the ``repro-le`` console script and runnable as
+``python -m repro``.
+
+Examples::
+
+    repro-le analyze   --topology random_regular:64:4
+    repro-le elect     --algorithm irrevocable --topology torus_2d:8:8 --seed 3
+    repro-le elect     --algorithm revocable   --topology complete:5 --explicit
+    repro-le compare   --topology random_regular:64:4 --seeds 2
+    repro-le impossibility --n 6 --witnesses 4 --trials 10
+
+Topology specifications are ``family:arg[:arg...]`` using the generator
+registry of :mod:`repro.graphs.generators`, e.g. ``cycle:32``,
+``random_regular:64:4``, ``torus_2d:8:8``, ``barbell:16``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .analysis import render_kv, render_table
+from .baselines import run_flooding_election, run_gilbert_election, run_uniform_id_election
+from .core.errors import ReproError
+from .election import run_irrevocable_election, run_revocable_election
+from .election.explicit import extend_to_explicit
+from .graphs import Topology, expansion_profile
+from .graphs.generators import GENERATORS
+from .impossibility import demonstrate_impossibility
+
+__all__ = ["main", "parse_topology", "build_parser"]
+
+
+ELECTION_RUNNERS: Dict[str, Callable[..., object]] = {
+    "irrevocable": run_irrevocable_election,
+    "revocable": run_revocable_election,
+    "flooding": run_flooding_election,
+    "gilbert": run_gilbert_election,
+    "uniform": run_uniform_id_election,
+}
+
+
+def parse_topology(spec: str, *, seed: Optional[int] = None) -> Topology:
+    """Parse a ``family:arg[:arg...]`` topology specification."""
+    parts = spec.split(":")
+    family = parts[0]
+    if family not in GENERATORS:
+        raise ReproError(
+            f"unknown topology family {family!r}; available: {sorted(GENERATORS)}"
+        )
+    args = [int(part) for part in parts[1:]]
+    generator = GENERATORS[family]
+    try:
+        if family in ("random_regular", "erdos_renyi") and seed is not None:
+            return generator(*args, seed=seed)
+        return generator(*args)
+    except TypeError as error:
+        raise ReproError(f"bad arguments for {family}: {error}") from error
+
+
+# --------------------------------------------------------------------------- #
+# sub-commands
+# --------------------------------------------------------------------------- #
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    topology = parse_topology(args.topology, seed=args.topology_seed)
+    profile = expansion_profile(topology)
+    print(render_kv(profile.as_dict(), title=f"expansion profile: {topology.name}"))
+    return 0
+
+
+def _cmd_elect(args: argparse.Namespace) -> int:
+    topology = parse_topology(args.topology, seed=args.topology_seed)
+    runner = ELECTION_RUNNERS[args.algorithm]
+    result = runner(topology, seed=args.seed)
+    summary = {
+        "algorithm": result.algorithm,
+        "topology": result.topology_name,
+        "unique leader": result.success,
+        "leaders": result.outcome.num_leaders,
+        "candidates": len(result.outcome.candidate_indices),
+        "messages": result.messages,
+        "bits": result.bits,
+        "rounds": result.rounds_executed,
+    }
+    print(render_kv(summary, title="election result"))
+    if args.explicit:
+        if not result.success:
+            print("cannot extend to explicit election: no unique leader", file=sys.stderr)
+            return 1
+        explicit = extend_to_explicit(topology, result, seed=args.seed)
+        print()
+        print(render_kv(explicit.as_dict(), title="explicit extension"))
+        return 0 if explicit.all_know_leader else 1
+    return 0 if result.success else 1
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    topology = parse_topology(args.topology, seed=args.topology_seed)
+    rows: List[dict] = []
+    for name in args.algorithms:
+        runner = ELECTION_RUNNERS[name]
+        for seed in range(args.seeds):
+            result = runner(topology, seed=seed)
+            rows.append(
+                {
+                    "algorithm": name,
+                    "seed": seed,
+                    "unique leader": result.success,
+                    "messages": result.messages,
+                    "rounds": result.rounds_executed,
+                }
+            )
+    print(render_table(rows, title=f"comparison on {topology.name}"))
+    return 0 if all(row["unique leader"] for row in rows) else 1
+
+
+def _cmd_impossibility(args: argparse.Namespace) -> int:
+    report = demonstrate_impossibility(
+        args.n, num_witnesses=args.witnesses, seeds=range(args.trials)
+    )
+    print(render_kv(report.as_dict(), title="pumping-wheel demonstration"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-le",
+        description="Leader election in anonymous networks (Kowalski & Mosteiro, ICDCS 2021) — reproduction CLI",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    analyze = subparsers.add_parser("analyze", help="print a topology's expansion profile")
+    analyze.add_argument("--topology", required=True, help="family:arg[:arg...] spec")
+    analyze.add_argument("--topology-seed", type=int, default=None)
+    analyze.set_defaults(func=_cmd_analyze)
+
+    elect = subparsers.add_parser("elect", help="run one election")
+    elect.add_argument("--algorithm", choices=sorted(ELECTION_RUNNERS), required=True)
+    elect.add_argument("--topology", required=True)
+    elect.add_argument("--topology-seed", type=int, default=None)
+    elect.add_argument("--seed", type=int, default=0)
+    elect.add_argument(
+        "--explicit",
+        action="store_true",
+        help="after the implicit election, announce the leader and build a BFS tree",
+    )
+    elect.set_defaults(func=_cmd_elect)
+
+    compare = subparsers.add_parser("compare", help="compare algorithms on one topology")
+    compare.add_argument("--topology", required=True)
+    compare.add_argument("--topology-seed", type=int, default=None)
+    compare.add_argument("--seeds", type=int, default=2)
+    compare.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["irrevocable", "gilbert", "flooding"],
+        choices=sorted(ELECTION_RUNNERS),
+    )
+    compare.set_defaults(func=_cmd_compare)
+
+    impossibility = subparsers.add_parser(
+        "impossibility", help="run the Theorem 2 pumping-wheel demonstration"
+    )
+    impossibility.add_argument("--n", type=int, default=6)
+    impossibility.add_argument("--witnesses", type=int, default=4)
+    impossibility.add_argument("--trials", type=int, default=10)
+    impossibility.set_defaults(func=_cmd_impossibility)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

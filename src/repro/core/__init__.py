@@ -1,0 +1,51 @@
+"""Core substrate: synchronous CONGEST simulation, messages, metrics, RNG."""
+
+from .errors import (
+    ConfigurationError,
+    CongestViolationError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    TopologyError,
+)
+from .generator_node import GeneratorNode
+from .messages import Message, bits_for_int, bits_for_value, congest_budget_bits, id_space_bits
+from .metrics import Metrics, MetricsCollector, PhaseMetrics
+from .node import Inbox, Outbox, PassiveNode, ProtocolNode
+from .rng import DEFAULT_SEED, RngStream, derive_seed, make_rng, spawn_child_rngs
+from .simulator import SimulationResult, SynchronousSimulator, build_nodes, run_protocol
+from .tracing import NullTraceRecorder, TraceEvent, TraceRecorder
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "TopologyError",
+    "ProtocolError",
+    "CongestViolationError",
+    "SimulationError",
+    "Message",
+    "bits_for_int",
+    "bits_for_value",
+    "id_space_bits",
+    "congest_budget_bits",
+    "Metrics",
+    "MetricsCollector",
+    "PhaseMetrics",
+    "ProtocolNode",
+    "PassiveNode",
+    "GeneratorNode",
+    "Inbox",
+    "Outbox",
+    "DEFAULT_SEED",
+    "make_rng",
+    "derive_seed",
+    "spawn_child_rngs",
+    "RngStream",
+    "SynchronousSimulator",
+    "SimulationResult",
+    "build_nodes",
+    "run_protocol",
+    "TraceRecorder",
+    "TraceEvent",
+    "NullTraceRecorder",
+]

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch everything raised by the library with a single ``except`` clause
+while still being able to distinguish configuration problems from protocol
+bugs or model violations.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a protocol or simulator is configured inconsistently.
+
+    Examples: a negative number of nodes, a mixing-time estimate of zero,
+    or a parameter schedule whose functions return non-positive values.
+    """
+
+
+class TopologyError(ReproError):
+    """Raised when a graph/topology is malformed for the requested use.
+
+    Examples: building a port-numbered topology from a disconnected edge
+    list, asking for a neighbour through a port that does not exist, or
+    requesting a generator with incompatible parameters (e.g. a random
+    regular graph with ``n * d`` odd).
+    """
+
+
+class ProtocolError(ReproError):
+    """Raised when a protocol node observes an impossible local state.
+
+    Protocol implementations raise this instead of silently continuing when
+    an invariant that the paper's pseudocode relies on is violated (for
+    instance, receiving a parent confirmation from a port that was never
+    offered the source ID).  Surfacing these early makes simulation bugs
+    visible instead of corrupting measured complexities.
+    """
+
+
+class CongestViolationError(ReproError):
+    """Raised when a node attempts to violate the CONGEST model.
+
+    The synchronous simulator enforces one message per port per round and,
+    optionally, a per-message bit budget of ``O(log n)``.  Protocols that
+    need to ship larger payloads must split them across rounds (as the
+    paper does for diffusion potentials, transmitted bit by bit).
+    """
+
+
+class SimulationError(ReproError):
+    """Raised when a simulation cannot make progress.
+
+    Example: the round limit is reached while ``require_halt=True``.
+    """

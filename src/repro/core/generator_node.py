@@ -1,0 +1,75 @@
+"""Generator-based protocol nodes.
+
+Protocols with deeply nested control flow (the revocable election of
+Section 5.2 iterates estimates, certification repetitions, diffusion rounds
+and dissemination rounds) are awkward to express as an explicit
+``step``-driven state machine.  :class:`GeneratorNode` lets such protocols
+be written as a plain Python generator that *yields* the outbox for the
+current round and receives, as the value of the ``yield`` expression, the
+inbox of the next round:
+
+.. code-block:: python
+
+    class MyNode(GeneratorNode):
+        def run(self):
+            inbox = yield {}                 # round 0: send nothing
+            for _ in range(10):
+                inbox = yield {1: Ping()}    # send Ping through port 1
+            self.done = True                 # returning halts the node
+
+The adapter takes care of matching the simulator's ``step`` contract and of
+halting the node when the generator returns.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import abstractmethod
+from typing import Dict, Generator, Optional
+
+from .errors import ProtocolError
+from .messages import Message
+from .node import Inbox, Outbox, ProtocolNode
+
+__all__ = ["GeneratorNode"]
+
+#: The generator protocol: yields outboxes, receives inboxes.
+ProtocolGenerator = Generator[Dict[int, Message], Inbox, None]
+
+
+class GeneratorNode(ProtocolNode):
+    """A :class:`ProtocolNode` whose behaviour is written as a generator."""
+
+    def __init__(self, num_ports: int, rng: random.Random) -> None:
+        super().__init__(num_ports, rng)
+        self._generator: Optional[ProtocolGenerator] = None
+        self._halted = False
+        self._expected_round = 0
+
+    @abstractmethod
+    def run(self) -> ProtocolGenerator:
+        """The protocol body.  Must ``yield`` exactly once per round."""
+
+    @property
+    def halted(self) -> bool:
+        return self._halted
+
+    def step(self, round_index: int, inbox: Inbox) -> Outbox:
+        if self._halted:
+            return {}
+        if round_index != self._expected_round:
+            raise ProtocolError(
+                f"generator node expected round {self._expected_round}, "
+                f"got {round_index} (was a round skipped?)"
+            )
+        self._expected_round += 1
+        try:
+            if self._generator is None:
+                self._generator = self.run()
+                outbox = next(self._generator)
+            else:
+                outbox = self._generator.send(dict(inbox))
+        except StopIteration:
+            self._halted = True
+            return {}
+        return outbox or {}

@@ -1,0 +1,256 @@
+"""Round-synchronous CONGEST simulator.
+
+The simulator realises the paper's execution model (Section 2):
+
+* time is slotted into globally synchronous rounds;
+* in each round every node may send at most one message through each of its
+  ports, and the message should fit in ``O(log n)`` bits (optionally
+  enforced);
+* messages sent in round ``r`` are delivered at the start of round ``r+1``;
+* local computation is free — we only count rounds, messages and bits.
+
+Nodes are :class:`~repro.core.node.ProtocolNode` instances, one per vertex
+of a :class:`~repro.graphs.topology.Topology`.  The simulator never reveals
+node indices to the protocol code; the only interface between neighbours is
+the port-numbered message exchange.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..graphs.topology import Topology
+from .errors import CongestViolationError, SimulationError
+from .messages import Message, congest_budget_bits
+from .metrics import Metrics, MetricsCollector
+from .node import Outbox, ProtocolNode
+from .rng import spawn_child_rngs
+from .tracing import NullTraceRecorder, TraceRecorder
+
+__all__ = ["SimulationResult", "SynchronousSimulator", "build_nodes", "run_protocol"]
+
+#: Factory signature: ``factory(index, num_ports, rng) -> ProtocolNode``.
+NodeFactory = Callable[[int, int, random.Random], ProtocolNode]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of a simulator run."""
+
+    nodes: List[ProtocolNode]
+    metrics: Metrics
+    rounds_executed: int
+    all_halted: bool
+    topology: Topology
+    trace: Optional[TraceRecorder] = None
+    node_results: List[Dict[str, object]] = field(default_factory=list)
+
+    def results(self) -> List[Dict[str, object]]:
+        """Per-node protocol results (cached at the end of the run)."""
+        if not self.node_results:
+            self.node_results = [node.result() for node in self.nodes]
+        return self.node_results
+
+
+def build_nodes(
+    topology: Topology,
+    factory: NodeFactory,
+    seed: Optional[int] = None,
+) -> List[ProtocolNode]:
+    """Instantiate one protocol node per vertex with independent RNGs.
+
+    The factory receives the node index purely so that callers can build
+    heterogeneous networks in tests; protocol implementations themselves
+    must not use it (anonymity).
+    """
+    rngs = spawn_child_rngs(seed, topology.num_nodes)
+    nodes: List[ProtocolNode] = []
+    for index in range(topology.num_nodes):
+        node = factory(index, topology.degree(index), rngs[index])
+        nodes.append(node)
+    return nodes
+
+
+class SynchronousSimulator:
+    """Drives a set of protocol nodes over a topology, round by round."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        nodes: Sequence[ProtocolNode],
+        *,
+        metrics: Optional[MetricsCollector] = None,
+        trace: Optional[TraceRecorder] = None,
+        enforce_congest: bool = False,
+        congest_bits: Optional[int] = None,
+        count_bits: bool = True,
+    ) -> None:
+        if len(nodes) != topology.num_nodes:
+            raise SimulationError(
+                f"expected {topology.num_nodes} nodes, got {len(nodes)}"
+            )
+        for index, node in enumerate(nodes):
+            if node.num_ports != topology.degree(index):
+                raise SimulationError(
+                    f"node {index} has {node.num_ports} ports but degree "
+                    f"{topology.degree(index)} in the topology"
+                )
+        self.topology = topology
+        self.nodes = list(nodes)
+        self.metrics = metrics if metrics is not None else MetricsCollector()
+        self.trace = trace if trace is not None else NullTraceRecorder()
+        self.enforce_congest = enforce_congest
+        self.count_bits = count_bits
+        self._congest_bits = (
+            congest_bits
+            if congest_bits is not None
+            else congest_budget_bits(topology.num_nodes)
+        )
+        self._round = 0
+        self._inboxes: List[Dict[int, Message]] = [
+            {} for _ in range(topology.num_nodes)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+    @property
+    def current_round(self) -> int:
+        """Index of the next round to execute."""
+        return self._round
+
+    @property
+    def congest_bits(self) -> int:
+        """Per-message bit budget used for CONGEST validation."""
+        return self._congest_bits
+
+    def all_halted(self) -> bool:
+        return all(node.halted for node in self.nodes)
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def run_round(self) -> None:
+        """Execute exactly one synchronous round."""
+        round_index = self._round
+        outboxes: List[Outbox] = []
+        for index, node in enumerate(self.nodes):
+            if node.halted:
+                outboxes.append({})
+                continue
+            outbox = node.step(round_index, self._inboxes[index]) or {}
+            self._validate_outbox(index, node, outbox)
+            outboxes.append(outbox)
+
+        # Deliver: messages sent in this round arrive at the start of the
+        # next one.
+        next_inboxes: List[Dict[int, Message]] = [
+            {} for _ in range(self.topology.num_nodes)
+        ]
+        for index, outbox in enumerate(outboxes):
+            for port, message in outbox.items():
+                neighbor, neighbor_port = self.topology.endpoint(index, port)
+                next_inboxes[neighbor][neighbor_port] = message
+                bits = self._message_bits(message)
+                units = getattr(message, "congest_units", None)
+                count = int(units()) if callable(units) else 1
+                self.metrics.record_message(bits=bits, count=max(1, count))
+                if bits > self._congest_bits:
+                    self.metrics.record_congest_violation()
+                    if self.enforce_congest:
+                        raise CongestViolationError(
+                            f"node {index} sent {bits} bits through port {port} "
+                            f"in round {round_index} (budget {self._congest_bits})"
+                        )
+
+        self._inboxes = next_inboxes
+        self.metrics.record_round()
+        self._round += 1
+
+    def run(
+        self,
+        max_rounds: int,
+        *,
+        stop_when: Optional[Callable[["SynchronousSimulator"], bool]] = None,
+        require_halt: bool = False,
+    ) -> SimulationResult:
+        """Run until every node halts, ``stop_when`` fires, or ``max_rounds``.
+
+        ``stop_when`` is evaluated after each round with the simulator as
+        argument; it allows drivers to stop revocable protocols (which
+        never halt on their own) once an external condition is met.
+        """
+        if max_rounds < 0:
+            raise SimulationError(f"max_rounds must be non-negative, got {max_rounds}")
+        executed = 0
+        while executed < max_rounds:
+            if self.all_halted():
+                break
+            self.run_round()
+            executed += 1
+            if stop_when is not None and stop_when(self):
+                break
+        all_halted = self.all_halted()
+        if require_halt and not all_halted:
+            raise SimulationError(
+                f"not all nodes halted within {max_rounds} rounds"
+            )
+        return SimulationResult(
+            nodes=self.nodes,
+            metrics=self.metrics.snapshot(),
+            rounds_executed=self._round,
+            all_halted=all_halted,
+            topology=self.topology,
+            trace=self.trace if isinstance(self.trace, TraceRecorder) else None,
+            node_results=[node.result() for node in self.nodes],
+        )
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _validate_outbox(self, index: int, node: ProtocolNode, outbox: Outbox) -> None:
+        for port in outbox:
+            if not (1 <= port <= node.num_ports):
+                raise SimulationError(
+                    f"node {index} tried to send through port {port} but has "
+                    f"ports 1..{node.num_ports}"
+                )
+
+    def _message_bits(self, message: Message) -> int:
+        if not self.count_bits:
+            return 0
+        size = getattr(message, "size_bits", None)
+        if callable(size):
+            return int(size(self.topology.num_nodes))
+        # Fall back to a single CONGEST word for foreign message objects.
+        return max(1, self._congest_bits)
+
+
+def run_protocol(
+    topology: Topology,
+    factory: NodeFactory,
+    *,
+    max_rounds: int,
+    seed: Optional[int] = None,
+    metrics: Optional[MetricsCollector] = None,
+    trace: Optional[TraceRecorder] = None,
+    enforce_congest: bool = False,
+    stop_when: Optional[Callable[[SynchronousSimulator], bool]] = None,
+    require_halt: bool = False,
+) -> SimulationResult:
+    """Convenience wrapper: build nodes, run, and return the result."""
+    nodes = build_nodes(topology, factory, seed=seed)
+    simulator = SynchronousSimulator(
+        topology,
+        nodes,
+        metrics=metrics,
+        trace=trace,
+        enforce_congest=enforce_congest,
+    )
+    return simulator.run(
+        max_rounds,
+        stop_when=stop_when,
+        require_halt=require_halt,
+    )

@@ -1,0 +1,95 @@
+"""Lightweight execution tracing.
+
+Protocol debugging in a synchronous message-passing simulation benefits
+from a structured trace of what happened in each round: which node sent
+what through which port, when nodes changed protocol phase, when a node
+halted.  The :class:`TraceRecorder` collects such events cheaply (it is a
+no-op unless enabled) and the tests and examples use it to assert on and to
+display protocol behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["TraceEvent", "TraceRecorder", "NullTraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """A single trace record."""
+
+    round_index: int
+    kind: str
+    node: Optional[int] = None
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        where = f"node {self.node}" if self.node is not None else "network"
+        extras = ", ".join(f"{k}={v!r}" for k, v in sorted(self.detail.items()))
+        return f"[r{self.round_index:>5}] {where}: {self.kind}" + (
+            f" ({extras})" if extras else ""
+        )
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` records during a simulation."""
+
+    def __init__(self, enabled: bool = True, max_events: Optional[int] = None) -> None:
+        self.enabled = enabled
+        self.max_events = max_events
+        self._events: List[TraceEvent] = []
+        self._dropped = 0
+
+    def record(
+        self,
+        round_index: int,
+        kind: str,
+        node: Optional[int] = None,
+        **detail: Any,
+    ) -> None:
+        """Record one event (silently dropped when disabled or full)."""
+        if not self.enabled:
+            return
+        if self.max_events is not None and len(self._events) >= self.max_events:
+            self._dropped += 1
+            return
+        self._events.append(TraceEvent(round_index, kind, node, dict(detail)))
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Number of events dropped because ``max_events`` was reached."""
+        return self._dropped
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        """All recorded events of the given kind."""
+        return [event for event in self._events if event.kind == kind]
+
+    def for_node(self, node: int) -> List[TraceEvent]:
+        """All recorded events attributed to ``node``."""
+        return [event for event in self._events if event.node == node]
+
+    def clear(self) -> None:
+        self._events.clear()
+        self._dropped = 0
+
+
+class NullTraceRecorder(TraceRecorder):
+    """A recorder that never stores anything (default for benchmarks)."""
+
+    def __init__(self) -> None:
+        super().__init__(enabled=False)
+
+    def record(self, round_index: int, kind: str, node: Optional[int] = None, **detail: Any) -> None:
+        return

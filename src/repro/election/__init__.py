@@ -1,0 +1,133 @@
+"""The paper's leader-election protocols (Sections 4 and 5.2)."""
+
+from .base import (
+    ElectionOutcome,
+    LeaderElectionResult,
+    election_result_from_simulation,
+    outcome_from_results,
+)
+from .cautious_broadcast import (
+    ActivateMessage,
+    CautiousBroadcastConfig,
+    CautiousBroadcastManager,
+    CautiousBroadcastNode,
+    CautiousBroadcastState,
+    DeactivateMessage,
+    OfferMessage,
+    SizeMessage,
+    StopMessage,
+)
+from .certificates import Certificate, best_certificate
+from .convergecast import (
+    ConvergecastConfig,
+    ConvergecastMessage,
+    ConvergecastNode,
+    ConvergecastState,
+)
+from .diffusion import (
+    DiffusionAveragingNode,
+    DiffusionMessage,
+    DisseminationMessage,
+    convergence_rounds_estimate,
+    diffusion_share,
+    expected_average,
+)
+from .explicit import (
+    AnnouncementNode,
+    ExplicitElectionResult,
+    LeaderAnnouncement,
+    SpanningTree,
+    extend_to_explicit,
+)
+from .ids import (
+    ID_SPACE_EXPONENT,
+    IdentityDraw,
+    candidate_count_upper_bound,
+    candidate_probability,
+    draw_candidate,
+    draw_identity,
+    draw_node_id,
+    expected_candidates,
+    id_collision_probability_bound,
+    id_space_size,
+)
+from .irrevocable import (
+    IrrevocableConfig,
+    IrrevocableLeaderElectionNode,
+    run_irrevocable_election,
+)
+from .random_walk_probe import (
+    RandomWalkProbeConfig,
+    RandomWalkProbeNode,
+    RandomWalkProbeState,
+    WalkMessage,
+)
+from .revocable import (
+    RevocableLeaderElectionNode,
+    default_scaled_schedule,
+    run_revocable_election,
+)
+from .schedules import ParameterSchedule, PaperSchedule, ScaledSchedule
+
+__all__ = [
+    # results
+    "ElectionOutcome",
+    "LeaderElectionResult",
+    "outcome_from_results",
+    "election_result_from_simulation",
+    # identities
+    "ID_SPACE_EXPONENT",
+    "IdentityDraw",
+    "id_space_size",
+    "draw_node_id",
+    "draw_candidate",
+    "draw_identity",
+    "candidate_probability",
+    "candidate_count_upper_bound",
+    "expected_candidates",
+    "id_collision_probability_bound",
+    # cautious broadcast
+    "CautiousBroadcastConfig",
+    "CautiousBroadcastState",
+    "CautiousBroadcastNode",
+    "CautiousBroadcastManager",
+    "OfferMessage",
+    "SizeMessage",
+    "ActivateMessage",
+    "DeactivateMessage",
+    "StopMessage",
+    # random walks and convergecast
+    "RandomWalkProbeConfig",
+    "RandomWalkProbeState",
+    "RandomWalkProbeNode",
+    "WalkMessage",
+    "ConvergecastConfig",
+    "ConvergecastState",
+    "ConvergecastNode",
+    "ConvergecastMessage",
+    # irrevocable election
+    "IrrevocableConfig",
+    "IrrevocableLeaderElectionNode",
+    "run_irrevocable_election",
+    # explicit extension
+    "LeaderAnnouncement",
+    "AnnouncementNode",
+    "SpanningTree",
+    "ExplicitElectionResult",
+    "extend_to_explicit",
+    # revocable election
+    "Certificate",
+    "best_certificate",
+    "DiffusionMessage",
+    "DisseminationMessage",
+    "DiffusionAveragingNode",
+    "diffusion_share",
+    "expected_average",
+    "convergence_rounds_estimate",
+    "ParameterSchedule",
+    "PaperSchedule",
+    "ScaledSchedule",
+    "RevocableLeaderElectionNode",
+    "default_scaled_schedule",
+    "run_revocable_election",
+]

@@ -1,0 +1,154 @@
+"""Shared result types and verification helpers for election protocols.
+
+Every election protocol in the library (the paper's two protocols and the
+baselines) produces, per node, a result mapping that contains at least a
+``"leader"`` boolean flag — the flag variable of Definitions 1 and 2.  The
+helpers here turn the per-node results of a simulation into an
+:class:`ElectionOutcome` and verify the correctness conditions:
+
+* *uniqueness*: exactly one node raised its flag;
+* *agreement* (explicit elections only): every node knows the elected
+  leader's identifier/certificate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.metrics import Metrics
+from ..core.simulator import SimulationResult
+
+__all__ = [
+    "ElectionOutcome",
+    "LeaderElectionResult",
+    "outcome_from_results",
+    "election_result_from_simulation",
+]
+
+
+@dataclass(frozen=True)
+class ElectionOutcome:
+    """What the election produced, extracted from per-node results."""
+
+    num_leaders: int
+    leader_indices: List[int]
+    candidate_indices: List[int]
+    unique_leader: bool
+    #: For explicit elections: True when every node reports the same leader
+    #: identifier; ``None`` for implicit elections that do not disseminate it.
+    agreement: Optional[bool] = None
+
+    @property
+    def elected(self) -> bool:
+        """True when exactly one leader was elected."""
+        return self.unique_leader
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "num_leaders": self.num_leaders,
+            "leader_indices": list(self.leader_indices),
+            "candidate_indices": list(self.candidate_indices),
+            "unique_leader": self.unique_leader,
+            "agreement": self.agreement,
+        }
+
+
+@dataclass
+class LeaderElectionResult:
+    """Outcome + cost of one protocol execution on one topology."""
+
+    algorithm: str
+    topology_name: str
+    num_nodes: int
+    num_edges: int
+    outcome: ElectionOutcome
+    metrics: Metrics
+    rounds_executed: int
+    seed: Optional[int] = None
+    parameters: Dict[str, object] = field(default_factory=dict)
+    node_results: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def success(self) -> bool:
+        return self.outcome.unique_leader
+
+    @property
+    def messages(self) -> int:
+        return self.metrics.messages
+
+    @property
+    def bits(self) -> int:
+        return self.metrics.bits
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "algorithm": self.algorithm,
+            "topology": self.topology_name,
+            "num_nodes": self.num_nodes,
+            "num_edges": self.num_edges,
+            "success": self.success,
+            "rounds": self.rounds_executed,
+            "messages": self.messages,
+            "bits": self.bits,
+            "seed": self.seed,
+            "outcome": self.outcome.as_dict(),
+            "parameters": dict(self.parameters),
+        }
+
+
+def outcome_from_results(
+    node_results: Sequence[Dict[str, object]],
+    *,
+    agreement_key: Optional[str] = None,
+) -> ElectionOutcome:
+    """Derive an :class:`ElectionOutcome` from per-node result mappings.
+
+    ``agreement_key`` names the per-node field holding the node's view of
+    the elected leader (e.g. ``"leader_certificate"``); when given, the
+    outcome reports whether all nodes agree on a non-``None`` value.
+    """
+    leaders = [
+        index for index, result in enumerate(node_results) if result.get("leader")
+    ]
+    candidates = [
+        index for index, result in enumerate(node_results) if result.get("candidate")
+    ]
+    agreement: Optional[bool] = None
+    if agreement_key is not None:
+        views = [result.get(agreement_key) for result in node_results]
+        agreement = len(views) > 0 and views[0] is not None and all(
+            view == views[0] for view in views
+        )
+    return ElectionOutcome(
+        num_leaders=len(leaders),
+        leader_indices=leaders,
+        candidate_indices=candidates,
+        unique_leader=len(leaders) == 1,
+        agreement=agreement,
+    )
+
+
+def election_result_from_simulation(
+    algorithm: str,
+    simulation: SimulationResult,
+    *,
+    seed: Optional[int] = None,
+    parameters: Optional[Dict[str, object]] = None,
+    agreement_key: Optional[str] = None,
+) -> LeaderElectionResult:
+    """Package a finished simulation as a :class:`LeaderElectionResult`."""
+    node_results = simulation.results()
+    outcome = outcome_from_results(node_results, agreement_key=agreement_key)
+    return LeaderElectionResult(
+        algorithm=algorithm,
+        topology_name=simulation.topology.name,
+        num_nodes=simulation.topology.num_nodes,
+        num_edges=simulation.topology.num_edges,
+        outcome=outcome,
+        metrics=simulation.metrics,
+        rounds_executed=simulation.rounds_executed,
+        seed=seed,
+        parameters=dict(parameters or {}),
+        node_results=list(node_results),
+    )

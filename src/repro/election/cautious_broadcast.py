@@ -1,0 +1,465 @@
+"""Cautious broadcast (Section 4, Algorithms 2–4).
+
+A candidate grows a spanning tree of a bounded *territory* around itself:
+
+* every tree node keeps a *confirmed* count of the nodes in its subtree and
+  reports it to its parent whenever the count crosses the next power of two;
+* growth (offering the source ID to a fresh random neighbour) is only
+  allowed while a node's confirmed count is below its current threshold and
+  the node is *active*; crossing a threshold doubles it, pauses the node and
+  deactivates its children until the parent re-activates them;
+* once the threshold reaches the territory cap ``x·t_mix·Φ`` the whole tree
+  is stopped.
+
+This "cautious" pacing is what bounds the number of messages to
+``Õ(x·t_mix)`` while still informing ``Ω̃(x·t_mix·Φ)`` nodes w.h.p.
+(Lemma 1).  The module provides
+
+* :class:`CautiousBroadcastState` — the per-node, per-candidate state
+  machine (exactly one candidate's broadcast);
+* :class:`CautiousBroadcastNode` — a standalone protocol node running a
+  single broadcast, used by unit tests and by the ablation benchmark;
+* :class:`CautiousBroadcastManager` — the multiplexer that lets one node
+  participate in many parallel broadcasts, serving at most one of them per
+  round (the paper's super-round scheme), used by the composite
+  irrevocable-election node.
+
+Deviation from the literal pseudocode (documented in DESIGN.md): subtree
+sizes are reported to the parent when they cross the node's current
+threshold rather than in every round; this matches the prose description
+and the message-complexity argument in Lemma 1 (a link carries O(1)
+messages per threshold change), whereas the literal per-round reporting of
+Algorithm 4 line 24 would inflate messages by a ``Θ(t_mix log n)`` factor.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..core.errors import ConfigurationError, ProtocolError
+from ..core.messages import Message
+from ..core.node import Inbox, Outbox, ProtocolNode
+
+__all__ = [
+    "OfferMessage",
+    "SizeMessage",
+    "ActivateMessage",
+    "DeactivateMessage",
+    "StopMessage",
+    "CautiousBroadcastConfig",
+    "CautiousBroadcastState",
+    "CautiousBroadcastNode",
+    "CautiousBroadcastManager",
+]
+
+# --------------------------------------------------------------------------- #
+# messages
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class OfferMessage(Message):
+    """The source ID offered to a prospective child ("some ID")."""
+
+    source_id: int
+
+
+@dataclass(frozen=True)
+class SizeMessage(Message):
+    """Confirmed subtree size reported by a child to its parent."""
+
+    source_id: int
+    size: int
+
+
+@dataclass(frozen=True)
+class ActivateMessage(Message):
+    """Re-activation prompt from a parent to a child."""
+
+    source_id: int
+
+
+@dataclass(frozen=True)
+class DeactivateMessage(Message):
+    """Deactivation prompt from a parent to a child."""
+
+    source_id: int
+
+
+@dataclass(frozen=True)
+class StopMessage(Message):
+    """Territory cap reached: stop the broadcast in the whole tree."""
+
+    source_id: int
+
+
+# --------------------------------------------------------------------------- #
+# configuration
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class CautiousBroadcastConfig:
+    """Parameters of one cautious-broadcast execution.
+
+    ``protocol_rounds`` is the per-instance round budget ``c·t_mix·log n``;
+    ``territory_cap`` is the threshold ``x·t_mix·Φ`` at which the broadcast
+    stops growing.
+    """
+
+    protocol_rounds: int
+    territory_cap: float
+
+    def __post_init__(self) -> None:
+        if self.protocol_rounds < 1:
+            raise ConfigurationError(
+                f"protocol_rounds must be >= 1, got {self.protocol_rounds}"
+            )
+        if self.territory_cap < 1:
+            raise ConfigurationError(
+                f"territory_cap must be >= 1, got {self.territory_cap}"
+            )
+
+    @staticmethod
+    def from_parameters(
+        *,
+        n: int,
+        t_mix: int,
+        conductance: float,
+        walks_per_candidate: int,
+        c: float = 2.0,
+    ) -> "CautiousBroadcastConfig":
+        """Build the config from the quantities the paper parameterises on."""
+        if n < 1 or t_mix < 1 or conductance <= 0:
+            raise ConfigurationError(
+                f"invalid parameters n={n}, t_mix={t_mix}, conductance={conductance}"
+            )
+        log_n = max(1.0, math.log(n))
+        rounds = max(1, math.ceil(c * t_mix * log_n))
+        cap = max(2.0, walks_per_candidate * t_mix * conductance)
+        return CautiousBroadcastConfig(protocol_rounds=rounds, territory_cap=cap)
+
+
+# --------------------------------------------------------------------------- #
+# per-instance state machine
+# --------------------------------------------------------------------------- #
+
+ACTIVE = "active"
+PASSIVE = "passive"
+STOPPED = "stop"
+
+
+class CautiousBroadcastState:
+    """State of one node in one candidate's cautious broadcast."""
+
+    def __init__(
+        self,
+        *,
+        num_ports: int,
+        config: CautiousBroadcastConfig,
+        source_id: int,
+        is_source: bool,
+    ) -> None:
+        self.config = config
+        self.source_id = source_id
+        self.is_source = is_source
+        self.joined = is_source
+        self.parent_port: Optional[int] = None
+        self.children: Set[int] = set()
+        self.child_size: Dict[int, int] = {}
+        self.child_active: Dict[int, bool] = {}
+        self.avail: Set[int] = set(range(1, num_ports + 1))
+        self.status = ACTIVE if is_source else PASSIVE
+        self.threshold = 1
+        self.rounds_executed = 0
+        self.stop_notified = False
+        self._size_reported = 0  # last size value sent to the parent
+
+    # -------------------------------------------------------------- #
+    # receptions (Algorithm 3)
+    # -------------------------------------------------------------- #
+    def handle_message(self, port: int, message: Message) -> None:
+        """Process one received message belonging to this instance."""
+        # A port we heard from is no longer available for fresh offers.
+        self.avail.discard(port)
+
+        if isinstance(message, StopMessage):
+            self.status = STOPPED
+            return
+        if isinstance(message, SizeMessage):
+            # A size report means the child just crossed a threshold and
+            # paused itself; it stays paused until this node re-activates it
+            # from its growth branch (the "re-activation prompt").
+            self.child_size[port] = message.size
+            self.child_active[port] = False
+            self.children.add(port)
+            return
+        if self.is_source:
+            # The source ignores offers and activation prompts.
+            return
+        if isinstance(message, ActivateMessage):
+            if self.status != STOPPED:
+                self.status = ACTIVE
+            return
+        if isinstance(message, DeactivateMessage):
+            if self.status != STOPPED:
+                self.status = PASSIVE
+            return
+        if isinstance(message, OfferMessage):
+            if not self.joined:
+                self.joined = True
+                self.parent_port = port
+                self.status = ACTIVE
+            return
+        raise ProtocolError(
+            f"unexpected cautious-broadcast message {type(message).__name__}"
+        )
+
+    # -------------------------------------------------------------- #
+    # transmissions (Algorithm 4)
+    # -------------------------------------------------------------- #
+    def confirmed_subtree_size(self) -> int:
+        """This node plus the confirmed sizes reported by its children."""
+        return 1 + sum(self.child_size.values())
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the per-instance round budget has been used up."""
+        return self.rounds_executed >= self.config.protocol_rounds
+
+    def prepare_transmissions(self, rng: random.Random) -> Outbox:
+        """One protocol round of Algorithm 4 for this instance."""
+        if not self.joined or self.exhausted:
+            return {}
+        self.rounds_executed += 1
+        outbox: Outbox = {}
+
+        if self.threshold >= self.config.territory_cap:
+            self.status = STOPPED
+
+        if self.status == STOPPED:
+            if not self.stop_notified:
+                for port in self.children:
+                    outbox[port] = StopMessage(self.source_id)
+                if not self.is_source and self.parent_port is not None:
+                    outbox[self.parent_port] = StopMessage(self.source_id)
+                self.stop_notified = True
+            return outbox
+
+        subtree = self.confirmed_subtree_size()
+
+        if subtree < self.threshold and self.status == ACTIVE:
+            # Growth mode: re-activate children, then probe one fresh port.
+            for port in self.children:
+                if not self.child_active.get(port, False):
+                    outbox[port] = ActivateMessage(self.source_id)
+                    self.child_active[port] = True
+            fresh = self._pick_available_port(rng, exclude=set(outbox))
+            if fresh is not None:
+                outbox[fresh] = OfferMessage(self.source_id)
+        elif subtree >= self.threshold:
+            # The confirmed count crossed the threshold: report upward,
+            # double the threshold, pause the subtree.
+            if not self.is_source and self.parent_port is not None:
+                outbox[self.parent_port] = SizeMessage(self.source_id, subtree)
+                self._size_reported = subtree
+            self.threshold *= 2
+            if not self.is_source:
+                self.status = PASSIVE
+            for port in self.children:
+                if self.child_active.get(port, False):
+                    outbox.setdefault(port, DeactivateMessage(self.source_id))
+                    self.child_active[port] = False
+        return outbox
+
+    def _pick_available_port(
+        self, rng: random.Random, *, exclude: Set[int]
+    ) -> Optional[int]:
+        candidates = sorted(self.avail - exclude)
+        if not candidates:
+            return None
+        port = rng.choice(candidates)
+        self.avail.discard(port)
+        return port
+
+    # -------------------------------------------------------------- #
+    # inspection
+    # -------------------------------------------------------------- #
+    def summary(self) -> Dict[str, object]:
+        return {
+            "source_id": self.source_id,
+            "is_source": self.is_source,
+            "joined": self.joined,
+            "parent_port": self.parent_port,
+            "children": sorted(self.children),
+            "status": self.status,
+            "threshold": self.threshold,
+            "confirmed_size": self.confirmed_subtree_size(),
+            "rounds_executed": self.rounds_executed,
+        }
+
+
+# --------------------------------------------------------------------------- #
+# standalone single-broadcast node
+# --------------------------------------------------------------------------- #
+
+
+class CautiousBroadcastNode(ProtocolNode):
+    """A protocol node running exactly one cautious broadcast.
+
+    Used on its own for unit tests and for the ablation benchmark that
+    compares cautious broadcast against unrestricted flooding; the full
+    election embeds the same state machine through
+    :class:`CautiousBroadcastManager`.
+    """
+
+    def __init__(
+        self,
+        num_ports: int,
+        rng: random.Random,
+        *,
+        config: CautiousBroadcastConfig,
+        is_source: bool,
+        source_id: int = 1,
+    ) -> None:
+        super().__init__(num_ports, rng)
+        self.config = config
+        self.state = CautiousBroadcastState(
+            num_ports=num_ports,
+            config=config,
+            source_id=source_id,
+            is_source=is_source,
+        )
+        self._halted = False
+
+    @property
+    def halted(self) -> bool:
+        return self._halted
+
+    def step(self, round_index: int, inbox: Inbox) -> Outbox:
+        for port, message in inbox.items():
+            self.state.handle_message(port, message)
+        if round_index >= self.config.protocol_rounds:
+            self._halted = True
+            return {}
+        return self.state.prepare_transmissions(self.rng)
+
+    def result(self) -> Dict[str, object]:
+        summary = self.state.summary()
+        summary["halted"] = self._halted
+        return summary
+
+
+# --------------------------------------------------------------------------- #
+# multiplexer for parallel broadcasts (the super-round scheme)
+# --------------------------------------------------------------------------- #
+
+
+class CautiousBroadcastManager:
+    """Multiplexes the parallel cautious broadcasts a node participates in.
+
+    Each node assigns the executions it knows about to the slots of a
+    super-round in discovery order, exactly one execution transmitting per
+    round (the paper's scheme, Section 4).  Receptions are processed in any
+    round because they are purely local.
+    """
+
+    def __init__(
+        self,
+        *,
+        num_ports: int,
+        config: CautiousBroadcastConfig,
+        num_slots: int,
+    ) -> None:
+        if num_slots < 1:
+            raise ConfigurationError(f"num_slots must be >= 1, got {num_slots}")
+        self.num_ports = num_ports
+        self.config = config
+        self.num_slots = num_slots
+        self._states: Dict[int, CautiousBroadcastState] = {}
+        self._order: List[int] = []
+        self.overflow_instances = 0
+
+    # -------------------------------------------------------------- #
+    def add_source_instance(self, source_id: int) -> CautiousBroadcastState:
+        """Register this node as the source (candidate) of an instance."""
+        state = CautiousBroadcastState(
+            num_ports=self.num_ports,
+            config=self.config,
+            source_id=source_id,
+            is_source=True,
+        )
+        self._register(source_id, state)
+        return state
+
+    def _register(self, source_id: int, state: CautiousBroadcastState) -> None:
+        if source_id in self._states:
+            raise ProtocolError(f"instance {source_id} registered twice")
+        self._states[source_id] = state
+        if len(self._order) < self.num_slots:
+            self._order.append(source_id)
+        else:
+            # More parallel executions than slots: the paper shows this does
+            # not happen w.h.p.; we keep counting so experiments can verify.
+            self.overflow_instances += 1
+            self._order.append(source_id)
+
+    def _state_for(self, source_id: int) -> CautiousBroadcastState:
+        state = self._states.get(source_id)
+        if state is None:
+            state = CautiousBroadcastState(
+                num_ports=self.num_ports,
+                config=self.config,
+                source_id=source_id,
+                is_source=False,
+            )
+            self._register(source_id, state)
+        return state
+
+    # -------------------------------------------------------------- #
+    def handle_inbox(self, inbox: Inbox) -> None:
+        """Route received broadcast messages to their instances."""
+        for port, message in inbox.items():
+            source_id = getattr(message, "source_id", None)
+            if source_id is None:
+                raise ProtocolError(
+                    f"cautious-broadcast manager received foreign message "
+                    f"{type(message).__name__}"
+                )
+            self._state_for(source_id).handle_message(port, message)
+
+    def transmissions_for_slot(self, slot: int, rng: random.Random) -> Outbox:
+        """Transmissions of the instance assigned to ``slot`` (may be empty)."""
+        if slot < 0 or slot >= self.num_slots:
+            raise ProtocolError(f"slot {slot} out of range 0..{self.num_slots - 1}")
+        if slot >= len(self._order):
+            return {}
+        source_id = self._order[slot]
+        return self._states[source_id].prepare_transmissions(rng)
+
+    # -------------------------------------------------------------- #
+    # inspection used by the later election phases and by analysis
+    # -------------------------------------------------------------- #
+    def joined_instances(self) -> List[int]:
+        """Source IDs of the territories this node belongs to."""
+        return [sid for sid, state in self._states.items() if state.joined]
+
+    def parent_ports(self) -> Set[int]:
+        """Distinct parent ports over all joined (non-source) instances."""
+        return {
+            state.parent_port
+            for state in self._states.values()
+            if state.joined and not state.is_source and state.parent_port is not None
+        }
+
+    def instance_count(self) -> int:
+        return len(self._states)
+
+    def state(self, source_id: int) -> CautiousBroadcastState:
+        return self._states[source_id]
+
+    def summaries(self) -> List[Dict[str, object]]:
+        return [state.summary() for state in self._states.values()]

@@ -1,0 +1,61 @@
+"""Leadership certificates (Section 5.2).
+
+In the blind protocol a node's claim to leadership is the pair
+``(K, id)``: the network-size estimate ``K`` in force when the node chose
+its identifier, and the identifier itself.  A larger estimate is a stronger
+certificate (the node chose its ID from a larger sample space, hence with a
+better uniqueness guarantee); among equal estimates the *smaller* ID wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+__all__ = ["Certificate", "best_certificate"]
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A ``(estimate, node_id)`` leadership certificate."""
+
+    estimate: int
+    node_id: int
+
+    def __post_init__(self) -> None:
+        if self.estimate < 1:
+            raise ValueError(f"estimate must be positive, got {self.estimate}")
+        if self.node_id < 1:
+            raise ValueError(f"node_id must be positive, got {self.node_id}")
+
+    def sort_key(self) -> Tuple[int, int]:
+        """Key under which the best certificate is the maximum.
+
+        Larger estimate first; ties broken towards the smaller ID (hence
+        the negation).
+        """
+        return (self.estimate, -self.node_id)
+
+    def beats(self, other: Optional["Certificate"]) -> bool:
+        """Whether this certificate strictly beats ``other``.
+
+        ``None`` (no certificate known) is beaten by everything.
+        """
+        if other is None:
+            return True
+        return self.sort_key() > other.sort_key()
+
+    def as_tuple(self) -> Tuple[int, int]:
+        return (self.estimate, self.node_id)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Certificate(K={self.estimate}, id={self.node_id})"
+
+
+def best_certificate(certificates: Iterable[Optional[Certificate]]) -> Optional[Certificate]:
+    """The strongest certificate among ``certificates`` (``None`` entries ignored)."""
+    best: Optional[Certificate] = None
+    for certificate in certificates:
+        if certificate is not None and certificate.beats(best):
+            best = certificate
+    return best

@@ -1,0 +1,147 @@
+"""Convergecast of the maximum walk ID (Section 4, Algorithm 5).
+
+After the probing phase every tree node holds the largest walk ID it has
+seen.  For ``c·t_mix·log n`` rounds each non-candidate node forwards its
+current maximum to its parent(s) in the broadcast tree(s) it joined; a node
+that belongs to several territories has one parent per territory, but since
+the transmitted value is the same, at most one message per port per round
+is needed (CONGEST is respected).  Candidates only listen: at the end, the
+candidate that never heard a walk ID larger than its own becomes the
+leader (Theorem 1).
+
+As with the subtree-size reports of cautious broadcast, a node re-sends to
+its parent only when its maximum *improves* (plus one initial report);
+re-sending an unchanged value every round would add nothing to correctness
+but would blow the message count past the Theorem 1 claim that the
+convergecast costs no more than the cautious broadcast that built the tree
+(deviation documented in DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, Set
+
+from ..core.errors import ConfigurationError
+from ..core.messages import Message
+from ..core.node import Inbox, Outbox, ProtocolNode
+
+__all__ = [
+    "ConvergecastMessage",
+    "ConvergecastConfig",
+    "ConvergecastState",
+    "ConvergecastNode",
+]
+
+
+@dataclass(frozen=True)
+class ConvergecastMessage(Message):
+    """The largest walk ID known to the sender."""
+
+    walk_id: int
+
+
+@dataclass(frozen=True)
+class ConvergecastConfig:
+    """Parameters of the convergecast phase."""
+
+    convergecast_rounds: int
+
+    def __post_init__(self) -> None:
+        if self.convergecast_rounds < 1:
+            raise ConfigurationError(
+                f"convergecast_rounds must be >= 1, got {self.convergecast_rounds}"
+            )
+
+
+class ConvergecastState:
+    """Per-node state of the convergecast phase."""
+
+    def __init__(
+        self,
+        *,
+        config: ConvergecastConfig,
+        candidate: bool,
+        max_walk_id: int,
+        parent_ports: Iterable[int],
+    ) -> None:
+        self.config = config
+        self.candidate = candidate
+        self.max_walk_id = max_walk_id
+        self.parent_ports: Set[int] = set(parent_ports)
+        self.rounds_executed = 0
+        self._last_reported = 0
+
+    def absorb(self, inbox: Inbox) -> None:
+        """Update the local maximum from received convergecast messages."""
+        for message in inbox.values():
+            if isinstance(message, ConvergecastMessage):
+                if message.walk_id > self.max_walk_id:
+                    self.max_walk_id = message.walk_id
+
+    def step(self, inbox: Inbox) -> Outbox:
+        """One convergecast round: absorb, then report improvements upward."""
+        self.absorb(inbox)
+        self.rounds_executed += 1
+        if self.candidate or not self.parent_ports or self.max_walk_id <= 0:
+            return {}
+        if self.max_walk_id <= self._last_reported:
+            return {}
+        self._last_reported = self.max_walk_id
+        return {
+            port: ConvergecastMessage(walk_id=self.max_walk_id)
+            for port in self.parent_ports
+        }
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "candidate": self.candidate,
+            "max_walk_id": self.max_walk_id,
+            "parent_ports": sorted(self.parent_ports),
+            "rounds_executed": self.rounds_executed,
+        }
+
+
+class ConvergecastNode(ProtocolNode):
+    """Standalone protocol node running only the convergecast phase.
+
+    Used by unit tests: given a precomputed tree (parent ports) and initial
+    walk IDs, it checks that the maximum reaches the candidates.
+    """
+
+    def __init__(
+        self,
+        num_ports: int,
+        rng: random.Random,
+        *,
+        config: ConvergecastConfig,
+        candidate: bool,
+        max_walk_id: int,
+        parent_ports: Iterable[int] = (),
+    ) -> None:
+        super().__init__(num_ports, rng)
+        self.config = config
+        self.state = ConvergecastState(
+            config=config,
+            candidate=candidate,
+            max_walk_id=max_walk_id,
+            parent_ports=parent_ports,
+        )
+        self._halted = False
+
+    @property
+    def halted(self) -> bool:
+        return self._halted
+
+    def step(self, round_index: int, inbox: Inbox) -> Outbox:
+        if round_index >= self.config.convergecast_rounds:
+            self.state.absorb(inbox)
+            self._halted = True
+            return {}
+        return self.state.step(inbox)
+
+    def result(self) -> Dict[str, object]:
+        summary = self.state.summary()
+        summary["halted"] = self._halted
+        return summary

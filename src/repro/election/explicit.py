@@ -1,0 +1,246 @@
+"""From implicit to explicit election: leader announcement and BFS tree.
+
+The paper (Section 3) notes that once an implicit leader election has
+completed, standard extensions give the *explicit* version (every node
+learns who the leader is), Broadcast, and tree construction, at an extra
+``O(m)`` messages and ``O(D)`` time.  This module implements that
+extension for any of the library's implicit protocols:
+
+* the elected leader floods an announcement carrying its ID;
+* the first port on which a node hears the announcement becomes its parent,
+  which yields a BFS spanning tree rooted at the leader (the standard
+  distributed BFS construction);
+* each node records the leader ID, its parent port and its depth.
+
+:func:`extend_to_explicit` takes the :class:`LeaderElectionResult` of an
+implicit run, replays the announcement phase on the same topology, and
+returns an :class:`ExplicitElectionResult` with the tree and the cost of
+the extension, which tests verify is ``O(m)`` messages and ``≤ D + O(1)``
+rounds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.errors import ConfigurationError
+from ..core.messages import Message
+from ..core.metrics import Metrics, MetricsCollector
+from ..core.node import Inbox, Outbox, ProtocolNode
+from ..core.simulator import SynchronousSimulator, build_nodes
+from ..graphs.topology import Topology
+from .base import LeaderElectionResult
+
+__all__ = [
+    "LeaderAnnouncement",
+    "AnnouncementNode",
+    "SpanningTree",
+    "ExplicitElectionResult",
+    "extend_to_explicit",
+]
+
+
+@dataclass(frozen=True)
+class LeaderAnnouncement(Message):
+    """Flooded by the leader; ``depth`` is the hop distance travelled."""
+
+    leader_id: int
+    depth: int
+
+
+class AnnouncementNode(ProtocolNode):
+    """One node of the announcement/BFS-tree phase."""
+
+    def __init__(
+        self,
+        num_ports: int,
+        rng: random.Random,
+        *,
+        is_leader: bool,
+        leader_id: int,
+        max_rounds: int,
+    ) -> None:
+        super().__init__(num_ports, rng)
+        if max_rounds < 1:
+            raise ConfigurationError(f"max_rounds must be >= 1, got {max_rounds}")
+        self.is_leader = is_leader
+        self.known_leader_id: Optional[int] = leader_id if is_leader else None
+        self.parent_port: Optional[int] = None
+        self.depth: Optional[int] = 0 if is_leader else None
+        self.max_rounds = max_rounds
+        self._announced = False
+        self._halted = False
+
+    @property
+    def halted(self) -> bool:
+        return self._halted
+
+    def step(self, round_index: int, inbox: Inbox) -> Outbox:
+        for port in sorted(inbox):
+            message = inbox[port]
+            if not isinstance(message, LeaderAnnouncement):
+                continue
+            if self.known_leader_id is None:
+                self.known_leader_id = message.leader_id
+                self.parent_port = port
+                self.depth = message.depth + 1
+
+        if self._announced or round_index >= self.max_rounds:
+            # Nothing left to do: the announcement was forwarded (or the
+            # phase is over for an unreached node in a disconnected test).
+            self._halted = True
+            return {}
+
+        if self.known_leader_id is not None:
+            self._announced = True
+            announcement = LeaderAnnouncement(
+                leader_id=self.known_leader_id, depth=self.depth or 0
+            )
+            ports = [port for port in self.ports() if port != self.parent_port]
+            return {port: announcement for port in ports}
+        return {}
+
+    def result(self) -> Dict[str, object]:
+        return {
+            "leader": self.is_leader,
+            "candidate": self.is_leader,
+            "known_leader_id": self.known_leader_id,
+            "parent_port": self.parent_port,
+            "depth": self.depth,
+            "halted": self._halted,
+        }
+
+
+@dataclass
+class SpanningTree:
+    """A rooted spanning tree expressed over node indices (analysis view)."""
+
+    root: int
+    parent: Dict[int, Optional[int]] = field(default_factory=dict)
+    depth: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.parent)
+
+    def children_of(self, node: int) -> List[int]:
+        return [child for child, parent in self.parent.items() if parent == node]
+
+    def is_spanning(self, topology: Topology) -> bool:
+        """All nodes present, exactly one root, every edge is a graph edge."""
+        if set(self.parent) != set(range(topology.num_nodes)):
+            return False
+        roots = [node for node, parent in self.parent.items() if parent is None]
+        if roots != [self.root]:
+            return False
+        return all(
+            topology.has_edge(node, parent)
+            for node, parent in self.parent.items()
+            if parent is not None
+        )
+
+    def max_depth(self) -> int:
+        return max(self.depth.values()) if self.depth else 0
+
+
+@dataclass
+class ExplicitElectionResult:
+    """Outcome of the explicit extension."""
+
+    implicit: LeaderElectionResult
+    leader_index: int
+    leader_id: int
+    tree: SpanningTree
+    all_know_leader: bool
+    metrics: Metrics
+    rounds_executed: int
+
+    @property
+    def total_messages(self) -> int:
+        """Messages of the implicit election plus the announcement phase."""
+        return self.implicit.messages + self.metrics.messages
+
+    @property
+    def total_rounds(self) -> int:
+        return self.implicit.rounds_executed + self.rounds_executed
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "leader_index": self.leader_index,
+            "leader_id": self.leader_id,
+            "all_know_leader": self.all_know_leader,
+            "tree_depth": self.tree.max_depth(),
+            "announcement_messages": self.metrics.messages,
+            "announcement_rounds": self.rounds_executed,
+            "total_messages": self.total_messages,
+            "total_rounds": self.total_rounds,
+        }
+
+
+def extend_to_explicit(
+    topology: Topology,
+    implicit: LeaderElectionResult,
+    *,
+    seed: Optional[int] = None,
+    extra_rounds: int = 2,
+) -> ExplicitElectionResult:
+    """Run the announcement/BFS phase after an implicit election.
+
+    Raises :class:`ConfigurationError` when the implicit election did not
+    produce a unique leader (there is nothing meaningful to announce).
+    """
+    if not implicit.success:
+        raise ConfigurationError(
+            "explicit extension requires a successful implicit election"
+        )
+    if topology.num_nodes != implicit.num_nodes:
+        raise ConfigurationError(
+            "topology does not match the implicit election result"
+        )
+    leader_index = implicit.outcome.leader_indices[0]
+    leader_record = (
+        implicit.node_results[leader_index] if implicit.node_results else {}
+    )
+    leader_id = int(leader_record.get("node_id") or leader_index + 1)
+    max_rounds = topology.diameter() + extra_rounds
+
+    def factory(index: int, num_ports: int, rng: random.Random) -> ProtocolNode:
+        return AnnouncementNode(
+            num_ports,
+            rng,
+            is_leader=(index == leader_index),
+            leader_id=leader_id,
+            max_rounds=max_rounds,
+        )
+
+    metrics = MetricsCollector()
+    nodes = build_nodes(topology, factory, seed=seed)
+    simulator = SynchronousSimulator(topology, nodes, metrics=metrics)
+    with metrics.phase("announcement"):
+        simulation = simulator.run(max_rounds + 1)
+
+    tree = SpanningTree(root=leader_index)
+    all_know = True
+    for index, record in enumerate(simulation.results()):
+        if record["known_leader_id"] != leader_id:
+            all_know = False
+        parent_port = record["parent_port"]
+        parent = (
+            topology.neighbor_via(index, parent_port)
+            if parent_port is not None
+            else None
+        )
+        tree.parent[index] = parent
+        tree.depth[index] = record["depth"] if record["depth"] is not None else -1
+
+    return ExplicitElectionResult(
+        implicit=implicit,
+        leader_index=leader_index,
+        leader_id=leader_id,
+        tree=tree,
+        all_know_leader=all_know,
+        metrics=simulation.metrics,
+        rounds_executed=simulation.rounds_executed,
+    )

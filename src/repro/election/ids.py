@@ -1,0 +1,108 @@
+"""Random identifier and candidate selection (Section 4 of the paper).
+
+In an anonymous network nodes cannot be told apart, so the paper's known-``n``
+protocol has every node draw an identifier uniformly from ``{1..n^4}`` and
+become a *candidate* independently with probability ``c·log n / n``.  The
+ID range is wide enough that the ``Θ(log n)`` candidates have distinct IDs
+with high probability; the candidate probability is large enough that at
+least one candidate exists w.h.p. and small enough that only ``O(log n)``
+parallel broadcast executions are ever in flight.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.errors import ConfigurationError
+
+__all__ = [
+    "ID_SPACE_EXPONENT",
+    "id_space_size",
+    "draw_node_id",
+    "candidate_probability",
+    "draw_candidate",
+    "expected_candidates",
+    "candidate_count_upper_bound",
+    "id_collision_probability_bound",
+    "IdentityDraw",
+    "draw_identity",
+]
+
+#: IDs are drawn from ``{1 .. n**ID_SPACE_EXPONENT}`` (paper, Section 4).
+ID_SPACE_EXPONENT = 4
+
+
+def id_space_size(n: int) -> int:
+    """Size of the ID sample space, ``n^4``."""
+    if n < 1:
+        raise ConfigurationError(f"network size must be positive, got {n}")
+    return max(2, n) ** ID_SPACE_EXPONENT
+
+
+def draw_node_id(rng: random.Random, n: int) -> int:
+    """Draw an ID uniformly from ``{1..n^4}``."""
+    return rng.randint(1, id_space_size(n))
+
+
+def candidate_probability(n: int, c: float) -> float:
+    """Candidate probability ``min(1, c·log n / n)``.
+
+    The paper uses the natural logarithm throughout its analysis; for
+    ``n = 1`` the probability is forced to 1 so a single-node network still
+    elects itself.
+    """
+    if n < 1:
+        raise ConfigurationError(f"network size must be positive, got {n}")
+    if c <= 0:
+        raise ConfigurationError(f"candidate constant c must be positive, got {c}")
+    if n == 1:
+        return 1.0
+    return min(1.0, c * math.log(n) / n)
+
+
+def draw_candidate(rng: random.Random, n: int, c: float) -> bool:
+    """Decide candidacy independently with probability ``c·log n / n``."""
+    return rng.random() < candidate_probability(n, c)
+
+
+def expected_candidates(n: int, c: float) -> float:
+    """Expected number of candidates, ``n · min(1, c·log n / n)``."""
+    return n * candidate_probability(n, c)
+
+
+def candidate_count_upper_bound(n: int, c: float) -> int:
+    """The ``4·c·log n`` bound the paper uses for the number of candidates.
+
+    Holds with high probability (Section 4); the cautious-broadcast
+    multiplexer sizes its super-round to this many slots.
+    """
+    if n <= 1:
+        return 1
+    return max(1, math.ceil(4.0 * c * math.log(n)))
+
+
+def id_collision_probability_bound(n: int, c: float) -> float:
+    """Union bound on the probability that two candidates share an ID.
+
+    With at most ``4c·log n`` candidates (w.h.p.) drawing from ``n^4``
+    values, the collision probability is at most ``(4c log n)² / n^4``.
+    Used by tests to justify treating candidate IDs as unique.
+    """
+    k = candidate_count_upper_bound(n, c)
+    return min(1.0, (k * k) / id_space_size(n))
+
+
+@dataclass(frozen=True)
+class IdentityDraw:
+    """The outcome of a node's local random choices at startup."""
+
+    node_id: int
+    candidate: bool
+
+
+def draw_identity(rng: random.Random, n: int, c: float) -> IdentityDraw:
+    """Draw the (ID, candidate flag) pair a node computes at startup."""
+    return IdentityDraw(node_id=draw_node_id(rng, n), candidate=draw_candidate(rng, n, c))

@@ -1,0 +1,194 @@
+"""Random-walk probing of broadcast territories (Section 4, Algorithm 5).
+
+After the candidates have grown their territories, each candidate issues
+``x`` independent *lazy* random-walk tokens carrying its ID.  Tokens walk
+for ``c·t_mix·log n`` rounds; every visited node remembers the largest walk
+ID it has ever seen.  The CONGEST encoding follows the paper: all tokens a
+node forwards through the same port in one round are merged into a single
+message carrying the current maximum walk ID and the token count, and a
+node never forwards more than one distinct ID per link per round (smaller
+IDs are absorbed by larger ones).
+
+:class:`RandomWalkProbeState` is the per-node state machine; the composite
+irrevocable-election node drives it, and :class:`RandomWalkProbeNode` wraps
+it as a standalone protocol for unit tests and analysis.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.errors import ConfigurationError
+from ..core.messages import Message
+from ..core.node import Inbox, Outbox, ProtocolNode
+
+__all__ = [
+    "WalkMessage",
+    "RandomWalkProbeConfig",
+    "RandomWalkProbeState",
+    "RandomWalkProbeNode",
+]
+
+
+@dataclass(frozen=True)
+class WalkMessage(Message):
+    """Tokens forwarded through one port in one round.
+
+    ``walk_id`` is the largest walk ID among the forwarded tokens (smaller
+    IDs are substituted by larger ones, per the paper); ``count`` is the
+    number of token copies taking this link.
+    """
+
+    walk_id: int
+    count: int
+
+
+@dataclass(frozen=True)
+class RandomWalkProbeConfig:
+    """Parameters of the probing phase."""
+
+    walk_rounds: int
+    walks_per_candidate: int
+
+    def __post_init__(self) -> None:
+        if self.walk_rounds < 1:
+            raise ConfigurationError(
+                f"walk_rounds must be >= 1, got {self.walk_rounds}"
+            )
+        if self.walks_per_candidate < 1:
+            raise ConfigurationError(
+                f"walks_per_candidate must be >= 1, got {self.walks_per_candidate}"
+            )
+
+
+class RandomWalkProbeState:
+    """Per-node state of the walk phase.
+
+    ``max_walk_id`` starts at the node's own ID for candidates (their
+    tokens carry it) and at 0 for everyone else — a non-candidate's private
+    ID never enters any walk, so it must not shadow the candidates'
+    (see DESIGN.md, deviation 2).
+    """
+
+    def __init__(
+        self,
+        *,
+        num_ports: int,
+        config: RandomWalkProbeConfig,
+        candidate: bool,
+        node_id: int,
+    ) -> None:
+        self.config = config
+        self.num_ports = num_ports
+        self.candidate = candidate
+        self.node_id = node_id
+        self.max_walk_id = node_id if candidate else 0
+        self.tokens = 0
+        self.tokens_seen = 0
+        self.rounds_executed = 0
+        self._initial_scatter_done = False
+
+    # -------------------------------------------------------------- #
+    def initial_scatter(self, rng: random.Random) -> Dict[int, int]:
+        """Distribute the candidate's ``x`` tokens to random ports.
+
+        Non-candidates scatter nothing.  Returns per-port token counts.
+        """
+        self._initial_scatter_done = True
+        counts: Dict[int, int] = {}
+        if not self.candidate or self.num_ports == 0:
+            return counts
+        for _ in range(self.config.walks_per_candidate):
+            port = rng.randint(1, self.num_ports)
+            counts[port] = counts.get(port, 0) + 1
+        return counts
+
+    def absorb(self, inbox: Inbox) -> None:
+        """Merge received tokens and walk IDs into the local state."""
+        for message in inbox.values():
+            if not isinstance(message, WalkMessage):
+                continue
+            self.tokens += message.count
+            self.tokens_seen += message.count
+            if message.walk_id > self.max_walk_id:
+                self.max_walk_id = message.walk_id
+
+    def move_tokens(self, rng: random.Random) -> Dict[int, int]:
+        """Advance the lazy walk for every held token; return per-port counts."""
+        counts: Dict[int, int] = {}
+        if self.num_ports == 0:
+            return counts
+        staying = 0
+        for _ in range(self.tokens):
+            if rng.random() < 0.5:
+                staying += 1
+            else:
+                port = rng.randint(1, self.num_ports)
+                counts[port] = counts.get(port, 0) + 1
+        self.tokens = staying
+        return counts
+
+    def step(self, rng: random.Random, inbox: Inbox) -> Outbox:
+        """One walk round: absorb, move, and emit the per-port messages."""
+        self.absorb(inbox)
+        if not self._initial_scatter_done:
+            counts = self.initial_scatter(rng)
+        else:
+            counts = self.move_tokens(rng)
+        self.rounds_executed += 1
+        return {
+            port: WalkMessage(walk_id=self.max_walk_id, count=count)
+            for port, count in counts.items()
+            if count > 0
+        }
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "candidate": self.candidate,
+            "node_id": self.node_id,
+            "max_walk_id": self.max_walk_id,
+            "tokens_held": self.tokens,
+            "tokens_seen": self.tokens_seen,
+            "rounds_executed": self.rounds_executed,
+        }
+
+
+class RandomWalkProbeNode(ProtocolNode):
+    """Standalone protocol node running only the walk phase."""
+
+    def __init__(
+        self,
+        num_ports: int,
+        rng: random.Random,
+        *,
+        config: RandomWalkProbeConfig,
+        candidate: bool,
+        node_id: int,
+    ) -> None:
+        super().__init__(num_ports, rng)
+        self.config = config
+        self.state = RandomWalkProbeState(
+            num_ports=num_ports,
+            config=config,
+            candidate=candidate,
+            node_id=node_id,
+        )
+        self._halted = False
+
+    @property
+    def halted(self) -> bool:
+        return self._halted
+
+    def step(self, round_index: int, inbox: Inbox) -> Outbox:
+        if round_index >= self.config.walk_rounds:
+            self.state.absorb(inbox)
+            self._halted = True
+            return {}
+        return self.state.step(self.rng, inbox)
+
+    def result(self) -> Dict[str, object]:
+        summary = self.state.summary()
+        summary["halted"] = self._halted
+        return summary

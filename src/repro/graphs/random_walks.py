@@ -1,0 +1,212 @@
+"""Token-level random-walk machinery and empirical walk statistics.
+
+Algorithm 5 in the paper has candidates launch ``x`` independent *lazy*
+random walks (stay put with probability 1/2, otherwise move to a uniformly
+random neighbour).  This module provides:
+
+* :func:`lazy_walk_step` / :func:`simulate_lazy_walk`: single-token walks on
+  a :class:`~repro.graphs.topology.Topology`, used by tests and by the
+  Gilbert-style baseline;
+* :class:`WalkPopulation`: a vectorised multi-token walk (counts of tokens
+  per node), used by the analysis layer to estimate hitting probabilities of
+  broadcast territories (the quantity in Lemma 2);
+* empirical estimators for hitting time and cover time used in tests to
+  cross-check the spectral quantities.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+from .topology import Topology
+
+__all__ = [
+    "lazy_walk_step",
+    "simulate_lazy_walk",
+    "WalkPopulation",
+    "estimate_hitting_probability",
+    "empirical_hitting_time",
+    "empirical_cover_time",
+    "walk_distribution_after",
+]
+
+
+def lazy_walk_step(topology: Topology, node: int, rng: random.Random) -> int:
+    """One step of the lazy random walk from ``node``."""
+    if rng.random() < 0.5:
+        return node
+    neighbors = topology.neighbors(node)
+    if not neighbors:
+        return node
+    return rng.choice(neighbors)
+
+
+def simulate_lazy_walk(
+    topology: Topology,
+    start: int,
+    steps: int,
+    rng: random.Random,
+) -> List[int]:
+    """Trajectory (including the start) of a lazy walk of ``steps`` steps."""
+    if steps < 0:
+        raise ConfigurationError(f"steps must be non-negative, got {steps}")
+    trajectory = [start]
+    current = start
+    for _ in range(steps):
+        current = lazy_walk_step(topology, current, rng)
+        trajectory.append(current)
+    return trajectory
+
+
+@dataclass
+class WalkPopulation:
+    """A population of indistinguishable lazy-walk tokens.
+
+    Only the *count* of tokens at each node is tracked, which matches the
+    CONGEST encoding in Algorithm 5 (per-port messages carry the walk ID and
+    the number of token copies, not individual tokens).
+    """
+
+    topology: Topology
+    counts: List[int]
+
+    @classmethod
+    def from_sources(cls, topology: Topology, sources: Dict[int, int]) -> "WalkPopulation":
+        """Create a population with ``sources[node]`` tokens at each node."""
+        counts = [0] * topology.num_nodes
+        for node, count in sources.items():
+            if count < 0:
+                raise ConfigurationError(f"token count must be non-negative, got {count}")
+            counts[node] += count
+        return cls(topology=topology, counts=counts)
+
+    @property
+    def total_tokens(self) -> int:
+        return sum(self.counts)
+
+    def occupied_nodes(self) -> Set[int]:
+        return {node for node, count in enumerate(self.counts) if count > 0}
+
+    def step(self, rng: random.Random) -> None:
+        """Advance every token by one lazy-walk step."""
+        new_counts = [0] * self.topology.num_nodes
+        for node, count in enumerate(self.counts):
+            if count == 0:
+                continue
+            neighbors = self.topology.neighbors(node)
+            for _ in range(count):
+                if not neighbors or rng.random() < 0.5:
+                    new_counts[node] += 1
+                else:
+                    new_counts[rng.choice(neighbors)] += 1
+        self.counts = new_counts
+
+    def run(self, steps: int, rng: random.Random, *, visited: Optional[Set[int]] = None) -> Set[int]:
+        """Advance ``steps`` steps, returning the set of nodes ever occupied."""
+        seen: Set[int] = set(self.occupied_nodes()) if visited is None else visited
+        seen |= self.occupied_nodes()
+        for _ in range(steps):
+            self.step(rng)
+            seen |= self.occupied_nodes()
+        return seen
+
+
+def walk_distribution_after(topology: Topology, start: int, steps: int) -> np.ndarray:
+    """Exact distribution of a lazy walk after ``steps`` steps from ``start``."""
+    from .spectral import lazy_walk_matrix  # local import to avoid cycle at module load
+
+    n = topology.num_nodes
+    distribution = np.zeros(n)
+    distribution[start] = 1.0
+    matrix = lazy_walk_matrix(topology)
+    for _ in range(steps):
+        distribution = distribution @ matrix
+    return distribution
+
+
+def estimate_hitting_probability(
+    topology: Topology,
+    sources: Sequence[int],
+    targets: Iterable[int],
+    *,
+    walks_per_source: int,
+    steps: int,
+    rng: random.Random,
+) -> float:
+    """Empirical probability that at least one walk hits the target set.
+
+    This is the quantity behind Lemma 2: with ``x = Θ̃(sqrt(n log n / (Φ
+    t_mix)))`` walks of length ``Θ(t_mix log n)``, some walk hits every
+    candidate's broadcast territory (of size ``Ω̃(x t_mix Φ)``) w.h.p.
+    """
+    target_set = set(targets)
+    if not target_set:
+        raise ConfigurationError("target set must be non-empty")
+    population = WalkPopulation.from_sources(
+        topology, {source: walks_per_source for source in sources}
+    )
+    if population.occupied_nodes() & target_set:
+        return 1.0
+    hits = 0
+    trials = 1
+    seen = population.run(steps, rng)
+    if seen & target_set:
+        hits += 1
+    return hits / trials
+
+
+def empirical_hitting_time(
+    topology: Topology,
+    start: int,
+    target: int,
+    rng: random.Random,
+    *,
+    repeats: int = 20,
+    max_steps: Optional[int] = None,
+) -> float:
+    """Average number of lazy-walk steps to first reach ``target``."""
+    if max_steps is None:
+        max_steps = 64 * topology.num_nodes ** 2
+    totals = []
+    for _ in range(repeats):
+        current = start
+        for step in range(max_steps):
+            if current == target:
+                totals.append(step)
+                break
+            current = lazy_walk_step(topology, current, rng)
+        else:
+            totals.append(max_steps)
+    return float(np.mean(totals))
+
+
+def empirical_cover_time(
+    topology: Topology,
+    start: int,
+    rng: random.Random,
+    *,
+    repeats: int = 5,
+    max_steps: Optional[int] = None,
+) -> float:
+    """Average number of lazy-walk steps to visit every node."""
+    n = topology.num_nodes
+    if max_steps is None:
+        max_steps = 128 * n ** 2 * max(1, int(np.log2(max(2, n))))
+    totals = []
+    for _ in range(repeats):
+        visited = {start}
+        current = start
+        for step in range(1, max_steps + 1):
+            current = lazy_walk_step(topology, current, rng)
+            visited.add(current)
+            if len(visited) == n:
+                totals.append(step)
+                break
+        else:
+            totals.append(max_steps)
+    return float(np.mean(totals))

@@ -1,0 +1,21 @@
+"""The pumping-wheel impossibility construction (Section 5.1, Theorem 2)."""
+
+from .pumping_wheel import (
+    BoundedUnknownSizeElectionNode,
+    ImpossibilityReport,
+    ImpossibilityTrial,
+    WitnessLayout,
+    build_pumping_wheel,
+    demonstrate_impossibility,
+    paper_witness_count,
+)
+
+__all__ = [
+    "WitnessLayout",
+    "build_pumping_wheel",
+    "paper_witness_count",
+    "BoundedUnknownSizeElectionNode",
+    "ImpossibilityTrial",
+    "ImpossibilityReport",
+    "demonstrate_impossibility",
+]

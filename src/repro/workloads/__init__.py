@@ -1,0 +1,21 @@
+"""Named topology suites used by the benchmarks and examples."""
+
+from .suites import (
+    SUITES,
+    mixed_suite,
+    poorly_connected_suite,
+    scaling_family,
+    suite_by_name,
+    tiny_suite,
+    well_connected_suite,
+)
+
+__all__ = [
+    "SUITES",
+    "suite_by_name",
+    "well_connected_suite",
+    "poorly_connected_suite",
+    "mixed_suite",
+    "scaling_family",
+    "tiny_suite",
+]

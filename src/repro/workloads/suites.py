@@ -1,0 +1,127 @@
+"""Named topology suites used by benchmarks and examples.
+
+The paper's bounds behave very differently depending on expansion:
+
+* on *well-connected* graphs (``t_mix = Θ̃(1/Φ)``) Theorem 1's protocol is
+  near-optimal and beats both the ``Ω(m)`` flooding bound and the Gilbert
+  et al. message bound;
+* on *poorly-connected* graphs (cycles, barbells) mixing is slow and the
+  advantage narrows or reverses;
+* the revocable protocol's cost is dominated by the isoperimetric number.
+
+The suites below fix representative families at a few sizes so every
+benchmark and example samples the same regimes.  All generators are seeded,
+so a suite is fully reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from ..core.errors import ConfigurationError
+from ..graphs import generators
+from ..graphs.topology import Topology
+
+__all__ = [
+    "well_connected_suite",
+    "poorly_connected_suite",
+    "mixed_suite",
+    "scaling_family",
+    "tiny_suite",
+    "SUITES",
+    "suite_by_name",
+]
+
+
+def well_connected_suite(sizes: Sequence[int] = (32, 64, 128), *, seed: int = 7) -> List[Topology]:
+    """Expanders and dense graphs: random regular, hypercube, complete."""
+    suite: List[Topology] = []
+    for n in sizes:
+        suite.append(generators.random_regular(n, 4, seed=seed + n))
+    dimensions = sorted({max(3, n.bit_length() - 1) for n in sizes})
+    for dimension in dimensions:
+        suite.append(generators.hypercube(dimension))
+    suite.append(generators.complete(max(8, min(sizes))))
+    return suite
+
+
+def poorly_connected_suite(sizes: Sequence[int] = (16, 32, 64), *, seed: int = 7) -> List[Topology]:
+    """Slow-mixing graphs: cycles, paths, barbells."""
+    suite: List[Topology] = []
+    for n in sizes:
+        suite.append(generators.cycle(n))
+    suite.append(generators.path(max(8, min(sizes))))
+    suite.append(generators.barbell(max(4, min(sizes) // 2)))
+    return suite
+
+
+def mixed_suite(*, seed: int = 7) -> List[Topology]:
+    """A small cross-section of both regimes plus intermediate topologies."""
+    return [
+        generators.random_regular(64, 4, seed=seed),
+        generators.hypercube(6),
+        generators.torus_2d(8, 8),
+        generators.cycle(32),
+        generators.barbell(16),
+        generators.binary_tree(5),
+    ]
+
+
+def scaling_family(
+    family: str,
+    sizes: Sequence[int],
+    *,
+    seed: int = 7,
+) -> List[Topology]:
+    """A single graph family across sizes, for scaling (figure-style) series.
+
+    ``family`` is one of ``"random_regular"``, ``"cycle"``, ``"torus"``,
+    ``"hypercube"``, ``"complete"``.
+    """
+    builders: Dict[str, Callable[[int], Topology]] = {
+        "random_regular": lambda n: generators.random_regular(n, 4, seed=seed + n),
+        "cycle": generators.cycle,
+        "complete": generators.complete,
+        "torus": lambda n: generators.torus_2d(_square_side(n), _square_side(n)),
+        "hypercube": lambda n: generators.hypercube(max(2, (n - 1).bit_length())),
+    }
+    if family not in builders:
+        raise ConfigurationError(
+            f"unknown scaling family {family!r}; available: {sorted(builders)}"
+        )
+    return [builders[family](n) for n in sizes]
+
+
+def tiny_suite(*, seed: int = 7) -> List[Topology]:
+    """Very small graphs for the (intrinsically expensive) revocable election."""
+    return [
+        generators.complete(4),
+        generators.complete(6),
+        generators.cycle(5),
+        generators.star(5),
+        generators.grid_2d(2, 3),
+    ]
+
+
+def _square_side(n: int) -> int:
+    side = max(3, round(n ** 0.5))
+    return side
+
+
+SUITES: Dict[str, Callable[..., List[Topology]]] = {
+    "well_connected": well_connected_suite,
+    "poorly_connected": poorly_connected_suite,
+    "mixed": mixed_suite,
+    "tiny": tiny_suite,
+}
+
+
+def suite_by_name(name: str, **kwargs) -> List[Topology]:
+    """Look up a suite builder by name and call it."""
+    try:
+        builder = SUITES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown suite {name!r}; available: {sorted(SUITES)}"
+        ) from None
+    return builder(**kwargs)

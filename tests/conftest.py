@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs import (
+    Topology,
+    complete,
+    cycle,
+    grid_2d,
+    path,
+    random_regular,
+    star,
+)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(12345)
+
+
+@pytest.fixture
+def triangle() -> Topology:
+    """The smallest cycle: 3 nodes."""
+    return cycle(3)
+
+
+@pytest.fixture
+def small_cycle() -> Topology:
+    return cycle(8)
+
+
+@pytest.fixture
+def small_path() -> Topology:
+    return path(6)
+
+
+@pytest.fixture
+def small_star() -> Topology:
+    return star(6)
+
+
+@pytest.fixture
+def small_complete() -> Topology:
+    return complete(6)
+
+
+@pytest.fixture
+def small_grid() -> Topology:
+    return grid_2d(3, 3)
+
+
+@pytest.fixture
+def small_expander() -> Topology:
+    return random_regular(16, 4, seed=11)
+
+
+@pytest.fixture
+def medium_expander() -> Topology:
+    return random_regular(32, 4, seed=5)

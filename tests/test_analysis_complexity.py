@@ -1,0 +1,105 @@
+"""Unit tests for the complexity-fitting helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.analysis import (
+    crossover_point,
+    fit_power_law,
+    geometric_mean,
+    ratio_spread,
+    theory_ratio_series,
+)
+
+
+class TestPowerLawFit:
+    def test_recovers_exact_exponent(self):
+        sizes = [16, 32, 64, 128, 256]
+        costs = [3.0 * n ** 1.5 for n in sizes]
+        fit = fit_power_law(sizes, costs)
+        assert fit.exponent == pytest.approx(1.5, abs=1e-9)
+        assert fit.coefficient == pytest.approx(3.0, rel=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = fit_power_law([10, 100], [10, 1000])
+        assert fit.predict(1000) == pytest.approx(100000, rel=1e-6)
+
+    def test_noisy_data_gives_reasonable_r_squared(self):
+        sizes = [2 ** i for i in range(4, 10)]
+        costs = [n ** 2 * (1.1 if i % 2 else 0.9) for i, n in enumerate(sizes)]
+        fit = fit_power_law(sizes, costs)
+        assert fit.exponent == pytest.approx(2.0, abs=0.1)
+        assert fit.r_squared > 0.95
+
+    def test_constant_series_fits_zero_exponent(self):
+        fit = fit_power_law([1, 2, 4, 8], [5, 5, 5, 5])
+        assert fit.exponent == pytest.approx(0.0, abs=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            fit_power_law([1, 2], [1])
+        with pytest.raises(ConfigurationError):
+            fit_power_law([1], [1])
+        with pytest.raises(ConfigurationError):
+            fit_power_law([1, -2], [1, 2])
+        with pytest.raises(ConfigurationError):
+            fit_power_law([1, 2], [0, 2])
+
+    def test_as_dict(self):
+        fit = fit_power_law([1, 2, 4], [1, 2, 4])
+        assert set(fit.as_dict()) == {"exponent", "coefficient", "r_squared", "num_points"}
+
+
+class TestRatios:
+    def test_theory_ratio_constant_for_matching_prediction(self):
+        sizes = [16, 64, 256]
+        costs = [2.0 * math.sqrt(n) for n in sizes]
+        ratios = theory_ratio_series(sizes, costs, lambda n: math.sqrt(n))
+        assert all(ratio == pytest.approx(2.0) for _, ratio in ratios)
+        assert ratio_spread(ratios) == pytest.approx(1.0)
+
+    def test_ratio_spread_detects_divergence(self):
+        ratios = [(16, 1.0), (64, 2.0), (256, 8.0)]
+        assert ratio_spread(ratios) == pytest.approx(8.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            theory_ratio_series([1], [1, 2], lambda n: n)
+        with pytest.raises(ConfigurationError):
+            theory_ratio_series([1], [1], lambda n: 0.0)
+        with pytest.raises(ConfigurationError):
+            ratio_spread([])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([3.0]) == pytest.approx(3.0)
+        with pytest.raises(ConfigurationError):
+            geometric_mean([])
+        with pytest.raises(ConfigurationError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestCrossover:
+    def test_slower_growing_series_wins_eventually(self):
+        sizes = [16, 32, 64, 128]
+        sqrt_costs = [100 * math.sqrt(n) for n in sizes]
+        linear_costs = [10 * n for n in sizes]
+        crossing = crossover_point(sizes, sqrt_costs, linear_costs)
+        assert crossing == pytest.approx(100.0, rel=1e-6)
+
+    def test_always_better_returns_zero(self):
+        sizes = [16, 32, 64]
+        cheap = [n for n in sizes]
+        expensive = [10 * n for n in sizes]
+        assert crossover_point(sizes, cheap, expensive) == 0.0
+
+    def test_never_better_returns_infinity(self):
+        sizes = [16, 32, 64]
+        cheap = [n for n in sizes]
+        expensive = [10 * n for n in sizes]
+        assert math.isinf(crossover_point(sizes, expensive, cheap))

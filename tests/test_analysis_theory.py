@@ -1,0 +1,93 @@
+"""Tests for the closed-form Table 1 bound predictors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    KNOWN_N_BOUNDS,
+    flooding_messages,
+    flooding_rounds,
+    gilbert_messages,
+    gilbert_rounds,
+    lower_bound_messages,
+    predicted_rows,
+    revocable_messages,
+    revocable_rounds,
+    thm1_messages,
+    thm1_rounds,
+)
+from repro.graphs import complete, cycle, expansion_profile, random_regular
+
+
+@pytest.fixture(scope="module")
+def expander_profile():
+    return expansion_profile(random_regular(64, 4, seed=3))
+
+
+@pytest.fixture(scope="module")
+def cycle_profile():
+    return expansion_profile(cycle(32))
+
+
+class TestKnownNBounds:
+    def test_thm1_beats_gilbert_prediction(self, expander_profile, cycle_profile):
+        # The paper: sqrt(n*t_mix)/Phi <= t_mix*sqrt(n) because t_mix >= 1/Phi.
+        for profile in (expander_profile, cycle_profile):
+            assert thm1_messages(profile) <= gilbert_messages(profile)
+
+    def test_thm1_messages_above_lower_bound(self, expander_profile):
+        assert thm1_messages(expander_profile) >= lower_bound_messages(expander_profile)
+
+    def test_round_predictions_order(self, expander_profile):
+        assert flooding_rounds(expander_profile) < thm1_rounds(expander_profile)
+
+    def test_thm1_rounds_scale_with_mixing_time(self, expander_profile, cycle_profile):
+        assert thm1_rounds(cycle_profile) > thm1_rounds(expander_profile)
+
+    def test_flooding_messages_scale_with_edges(self):
+        sparse = expansion_profile(cycle(16))
+        dense = expansion_profile(complete(16))
+        assert flooding_messages(dense) > flooding_messages(sparse)
+
+    def test_gilbert_rounds_positive(self, expander_profile):
+        assert gilbert_rounds(expander_profile) > 0
+
+
+class TestRevocableBounds:
+    def test_rounds_blow_up_polynomially(self):
+        small = expansion_profile(complete(4))
+        large = expansion_profile(complete(8))
+        assert revocable_rounds(large) > 10 * revocable_rounds(small)
+
+    def test_messages_are_rounds_times_edges(self):
+        profile = expansion_profile(complete(6))
+        assert revocable_messages(profile) == pytest.approx(
+            revocable_rounds(profile) * profile.num_edges
+        )
+
+    def test_epsilon_increases_cost(self):
+        profile = expansion_profile(complete(6))
+        assert revocable_rounds(profile, epsilon=1.0) > revocable_rounds(
+            profile, epsilon=0.5
+        )
+
+
+class TestPredictedRows:
+    def test_one_row_per_algorithm_and_topology(self, expander_profile, cycle_profile):
+        rows = predicted_rows(
+            {"expander": expander_profile, "cycle": cycle_profile}
+        )
+        assert len(rows) == 2 * len(KNOWN_N_BOUNDS)
+        algorithms = {row["algorithm"] for row in rows}
+        assert algorithms == {bound.algorithm for bound in KNOWN_N_BOUNDS}
+
+    def test_rows_contain_positive_predictions(self, expander_profile):
+        rows = predicted_rows({"expander": expander_profile})
+        for row in rows:
+            assert row["predicted_messages"] > 0
+            assert row["predicted_rounds"] > 0
+
+    def test_bound_evaluate_keys(self, expander_profile):
+        data = KNOWN_N_BOUNDS[0].evaluate(expander_profile)
+        assert set(data) == {"algorithm", "predicted_messages", "predicted_rounds"}

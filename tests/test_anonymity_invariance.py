@@ -1,0 +1,76 @@
+"""Anonymity checks: protocol behaviour must not depend on hidden identities.
+
+The model gives nodes nothing but port numbers, and the port numbering is
+adversarial (the impossibility proof quantifies over port mappings).  These
+tests check the two facets of that assumption our implementation must
+respect:
+
+* protocols keep working (same success guarantees) when the port numbering
+  is re-randomised — they cannot have smuggled in a dependency on the
+  canonical assignment;
+* protocols never read the node index the simulator uses for bookkeeping —
+  enforced by construction (the factory hides it), and double-checked here
+  by confirming identical aggregate behaviour under a relabelling of the
+  node indices (an isomorphic topology).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines import run_flooding_election, run_gilbert_election
+from repro.election import IrrevocableConfig, run_irrevocable_election, run_revocable_election
+from repro.graphs import Topology, complete, random_regular
+
+
+def relabel(topology: Topology, seed: int) -> Topology:
+    """An isomorphic copy of ``topology`` with node indices permuted."""
+    rng = random.Random(seed)
+    permutation = list(range(topology.num_nodes))
+    rng.shuffle(permutation)
+    edges = [(permutation[u], permutation[v]) for u, v in topology.edges()]
+    return Topology(topology.num_nodes, edges, name=f"{topology.name}+relabelled")
+
+
+class TestPortNumberingInvariance:
+    @pytest.mark.parametrize("port_seed", [None, 1, 99])
+    def test_irrevocable_succeeds_under_any_port_numbering(self, port_seed):
+        topology = random_regular(24, 4, seed=5).with_port_seed(port_seed)
+        config = IrrevocableConfig.from_topology(topology)
+        result = run_irrevocable_election(topology, seed=8, config=config)
+        assert result.success
+
+    @pytest.mark.parametrize("port_seed", [None, 7])
+    def test_flooding_succeeds_under_any_port_numbering(self, port_seed):
+        topology = random_regular(24, 4, seed=5).with_port_seed(port_seed)
+        assert run_flooding_election(topology, seed=8).success
+
+    @pytest.mark.parametrize("port_seed", [None, 3])
+    def test_gilbert_succeeds_under_any_port_numbering(self, port_seed):
+        topology = random_regular(24, 4, seed=5).with_port_seed(port_seed)
+        assert run_gilbert_election(topology, seed=8).success
+
+    def test_revocable_succeeds_under_shuffled_ports(self):
+        topology = complete(5).with_port_seed(11)
+        result = run_revocable_election(topology, seed=3)
+        assert result.success and result.outcome.agreement
+
+
+class TestNodeRelabellingInvariance:
+    def test_flooding_cost_statistics_match_on_isomorphic_graphs(self):
+        base = random_regular(24, 4, seed=6)
+        copy = relabel(base, seed=13)
+        base_result = run_flooding_election(base, seed=2)
+        copy_result = run_flooding_election(copy, seed=2)
+        # Same per-node randomness stream, isomorphic structure: costs stay
+        # within the same ballpark and both elect exactly one leader.
+        assert base_result.success and copy_result.success
+        assert copy_result.messages == pytest.approx(base_result.messages, rel=0.5)
+
+    def test_irrevocable_succeeds_on_isomorphic_copy(self):
+        base = random_regular(24, 4, seed=6)
+        copy = relabel(base, seed=21)
+        config = IrrevocableConfig.from_topology(base)
+        assert run_irrevocable_election(copy, seed=4, config=config).success

@@ -1,0 +1,98 @@
+"""Tests for the flooding max-ID and uniform-ID baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.baselines import FloodingConfig, run_flooding_election, run_uniform_id_election
+from repro.graphs import complete, cycle, path, random_regular
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FloodingConfig(n=0, diameter=3)
+        with pytest.raises(ConfigurationError):
+            FloodingConfig(n=4, diameter=-1)
+        with pytest.raises(ConfigurationError):
+            FloodingConfig(n=4, diameter=2, c=0)
+
+    def test_total_rounds_is_diameter_plus_slack(self):
+        config = FloodingConfig(n=16, diameter=5)
+        assert config.total_rounds() == 7
+
+    def test_from_topology_measures_diameter(self):
+        config = FloodingConfig.from_topology(cycle(10))
+        assert config.diameter == 5
+        assert config.n == 10
+
+
+class TestFloodingElection:
+    def test_unique_leader_on_expander(self):
+        result = run_flooding_election(random_regular(32, 4, seed=2), seed=4)
+        assert result.success
+        assert result.outcome.num_leaders == 1
+
+    def test_unique_leader_on_cycle(self):
+        result = run_flooding_election(cycle(20), seed=1)
+        assert result.success
+
+    def test_time_is_diameter_bounded(self):
+        topology = cycle(20)
+        result = run_flooding_election(topology, seed=1)
+        assert result.rounds_executed == topology.diameter() + 2
+
+    def test_message_complexity_near_linear_in_edges(self):
+        topology = random_regular(64, 4, seed=5)
+        result = run_flooding_election(topology, seed=3)
+        # Each improvement of a node's running maximum triggers at most one
+        # broadcast; with O(log n) candidates this stays well below m log n.
+        assert result.messages <= 12 * topology.num_edges
+
+    def test_leader_is_max_id_candidate(self):
+        topology = random_regular(32, 4, seed=2)
+        result = run_flooding_election(topology, seed=4)
+        ids = {
+            i: r["node_id"]
+            for i, r in enumerate(result.node_results)
+            if r["candidate"]
+        }
+        assert result.outcome.leader_indices == [max(ids, key=ids.get)]
+
+    def test_success_rate_across_seeds(self):
+        topology = random_regular(24, 4, seed=1)
+        successes = sum(
+            run_flooding_election(topology, seed=seed).success for seed in range(10)
+        )
+        # Can only fail when zero candidates are sampled, which is rare.
+        assert successes >= 9
+
+    def test_deterministic_given_seed(self):
+        topology = cycle(12)
+        a = run_flooding_election(topology, seed=6)
+        b = run_flooding_election(topology, seed=6)
+        assert a.messages == b.messages
+        assert a.outcome.leader_indices == b.outcome.leader_indices
+
+    def test_all_nodes_halt(self):
+        result = run_flooding_election(path(8), seed=0)
+        assert all(r["halted"] for r in result.node_results)
+
+
+class TestUniformIdElection:
+    def test_always_unique_leader(self):
+        for seed in range(5):
+            result = run_uniform_id_election(cycle(12), seed=seed)
+            assert result.success
+
+    def test_every_node_competes(self):
+        result = run_uniform_id_election(cycle(12), seed=0)
+        assert len(result.outcome.candidate_indices) == 12
+        assert result.algorithm == "uniform-id-flooding"
+
+    def test_costs_more_messages_than_sampled_flooding(self):
+        topology = complete(24)
+        uniform = run_uniform_id_election(topology, seed=1)
+        sampled = run_flooding_election(topology, seed=1)
+        assert uniform.messages > sampled.messages

@@ -1,0 +1,119 @@
+"""Tests for the Gilbert et al. style random-walk baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.baselines import GilbertConfig, TokenBundle, WalkToken, run_gilbert_election
+from repro.graphs import complete, cycle, random_regular
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GilbertConfig(n=0, t_mix=1)
+        with pytest.raises(ConfigurationError):
+            GilbertConfig(n=4, t_mix=0)
+        with pytest.raises(ConfigurationError):
+            GilbertConfig(n=4, t_mix=1, c=0)
+
+    def test_tokens_scale_with_sqrt_n_log_n(self):
+        import math
+
+        config = GilbertConfig(n=64, t_mix=8, token_multiplier=1.0)
+        assert config.tokens_per_candidate == math.ceil(math.sqrt(64) * math.log(64))
+
+    def test_walk_length_scales_with_t_mix(self):
+        short = GilbertConfig(n=64, t_mix=4)
+        long = GilbertConfig(n=64, t_mix=16)
+        assert long.walk_length > short.walk_length
+
+    def test_total_rounds_covers_three_phases(self):
+        config = GilbertConfig(n=32, t_mix=8)
+        assert config.total_rounds() > 3 * config.walk_length
+
+    def test_from_topology(self):
+        config = GilbertConfig.from_topology(cycle(12))
+        assert config.n == 12
+        assert config.t_mix >= 1
+
+
+class TestTokenBundle:
+    def test_units_count_tokens(self):
+        tokens = tuple(
+            WalkToken(candidate_id=i, mode="mark", steps_remaining=3, collected_max=i)
+            for i in range(1, 4)
+        )
+        bundle = TokenBundle(tokens=tokens)
+        assert bundle.congest_units() == 3
+
+    def test_path_is_excluded_from_bit_accounting(self):
+        token_short = WalkToken(1, "probe", 3, 1, path=())
+        token_long = WalkToken(1, "probe", 3, 1, path=(1, 2, 3, 4, 5))
+        assert (
+            TokenBundle((token_short,)).size_bits()
+            == TokenBundle((token_long,)).size_bits()
+        )
+
+    def test_empty_bundle_still_one_unit(self):
+        assert TokenBundle(()).congest_units() == 1
+
+
+class TestGilbertElection:
+    def test_unique_leader_on_expander(self):
+        result = run_gilbert_election(random_regular(32, 4, seed=2), seed=4)
+        assert result.success
+        assert result.outcome.num_leaders == 1
+
+    def test_unique_leader_on_complete_graph(self):
+        result = run_gilbert_election(complete(16), seed=2)
+        assert result.success
+
+    def test_success_rate_across_seeds(self):
+        topology = random_regular(24, 4, seed=1)
+        config = GilbertConfig.from_topology(topology)
+        successes = sum(
+            run_gilbert_election(topology, seed=seed, config=config).success
+            for seed in range(6)
+        )
+        assert successes >= 5
+
+    def test_leader_among_candidates(self):
+        result = run_gilbert_election(random_regular(32, 4, seed=2), seed=4)
+        assert set(result.outcome.leader_indices) <= set(result.outcome.candidate_indices)
+
+    def test_winner_has_max_candidate_id(self):
+        result = run_gilbert_election(random_regular(32, 4, seed=2), seed=4)
+        ids = {
+            i: r["node_id"]
+            for i, r in enumerate(result.node_results)
+            if r["candidate"]
+        }
+        assert result.outcome.leader_indices == [max(ids, key=ids.get)]
+
+    def test_message_complexity_reflects_token_volume(self):
+        topology = random_regular(32, 4, seed=2)
+        config = GilbertConfig.from_topology(topology)
+        result = run_gilbert_election(topology, seed=4, config=config)
+        candidates = len(result.outcome.candidate_indices)
+        budget = 4 * candidates * config.tokens_per_candidate * config.walk_length
+        assert result.messages <= budget
+
+    def test_marks_spread_over_network(self):
+        topology = random_regular(32, 4, seed=2)
+        result = run_gilbert_election(topology, seed=4)
+        marked = sum(r["mark"] > 0 for r in result.node_results)
+        assert marked >= topology.num_nodes // 2
+
+    def test_all_nodes_halt(self):
+        result = run_gilbert_election(cycle(12), seed=1)
+        assert all(r["halted"] for r in result.node_results)
+
+    def test_deterministic_given_seed(self):
+        topology = cycle(12)
+        config = GilbertConfig.from_topology(topology)
+        a = run_gilbert_election(topology, seed=3, config=config)
+        b = run_gilbert_election(topology, seed=3, config=config)
+        assert a.messages == b.messages
+        assert a.outcome.leader_indices == b.outcome.leader_indices

@@ -1,0 +1,111 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import ELECTION_RUNNERS, build_parser, main, parse_topology
+from repro.core.errors import ReproError
+
+
+class TestParseTopology:
+    def test_simple_family(self):
+        topology = parse_topology("cycle:12")
+        assert topology.num_nodes == 12
+
+    def test_multi_argument_family(self):
+        topology = parse_topology("torus_2d:4:5")
+        assert topology.num_nodes == 20
+
+    def test_random_family_uses_seed(self):
+        a = parse_topology("random_regular:16:4", seed=3)
+        b = parse_topology("random_regular:16:4", seed=3)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_unknown_family(self):
+        with pytest.raises(ReproError):
+            parse_topology("moebius:12")
+
+    def test_bad_arguments(self):
+        with pytest.raises(ReproError):
+            parse_topology("cycle:3:4:5:6")
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_elect_arguments(self):
+        args = build_parser().parse_args(
+            ["elect", "--algorithm", "flooding", "--topology", "cycle:8", "--seed", "5"]
+        )
+        assert args.algorithm == "flooding"
+        assert args.seed == 5
+
+    def test_all_election_runners_are_exposed(self):
+        assert {"irrevocable", "revocable", "flooding", "gilbert", "uniform"} <= set(
+            ELECTION_RUNNERS
+        )
+
+
+class TestCommands:
+    def test_analyze(self, capsys):
+        assert main(["analyze", "--topology", "cycle:10"]) == 0
+        out = capsys.readouterr().out
+        assert "expansion profile" in out
+        assert "mixing_time" in out
+
+    def test_elect_flooding(self, capsys):
+        code = main(
+            ["elect", "--algorithm", "flooding", "--topology", "cycle:12", "--seed", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "unique leader" in out
+
+    def test_elect_irrevocable_with_explicit_extension(self, capsys):
+        code = main(
+            [
+                "elect",
+                "--algorithm",
+                "irrevocable",
+                "--topology",
+                "cycle:10",
+                "--seed",
+                "4",
+                "--explicit",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "explicit extension" in out
+
+    def test_elect_unknown_topology_returns_error_code(self, capsys):
+        code = main(["elect", "--algorithm", "flooding", "--topology", "moebius:3"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_compare(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--topology",
+                "cycle:10",
+                "--seeds",
+                "1",
+                "--algorithms",
+                "flooding",
+                "uniform",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "comparison on cycle(n=10)" in out
+        assert "flooding" in out and "uniform" in out
+
+    def test_impossibility(self, capsys):
+        code = main(["impossibility", "--n", "4", "--witnesses", "2", "--trials", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pumping-wheel demonstration" in out

@@ -1,0 +1,128 @@
+"""Unit tests for the metrics collector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Metrics, MetricsCollector, PhaseMetrics
+
+
+class TestPhaseMetrics:
+    def test_merge_accumulates(self):
+        a = PhaseMetrics(rounds=2, messages=3, bits=10)
+        b = PhaseMetrics(rounds=1, messages=4, bits=6)
+        a.merge(b)
+        assert (a.rounds, a.messages, a.bits) == (3, 7, 16)
+
+    def test_as_dict(self):
+        assert PhaseMetrics(1, 2, 3).as_dict() == {"rounds": 1, "messages": 2, "bits": 3}
+
+
+class TestMetricsCollector:
+    def test_initially_empty(self):
+        collector = MetricsCollector()
+        assert collector.rounds == 0
+        assert collector.messages == 0
+        assert collector.bits == 0
+        assert collector.congest_violations == 0
+
+    def test_record_round_and_messages(self):
+        collector = MetricsCollector()
+        collector.record_round()
+        collector.record_message(bits=16)
+        collector.record_message(bits=8, count=2)
+        assert collector.rounds == 1
+        assert collector.messages == 3
+        assert collector.bits == 24
+
+    def test_negative_counts_rejected(self):
+        collector = MetricsCollector()
+        with pytest.raises(ValueError):
+            collector.record_round(-1)
+        with pytest.raises(ValueError):
+            collector.record_message(bits=-1)
+
+    def test_phase_attribution(self):
+        collector = MetricsCollector()
+        collector.start_phase("alpha")
+        collector.record_round()
+        collector.record_message(bits=4)
+        collector.end_phase()
+        collector.record_round()
+        snapshot = collector.snapshot()
+        assert snapshot.phases["alpha"].rounds == 1
+        assert snapshot.phases["alpha"].messages == 1
+        assert snapshot.rounds == 2
+
+    def test_phase_context_manager_restores_previous(self):
+        collector = MetricsCollector()
+        collector.start_phase("outer")
+        with collector.phase("inner"):
+            collector.record_message(bits=1)
+        assert collector.current_phase == "outer"
+        collector.record_message(bits=1)
+        snap = collector.snapshot()
+        assert snap.phases["inner"].messages == 1
+        assert snap.phases["outer"].messages == 1
+
+    def test_phase_reentry_accumulates(self):
+        collector = MetricsCollector()
+        with collector.phase("p"):
+            collector.record_round()
+        with collector.phase("p"):
+            collector.record_round(2)
+        assert collector.phase_metrics("p").rounds == 3
+
+    def test_events(self):
+        collector = MetricsCollector()
+        collector.record_event("collision")
+        collector.record_event("collision", 2)
+        assert collector.event_count("collision") == 3
+        assert collector.event_count("missing") == 0
+
+    def test_congest_violations(self):
+        collector = MetricsCollector()
+        collector.record_congest_violation()
+        assert collector.congest_violations == 1
+
+    def test_snapshot_is_a_copy(self):
+        collector = MetricsCollector()
+        collector.record_message(bits=2)
+        snap = collector.snapshot()
+        collector.record_message(bits=2)
+        assert snap.messages == 1
+        assert collector.messages == 2
+
+    def test_merge_collectors(self):
+        a = MetricsCollector()
+        b = MetricsCollector()
+        with a.phase("x"):
+            a.record_message(bits=4)
+        with b.phase("x"):
+            b.record_message(bits=6)
+            b.record_round()
+        b.record_event("boom")
+        a.merge(b)
+        assert a.messages == 2
+        assert a.bits == 10
+        assert a.rounds == 1
+        assert a.event_count("boom") == 1
+        assert a.phase_metrics("x").messages == 2
+
+
+class TestMetricsSnapshot:
+    def test_messages_per_round(self):
+        metrics = Metrics(rounds=4, messages=12, bits=0)
+        assert metrics.messages_per_round() == 3.0
+
+    def test_messages_per_round_zero_rounds(self):
+        assert Metrics().messages_per_round() == 0.0
+
+    def test_as_dict_roundtrip_fields(self):
+        metrics = Metrics(rounds=1, messages=2, bits=3, congest_violations=4)
+        data = metrics.as_dict()
+        assert data["rounds"] == 1
+        assert data["messages"] == 2
+        assert data["bits"] == 3
+        assert data["congest_violations"] == 4
+        assert data["phases"] == {}

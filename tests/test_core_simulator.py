@@ -1,0 +1,280 @@
+"""Unit tests for the synchronous CONGEST simulator and node base classes."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict
+
+import pytest
+
+from repro.core import (
+    CongestViolationError,
+    GeneratorNode,
+    Message,
+    MetricsCollector,
+    PassiveNode,
+    ProtocolNode,
+    SimulationError,
+    SynchronousSimulator,
+    build_nodes,
+    run_protocol,
+)
+from repro.core.errors import ProtocolError
+from repro.graphs import cycle, path, star
+
+
+@dataclass(frozen=True)
+class Ping(Message):
+    payload: int
+
+
+class EchoNode(ProtocolNode):
+    """Sends its round number through every port, records what it receives."""
+
+    def __init__(self, num_ports: int, rng: random.Random) -> None:
+        super().__init__(num_ports, rng)
+        self.received = []
+
+    def step(self, round_index: int, inbox) -> Dict[int, Message]:
+        self.received.append({port: msg.payload for port, msg in inbox.items()})
+        return {port: Ping(payload=round_index) for port in self.ports()}
+
+    def result(self):
+        return {"received": self.received}
+
+
+class HaltAfterNode(ProtocolNode):
+    def __init__(self, num_ports: int, rng: random.Random, *, rounds: int = 3) -> None:
+        super().__init__(num_ports, rng)
+        self.rounds = rounds
+        self._halted = False
+
+    @property
+    def halted(self) -> bool:
+        return self._halted
+
+    def step(self, round_index, inbox):
+        if round_index + 1 >= self.rounds:
+            self._halted = True
+        return {}
+
+
+class BadPortNode(ProtocolNode):
+    def step(self, round_index, inbox):
+        return {self.num_ports + 1: Ping(payload=0)}
+
+
+@dataclass(frozen=True)
+class FatMessage(Message):
+    blob: str
+
+
+class FatSenderNode(ProtocolNode):
+    def step(self, round_index, inbox):
+        return {port: FatMessage(blob="x" * 100) for port in self.ports()}
+
+
+class CountdownGenerator(GeneratorNode):
+    """Generator-based node used to test the adapter."""
+
+    def __init__(self, num_ports, rng, *, rounds=3):
+        super().__init__(num_ports, rng)
+        self.rounds = rounds
+        self.seen = []
+
+    def run(self):
+        for i in range(self.rounds):
+            inbox = yield {port: Ping(payload=i) for port in self.ports()}
+            self.seen.append(sorted(msg.payload for msg in inbox.values()))
+
+
+class TestBuildNodes:
+    def test_one_node_per_vertex_with_matching_ports(self):
+        topology = star(5)
+        nodes = build_nodes(topology, lambda i, p, r: PassiveNode(p, r), seed=1)
+        assert len(nodes) == 5
+        assert nodes[0].num_ports == 4
+        assert all(node.num_ports == 1 for node in nodes[1:])
+
+    def test_rngs_are_independent(self):
+        topology = cycle(4)
+        nodes = build_nodes(topology, lambda i, p, r: PassiveNode(p, r), seed=1)
+        draws = {node.rng.random() for node in nodes}
+        assert len(draws) == 4
+
+    def test_seed_reproducibility(self):
+        topology = cycle(4)
+        first = build_nodes(topology, lambda i, p, r: PassiveNode(p, r), seed=2)
+        second = build_nodes(topology, lambda i, p, r: PassiveNode(p, r), seed=2)
+        assert [n.rng.random() for n in first] == [n.rng.random() for n in second]
+
+
+class TestSimulatorBasics:
+    def test_node_count_mismatch_rejected(self):
+        topology = cycle(4)
+        nodes = [PassiveNode(2, random.Random(0)) for _ in range(3)]
+        with pytest.raises(SimulationError):
+            SynchronousSimulator(topology, nodes)
+
+    def test_port_count_mismatch_rejected(self):
+        topology = star(4)
+        nodes = [PassiveNode(1, random.Random(0)) for _ in range(4)]
+        with pytest.raises(SimulationError):
+            SynchronousSimulator(topology, nodes)
+
+    def test_invalid_port_in_outbox_rejected(self):
+        result_error = None
+        topology = cycle(3)
+        nodes = build_nodes(topology, lambda i, p, r: BadPortNode(p, r), seed=0)
+        simulator = SynchronousSimulator(topology, nodes)
+        with pytest.raises(SimulationError):
+            simulator.run_round()
+
+    def test_negative_max_rounds_rejected(self):
+        topology = cycle(3)
+        nodes = build_nodes(topology, lambda i, p, r: PassiveNode(p, r), seed=0)
+        with pytest.raises(SimulationError):
+            SynchronousSimulator(topology, nodes).run(-1)
+
+
+class TestMessageDelivery:
+    def test_messages_arrive_next_round_at_correct_port(self):
+        topology = path(3)
+        nodes = build_nodes(topology, lambda i, p, r: EchoNode(p, r), seed=0)
+        simulator = SynchronousSimulator(topology, nodes)
+        simulator.run(3)
+        middle = nodes[1]
+        # Round 0 inbox is empty; round 1 inbox holds round-0 payloads from
+        # both neighbours.
+        assert middle.received[0] == {}
+        assert middle.received[1] == {1: 0, 2: 0}
+        assert middle.received[2] == {1: 1, 2: 1}
+
+    def test_metrics_count_messages_and_rounds(self):
+        topology = cycle(4)
+        metrics = MetricsCollector()
+        result = run_protocol(
+            topology,
+            lambda i, p, r: EchoNode(p, r),
+            max_rounds=3,
+            seed=0,
+            metrics=metrics,
+        )
+        assert result.rounds_executed == 3
+        # 4 nodes x 2 ports x 3 rounds
+        assert result.metrics.messages == 24
+        assert result.metrics.bits > 0
+
+    def test_halted_nodes_stop_stepping(self):
+        topology = cycle(4)
+        result = run_protocol(
+            topology,
+            lambda i, p, r: HaltAfterNode(p, r, rounds=2),
+            max_rounds=10,
+            seed=0,
+        )
+        assert result.all_halted
+        assert result.rounds_executed == 2
+
+    def test_stop_when_predicate(self):
+        topology = cycle(4)
+        result = run_protocol(
+            topology,
+            lambda i, p, r: EchoNode(p, r),
+            max_rounds=50,
+            seed=0,
+            stop_when=lambda sim: sim.current_round >= 5,
+        )
+        assert result.rounds_executed == 5
+        assert not result.all_halted
+
+    def test_require_halt_raises_when_not_done(self):
+        topology = cycle(4)
+        with pytest.raises(SimulationError):
+            run_protocol(
+                topology,
+                lambda i, p, r: EchoNode(p, r),
+                max_rounds=3,
+                seed=0,
+                require_halt=True,
+            )
+
+
+class TestCongestEnforcement:
+    def test_violations_counted_but_not_fatal_by_default(self):
+        topology = cycle(4)
+        result = run_protocol(
+            topology,
+            lambda i, p, r: FatSenderNode(p, r),
+            max_rounds=1,
+            seed=0,
+        )
+        assert result.metrics.congest_violations == 8
+
+    def test_enforcement_raises(self):
+        topology = cycle(4)
+        with pytest.raises(CongestViolationError):
+            run_protocol(
+                topology,
+                lambda i, p, r: FatSenderNode(p, r),
+                max_rounds=1,
+                seed=0,
+                enforce_congest=True,
+            )
+
+    def test_small_messages_do_not_violate(self):
+        topology = cycle(4)
+        result = run_protocol(
+            topology,
+            lambda i, p, r: EchoNode(p, r),
+            max_rounds=2,
+            seed=0,
+        )
+        assert result.metrics.congest_violations == 0
+
+
+class TestGeneratorNode:
+    def test_yields_one_outbox_per_round_then_halts(self):
+        topology = cycle(3)
+        result = run_protocol(
+            topology,
+            lambda i, p, r: CountdownGenerator(p, r, rounds=3),
+            max_rounds=10,
+            seed=0,
+        )
+        assert result.all_halted
+        # Generator yields 3 times, then halts at the 4th step.
+        assert result.rounds_executed == 4
+
+    def test_inbox_reaches_generator(self):
+        topology = cycle(3)
+        nodes = build_nodes(
+            topology, lambda i, p, r: CountdownGenerator(p, r, rounds=3), seed=0
+        )
+        SynchronousSimulator(topology, nodes).run(10)
+        # Every node saw payload 0 from both neighbours in its second round.
+        assert all(node.seen[0] == [0, 0] for node in nodes)
+
+    def test_skipped_round_detected(self):
+        node = CountdownGenerator(0, random.Random(0), rounds=2)
+        node.step(0, {})
+        with pytest.raises(ProtocolError):
+            node.step(2, {})
+
+
+class TestPassiveNode:
+    def test_never_halts_and_never_sends(self):
+        node = PassiveNode(2, random.Random(0))
+        assert node.step(0, {}) == {}
+        assert not node.halted
+        assert node.result() == {"passive": True}
+
+    def test_random_port_requires_ports(self):
+        node = PassiveNode(0, random.Random(0))
+        with pytest.raises(ValueError):
+            node.random_port()
+
+    def test_ports_range(self):
+        node = PassiveNode(3, random.Random(0))
+        assert list(node.ports()) == [1, 2, 3]

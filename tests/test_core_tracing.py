@@ -1,0 +1,61 @@
+"""Unit tests for the trace recorder."""
+
+from __future__ import annotations
+
+from repro.core import NullTraceRecorder, TraceEvent, TraceRecorder
+
+
+class TestTraceRecorder:
+    def test_records_events(self):
+        trace = TraceRecorder()
+        trace.record(0, "send", node=1, port=2)
+        trace.record(1, "halt", node=1)
+        assert len(trace) == 2
+        assert trace.events[0].kind == "send"
+        assert trace.events[0].detail == {"port": 2}
+
+    def test_filter_by_kind_and_node(self):
+        trace = TraceRecorder()
+        trace.record(0, "send", node=1)
+        trace.record(0, "send", node=2)
+        trace.record(1, "halt", node=1)
+        assert len(trace.of_kind("send")) == 2
+        assert len(trace.for_node(1)) == 2
+
+    def test_disabled_recorder_is_noop(self):
+        trace = TraceRecorder(enabled=False)
+        trace.record(0, "send")
+        assert len(trace) == 0
+
+    def test_max_events_drops_overflow(self):
+        trace = TraceRecorder(max_events=2)
+        for i in range(5):
+            trace.record(i, "tick")
+        assert len(trace) == 2
+        assert trace.dropped == 3
+
+    def test_clear(self):
+        trace = TraceRecorder(max_events=1)
+        trace.record(0, "a")
+        trace.record(0, "b")
+        trace.clear()
+        assert len(trace) == 0
+        assert trace.dropped == 0
+
+    def test_iteration(self):
+        trace = TraceRecorder()
+        trace.record(0, "a")
+        assert [event.kind for event in trace] == ["a"]
+
+    def test_str_contains_round_and_kind(self):
+        event = TraceEvent(round_index=3, kind="send", node=1, detail={"p": 1})
+        text = str(event)
+        assert "send" in text and "3" in text
+
+
+class TestNullTraceRecorder:
+    def test_never_records(self):
+        trace = NullTraceRecorder()
+        trace.record(0, "send", node=1)
+        assert len(trace) == 0
+        assert trace.events == []

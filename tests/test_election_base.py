@@ -1,0 +1,94 @@
+"""Unit tests for election outcome extraction and result packaging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MetricsCollector, PassiveNode, SynchronousSimulator, build_nodes
+from repro.election import LeaderElectionResult, election_result_from_simulation, outcome_from_results
+from repro.graphs import cycle
+
+
+class TestOutcomeFromResults:
+    def test_unique_leader(self):
+        results = [
+            {"leader": False, "candidate": True},
+            {"leader": True, "candidate": True},
+            {"leader": False, "candidate": False},
+        ]
+        outcome = outcome_from_results(results)
+        assert outcome.unique_leader
+        assert outcome.num_leaders == 1
+        assert outcome.leader_indices == [1]
+        assert outcome.candidate_indices == [0, 1]
+
+    def test_no_leader(self):
+        outcome = outcome_from_results([{"leader": False}, {"leader": False}])
+        assert not outcome.unique_leader
+        assert outcome.num_leaders == 0
+        assert not outcome.elected
+
+    def test_multiple_leaders(self):
+        outcome = outcome_from_results([{"leader": True}, {"leader": True}])
+        assert not outcome.unique_leader
+        assert outcome.num_leaders == 2
+
+    def test_agreement_true_when_all_views_match(self):
+        results = [
+            {"leader": True, "view": (4, 10)},
+            {"leader": False, "view": (4, 10)},
+        ]
+        outcome = outcome_from_results(results, agreement_key="view")
+        assert outcome.agreement is True
+
+    def test_agreement_false_on_disagreement_or_missing(self):
+        results = [
+            {"leader": True, "view": (4, 10)},
+            {"leader": False, "view": (4, 11)},
+        ]
+        assert outcome_from_results(results, agreement_key="view").agreement is False
+        results_missing = [{"leader": True, "view": None}, {"leader": False, "view": None}]
+        assert outcome_from_results(results_missing, agreement_key="view").agreement is False
+
+    def test_agreement_none_when_not_requested(self):
+        assert outcome_from_results([{"leader": True}]).agreement is None
+
+    def test_as_dict(self):
+        data = outcome_from_results([{"leader": True, "candidate": True}]).as_dict()
+        assert data["num_leaders"] == 1
+        assert data["unique_leader"] is True
+
+
+class TestResultPackaging:
+    def _simulate(self):
+        topology = cycle(4)
+        nodes = build_nodes(topology, lambda i, p, r: PassiveNode(p, r), seed=0)
+        simulator = SynchronousSimulator(topology, nodes, metrics=MetricsCollector())
+        return simulator.run(2)
+
+    def test_election_result_from_simulation(self):
+        simulation = self._simulate()
+        result = election_result_from_simulation(
+            "dummy", simulation, seed=9, parameters={"alpha": 1}
+        )
+        assert isinstance(result, LeaderElectionResult)
+        assert result.algorithm == "dummy"
+        assert result.topology_name == "cycle(n=4)"
+        assert result.num_nodes == 4
+        assert result.num_edges == 4
+        assert result.seed == 9
+        assert result.parameters == {"alpha": 1}
+        assert result.rounds_executed == 2
+        assert not result.success  # passive nodes elect nobody
+
+    def test_result_as_dict_contains_cost_fields(self):
+        result = election_result_from_simulation("dummy", self._simulate())
+        data = result.as_dict()
+        assert {"messages", "bits", "rounds", "success", "outcome"} <= set(data)
+        assert data["messages"] == result.messages
+        assert data["rounds"] == result.rounds_executed
+
+    def test_properties_delegate_to_metrics(self):
+        result = election_result_from_simulation("dummy", self._simulate())
+        assert result.messages == result.metrics.messages
+        assert result.bits == result.metrics.bits

@@ -1,0 +1,65 @@
+"""Unit tests for leadership certificates (Section 5.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.election import Certificate, best_certificate
+
+
+class TestCertificate:
+    def test_larger_estimate_beats_smaller(self):
+        assert Certificate(8, 100).beats(Certificate(4, 1))
+
+    def test_equal_estimate_smaller_id_wins(self):
+        assert Certificate(8, 3).beats(Certificate(8, 7))
+        assert not Certificate(8, 7).beats(Certificate(8, 3))
+
+    def test_nothing_beats_itself(self):
+        certificate = Certificate(8, 3)
+        assert not certificate.beats(Certificate(8, 3))
+
+    def test_everything_beats_none(self):
+        assert Certificate(2, 2).beats(None)
+
+    def test_sort_key_total_order(self):
+        certificates = [
+            Certificate(4, 9),
+            Certificate(8, 5),
+            Certificate(8, 2),
+            Certificate(2, 1),
+        ]
+        ordered = sorted(certificates, key=Certificate.sort_key)
+        assert ordered[-1] == Certificate(8, 2)
+        assert ordered[0] == Certificate(2, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Certificate(0, 1)
+        with pytest.raises(ValueError):
+            Certificate(1, 0)
+
+    def test_as_tuple(self):
+        assert Certificate(4, 7).as_tuple() == (4, 7)
+
+    def test_transitivity_of_beats(self):
+        a, b, c = Certificate(8, 2), Certificate(8, 5), Certificate(4, 1)
+        assert a.beats(b) and b.beats(c)
+        assert a.beats(c)
+
+
+class TestBestCertificate:
+    def test_picks_strongest(self):
+        best = best_certificate(
+            [Certificate(4, 9), Certificate(8, 5), None, Certificate(8, 2)]
+        )
+        assert best == Certificate(8, 2)
+
+    def test_all_none_gives_none(self):
+        assert best_certificate([None, None]) is None
+
+    def test_empty_gives_none(self):
+        assert best_certificate([]) is None
+
+    def test_single_entry(self):
+        assert best_certificate([Certificate(2, 2)]) == Certificate(2, 2)

@@ -1,0 +1,170 @@
+"""Unit tests for the convergecast phase (Algorithm 5, second part)."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+import pytest
+
+from repro.core import ConfigurationError, run_protocol
+from repro.election import (
+    ConvergecastConfig,
+    ConvergecastMessage,
+    ConvergecastNode,
+    ConvergecastState,
+)
+from repro.graphs import Topology, path, star
+
+
+def run_convergecast(
+    topology: Topology,
+    *,
+    parents: Dict[int, int],
+    walk_ids: Dict[int, int],
+    candidates: Dict[int, bool],
+    rounds: int,
+    seed: int = 0,
+):
+    """Run a standalone convergecast over a precomputed tree.
+
+    ``parents`` maps node index -> parent node index (tree edges).
+    """
+    config = ConvergecastConfig(convergecast_rounds=rounds)
+
+    def factory(index: int, num_ports: int, rng: random.Random):
+        parent_ports = []
+        if index in parents:
+            parent_ports = [topology.port_to(index, parents[index])]
+        return ConvergecastNode(
+            num_ports,
+            rng,
+            config=config,
+            candidate=candidates.get(index, False),
+            max_walk_id=walk_ids.get(index, 0),
+            parent_ports=parent_ports,
+        )
+
+    return run_protocol(topology, factory, max_rounds=rounds + 1, seed=seed)
+
+
+class TestConfig:
+    def test_rejects_nonpositive_rounds(self):
+        with pytest.raises(ConfigurationError):
+            ConvergecastConfig(convergecast_rounds=0)
+
+
+class TestState:
+    def test_absorb_keeps_maximum(self):
+        state = ConvergecastState(
+            config=ConvergecastConfig(convergecast_rounds=3),
+            candidate=False,
+            max_walk_id=5,
+            parent_ports=[1],
+        )
+        state.absorb({2: ConvergecastMessage(walk_id=9)})
+        assert state.max_walk_id == 9
+        state.absorb({2: ConvergecastMessage(walk_id=4)})
+        assert state.max_walk_id == 9
+
+    def test_candidate_never_transmits(self):
+        state = ConvergecastState(
+            config=ConvergecastConfig(convergecast_rounds=3),
+            candidate=True,
+            max_walk_id=5,
+            parent_ports=[1],
+        )
+        assert state.step({}) == {}
+
+    def test_non_candidate_reports_to_every_parent_port_once(self):
+        state = ConvergecastState(
+            config=ConvergecastConfig(convergecast_rounds=5),
+            candidate=False,
+            max_walk_id=5,
+            parent_ports=[1, 3],
+        )
+        outbox = state.step({})
+        assert set(outbox) == {1, 3}
+        # Unchanged value: no re-send in the next round.
+        assert state.step({}) == {}
+
+    def test_improvement_triggers_resend(self):
+        state = ConvergecastState(
+            config=ConvergecastConfig(convergecast_rounds=5),
+            candidate=False,
+            max_walk_id=5,
+            parent_ports=[1],
+        )
+        state.step({})
+        outbox = state.step({2: ConvergecastMessage(walk_id=50)})
+        assert outbox[1].walk_id == 50
+
+    def test_zero_max_is_not_reported(self):
+        state = ConvergecastState(
+            config=ConvergecastConfig(convergecast_rounds=5),
+            candidate=False,
+            max_walk_id=0,
+            parent_ports=[1],
+        )
+        assert state.step({}) == {}
+
+
+class TestConvergecastEndToEnd:
+    def test_max_reaches_root_on_path(self):
+        # Path 0-1-2-3-4 rooted at 0; the largest walk ID sits at the far end.
+        topology = path(5)
+        result = run_convergecast(
+            topology,
+            parents={1: 0, 2: 1, 3: 2, 4: 3},
+            walk_ids={0: 1, 1: 2, 2: 3, 3: 4, 4: 100},
+            candidates={0: True},
+            rounds=8,
+        )
+        root = result.results()[0]
+        assert root["max_walk_id"] == 100
+
+    def test_insufficient_rounds_do_not_reach_root(self):
+        topology = path(6)
+        result = run_convergecast(
+            topology,
+            parents={i: i - 1 for i in range(1, 6)},
+            walk_ids={5: 100},
+            candidates={0: True},
+            rounds=2,
+        )
+        assert result.results()[0]["max_walk_id"] < 100
+
+    def test_star_aggregates_leaf_maxima(self):
+        topology = star(6)
+        result = run_convergecast(
+            topology,
+            parents={i: 0 for i in range(1, 6)},
+            walk_ids={i: 10 * i for i in range(6)},
+            candidates={0: True},
+            rounds=3,
+        )
+        assert result.results()[0]["max_walk_id"] == 50
+
+    def test_messages_bounded_by_improvements(self):
+        topology = path(6)
+        result = run_convergecast(
+            topology,
+            parents={i: i - 1 for i in range(1, 6)},
+            walk_ids={5: 100, 4: 90, 3: 80, 2: 70, 1: 60},
+            candidates={0: True},
+            rounds=12,
+        )
+        # Each link carries at most a handful of improvement reports, far
+        # fewer than one message per round per link.
+        assert result.metrics.messages <= 2 * 5 * 3
+
+    def test_halts_after_rounds(self):
+        topology = path(4)
+        result = run_convergecast(
+            topology,
+            parents={1: 0, 2: 1, 3: 2},
+            walk_ids={3: 7},
+            candidates={0: True},
+            rounds=5,
+        )
+        assert result.all_halted

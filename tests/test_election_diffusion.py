@@ -1,0 +1,151 @@
+"""Unit tests for the potential-diffusion building block (Algorithm 7)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import ConfigurationError, run_protocol
+from repro.election import (
+    DiffusionAveragingNode,
+    DiffusionMessage,
+    DisseminationMessage,
+    convergence_rounds_estimate,
+    diffusion_share,
+    expected_average,
+)
+from repro.graphs import Topology, complete, cycle, path, star
+
+
+def run_diffusion(topology: Topology, potentials, *, k: int, epsilon: float, rounds: int, seed=0):
+    def factory(index: int, num_ports: int, rng: random.Random):
+        return DiffusionAveragingNode(
+            num_ports,
+            rng,
+            initial_potential=potentials[index],
+            k=k,
+            epsilon=epsilon,
+            rounds=rounds,
+        )
+
+    return run_protocol(topology, factory, max_rounds=rounds + 2, seed=seed)
+
+
+class TestShare:
+    def test_share_formula(self):
+        assert diffusion_share(4, 1.0) == pytest.approx(1.0 / 32.0)
+        assert diffusion_share(8, 0.5) == pytest.approx(1.0 / (2 * 8 ** 1.5))
+
+    def test_share_validation(self):
+        with pytest.raises(ConfigurationError):
+            diffusion_share(0, 1.0)
+        with pytest.raises(ConfigurationError):
+            diffusion_share(4, 0.0)
+
+    def test_expected_average(self):
+        assert expected_average(6.0, 4) == pytest.approx(1.5)
+        with pytest.raises(ConfigurationError):
+            expected_average(1.0, 0)
+
+    def test_convergence_estimate_monotone_in_error(self):
+        loose = convergence_rounds_estimate(
+            k=8, epsilon=1.0, isoperimetric_number=1.0, relative_error=0.5
+        )
+        tight = convergence_rounds_estimate(
+            k=8, epsilon=1.0, isoperimetric_number=1.0, relative_error=0.01
+        )
+        assert tight > loose
+
+    def test_convergence_estimate_validation(self):
+        with pytest.raises(ConfigurationError):
+            convergence_rounds_estimate(
+                k=8, epsilon=1.0, isoperimetric_number=0.0, relative_error=0.1
+            )
+        with pytest.raises(ConfigurationError):
+            convergence_rounds_estimate(
+                k=8, epsilon=1.0, isoperimetric_number=1.0, relative_error=2.0
+            )
+
+
+class TestMessages:
+    def test_diffusion_message_fields(self):
+        message = DiffusionMessage(potential=0.5, status_low=False, white_seen=True)
+        assert message.size_bits() > 64  # the potential dominates
+
+    def test_dissemination_message_is_small(self):
+        message = DisseminationMessage(status_low=False, white_seen=True)
+        assert message.size_bits() < 16
+
+
+class TestAveragingNode:
+    def test_rejects_bad_parameters(self):
+        rng = random.Random(0)
+        with pytest.raises(ConfigurationError):
+            DiffusionAveragingNode(2, rng, initial_potential=-1.0, k=4, rounds=5)
+        with pytest.raises(ConfigurationError):
+            DiffusionAveragingNode(2, rng, initial_potential=1.0, k=4, rounds=0)
+
+    def test_rejects_degree_too_large_for_estimate(self):
+        rng = random.Random(0)
+        # k=1, epsilon=1 -> share 0.5; 3 ports would ship 1.5x the potential.
+        with pytest.raises(ConfigurationError):
+            DiffusionAveragingNode(3, rng, initial_potential=1.0, k=1, rounds=5)
+
+
+class TestConvergence:
+    def test_total_potential_is_conserved(self):
+        topology = cycle(8)
+        potentials = [1.0] * 4 + [0.0] * 4
+        result = run_diffusion(topology, potentials, k=8, epsilon=1.0, rounds=40)
+        final = sum(r["potential"] for r in result.results())
+        assert final == pytest.approx(4.0, abs=1e-9)
+
+    def test_potentials_converge_to_average_on_complete_graph(self):
+        topology = complete(6)
+        potentials = [1.0, 1.0, 1.0, 1.0, 1.0, 0.0]
+        k, eps = 4, 1.0
+        rounds = 400
+        result = run_diffusion(topology, potentials, k=k, epsilon=eps, rounds=rounds)
+        average = expected_average(sum(potentials), 6)
+        for record in result.results():
+            assert record["potential"] == pytest.approx(average, rel=0.05)
+
+    def test_uniform_start_stays_uniform(self):
+        topology = star(5)
+        potentials = [1.0] * 5
+        result = run_diffusion(topology, potentials, k=8, epsilon=1.0, rounds=10)
+        for record in result.results():
+            assert record["potential"] == pytest.approx(1.0, abs=1e-12)
+
+    def test_spread_decreases_monotonically_with_rounds(self):
+        topology = path(6)
+        potentials = [1.0, 0.0, 0.0, 0.0, 0.0, 1.0]
+
+        def spread_after(rounds: int) -> float:
+            result = run_diffusion(topology, potentials, k=4, epsilon=1.0, rounds=rounds)
+            values = [r["potential"] for r in result.results()]
+            return max(values) - min(values)
+
+        assert spread_after(60) < spread_after(10) <= spread_after(1)
+
+    def test_lemma4_estimate_suffices_for_convergence(self):
+        # Run for the number of rounds Lemma 4 prescribes and check the
+        # relative error bound it promises.
+        topology = cycle(6)
+        from repro.graphs import isoperimetric_number
+
+        k, eps = 8, 1.0
+        gamma = 0.25
+        rounds = convergence_rounds_estimate(
+            k=k,
+            epsilon=eps,
+            isoperimetric_number=isoperimetric_number(topology),
+            relative_error=gamma / 10,
+        )
+        rounds = min(rounds, 4000)  # keep the test fast; the bound is loose
+        potentials = [1.0, 1.0, 1.0, 0.0, 0.0, 0.0]
+        result = run_diffusion(topology, potentials, k=k, epsilon=eps, rounds=rounds)
+        average = expected_average(sum(potentials), 6)
+        for record in result.results():
+            assert abs(record["potential"] - average) / average <= gamma

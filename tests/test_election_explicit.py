@@ -1,0 +1,110 @@
+"""Tests for the explicit-election extension (leader announcement + BFS tree)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.baselines import run_flooding_election
+from repro.election import extend_to_explicit, run_irrevocable_election
+from repro.graphs import cycle, grid_2d, random_regular, star
+
+
+class TestExplicitExtension:
+    def _explicit(self, topology, seed=3):
+        implicit = run_irrevocable_election(topology, seed=seed)
+        assert implicit.success
+        return extend_to_explicit(topology, implicit, seed=seed)
+
+    def test_everyone_learns_the_leader(self):
+        topology = random_regular(24, 4, seed=7)
+        explicit = self._explicit(topology)
+        assert explicit.all_know_leader
+        assert explicit.leader_id == (
+            explicit.implicit.node_results[explicit.leader_index]["node_id"]
+        )
+
+    def test_tree_is_a_spanning_tree_rooted_at_leader(self):
+        topology = grid_2d(4, 4)
+        explicit = self._explicit(topology, seed=2)
+        tree = explicit.tree
+        assert tree.root == explicit.leader_index
+        assert tree.is_spanning(topology)
+        assert tree.parent[tree.root] is None
+
+    def test_tree_depths_are_consistent_with_parents(self):
+        topology = cycle(12)
+        explicit = self._explicit(topology, seed=5)
+        tree = explicit.tree
+        for node, parent in tree.parent.items():
+            if parent is None:
+                assert tree.depth[node] == 0
+            else:
+                assert tree.depth[node] == tree.depth[parent] + 1
+
+    def test_tree_depth_bounded_by_diameter(self):
+        topology = random_regular(24, 4, seed=7)
+        explicit = self._explicit(topology)
+        assert explicit.tree.max_depth() <= topology.diameter()
+
+    def test_announcement_costs_o_of_m_messages_and_d_rounds(self):
+        topology = grid_2d(5, 5)
+        explicit = self._explicit(topology, seed=4)
+        assert explicit.metrics.messages <= 2 * topology.num_edges
+        assert explicit.rounds_executed <= topology.diameter() + 4
+
+    def test_total_cost_accumulates_implicit_phase(self):
+        topology = star(8)
+        explicit = self._explicit(topology, seed=1)
+        assert explicit.total_messages == (
+            explicit.implicit.messages + explicit.metrics.messages
+        )
+        assert explicit.total_rounds >= explicit.implicit.rounds_executed
+
+    def test_works_on_top_of_other_implicit_protocols(self):
+        topology = random_regular(24, 4, seed=9)
+        implicit = run_flooding_election(topology, seed=2)
+        assert implicit.success
+        explicit = extend_to_explicit(topology, implicit, seed=2)
+        assert explicit.all_know_leader
+        assert explicit.tree.is_spanning(topology)
+
+    def test_requires_successful_implicit_election(self):
+        topology = cycle(8)
+        implicit = run_irrevocable_election(topology, seed=3)
+        failed = implicit
+        # Fabricate a failed outcome by stripping the leader flags.
+        from dataclasses import replace
+
+        from repro.election import ElectionOutcome
+
+        failed = replace(
+            implicit,
+            outcome=ElectionOutcome(
+                num_leaders=0,
+                leader_indices=[],
+                candidate_indices=[],
+                unique_leader=False,
+            ),
+        )
+        with pytest.raises(ConfigurationError):
+            extend_to_explicit(topology, failed)
+
+    def test_requires_matching_topology(self):
+        topology = cycle(8)
+        implicit = run_irrevocable_election(topology, seed=3)
+        with pytest.raises(ConfigurationError):
+            extend_to_explicit(cycle(10), implicit)
+
+    def test_children_of_helper(self):
+        topology = star(6)
+        explicit = self._explicit(topology, seed=1)
+        tree = explicit.tree
+        total_children = sum(len(tree.children_of(node)) for node in range(6))
+        assert total_children == 5  # every non-root has exactly one parent
+
+    def test_as_dict_fields(self):
+        topology = cycle(8)
+        explicit = self._explicit(topology, seed=3)
+        data = explicit.as_dict()
+        assert {"leader_index", "tree_depth", "total_messages"} <= set(data)

@@ -1,0 +1,109 @@
+"""Unit tests for random ID and candidate selection (Section 4)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.election import (
+    ID_SPACE_EXPONENT,
+    candidate_count_upper_bound,
+    candidate_probability,
+    draw_candidate,
+    draw_identity,
+    draw_node_id,
+    expected_candidates,
+    id_collision_probability_bound,
+    id_space_size,
+)
+
+
+class TestIdSpace:
+    def test_exponent_is_four(self):
+        assert ID_SPACE_EXPONENT == 4
+
+    def test_id_space_size(self):
+        assert id_space_size(10) == 10_000
+        assert id_space_size(2) == 16
+
+    def test_id_space_size_small_n(self):
+        # n=1 still gets a non-trivial space so draws are well defined.
+        assert id_space_size(1) >= 2
+
+    def test_id_space_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            id_space_size(0)
+
+    def test_draw_node_id_in_range(self):
+        rng = random.Random(0)
+        for _ in range(200):
+            value = draw_node_id(rng, 8)
+            assert 1 <= value <= 8 ** 4
+
+    def test_draws_are_reproducible(self):
+        assert draw_node_id(random.Random(3), 16) == draw_node_id(random.Random(3), 16)
+
+
+class TestCandidateSelection:
+    def test_probability_formula(self):
+        assert candidate_probability(100, 2.0) == pytest.approx(2 * math.log(100) / 100)
+
+    def test_probability_capped_at_one(self):
+        assert candidate_probability(2, 10.0) == 1.0
+
+    def test_single_node_is_always_candidate(self):
+        assert candidate_probability(1, 2.0) == 1.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            candidate_probability(0, 2.0)
+        with pytest.raises(ConfigurationError):
+            candidate_probability(10, 0.0)
+
+    def test_expected_candidates_matches_probability(self):
+        assert expected_candidates(64, 2.0) == pytest.approx(64 * candidate_probability(64, 2.0))
+
+    def test_upper_bound_is_4c_log_n(self):
+        assert candidate_count_upper_bound(64, 2.0) == math.ceil(4 * 2.0 * math.log(64))
+        assert candidate_count_upper_bound(1, 2.0) == 1
+
+    def test_empirical_candidate_count_below_bound(self):
+        rng = random.Random(42)
+        n, c = 256, 2.0
+        for _ in range(20):
+            count = sum(draw_candidate(rng, n, c) for _ in range(n))
+            assert count <= candidate_count_upper_bound(n, c)
+
+    def test_empirical_rate_matches_probability(self):
+        rng = random.Random(7)
+        n, c = 128, 2.0
+        trials = 4000
+        hits = sum(draw_candidate(rng, n, c) for _ in range(trials))
+        expected = candidate_probability(n, c)
+        assert hits / trials == pytest.approx(expected, rel=0.2)
+
+
+class TestCollisionBound:
+    def test_bound_decreases_with_n(self):
+        assert id_collision_probability_bound(64, 2.0) < id_collision_probability_bound(16, 2.0)
+
+    def test_bound_is_tiny_for_moderate_n(self):
+        assert id_collision_probability_bound(64, 2.0) < 1e-4
+
+    def test_bound_never_exceeds_one(self):
+        assert id_collision_probability_bound(1, 10.0) <= 1.0
+
+
+class TestIdentityDraw:
+    def test_identity_fields(self):
+        identity = draw_identity(random.Random(1), 32, 2.0)
+        assert 1 <= identity.node_id <= 32 ** 4
+        assert isinstance(identity.candidate, bool)
+
+    def test_identity_reproducible(self):
+        a = draw_identity(random.Random(5), 32, 2.0)
+        b = draw_identity(random.Random(5), 32, 2.0)
+        assert a == b

@@ -1,0 +1,165 @@
+"""Tests for the composite Irrevocable Leader Election protocol (Theorem 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.election import IrrevocableConfig, run_irrevocable_election
+from repro.graphs import complete, cycle, grid_2d, random_regular
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            IrrevocableConfig(n=0, t_mix=1, conductance=0.5)
+        with pytest.raises(ConfigurationError):
+            IrrevocableConfig(n=4, t_mix=0, conductance=0.5)
+        with pytest.raises(ConfigurationError):
+            IrrevocableConfig(n=4, t_mix=1, conductance=1.5)
+        with pytest.raises(ConfigurationError):
+            IrrevocableConfig(n=4, t_mix=1, conductance=0.5, c=-1)
+        with pytest.raises(ConfigurationError):
+            IrrevocableConfig(n=4, t_mix=1, conductance=0.5, x=0)
+
+    def test_walks_follow_paper_formula(self):
+        config = IrrevocableConfig(n=64, t_mix=16, conductance=0.25, x_multiplier=1.0)
+        import math
+
+        expected = math.ceil(math.sqrt(64 * math.log(64) / (0.25 * 16)))
+        assert config.walks_per_candidate == expected
+
+    def test_explicit_x_overrides_formula(self):
+        config = IrrevocableConfig(n=64, t_mix=16, conductance=0.25, x=5)
+        assert config.walks_per_candidate == 5
+
+    def test_phase_rounds_scale_with_t_mix_and_log_n(self):
+        small = IrrevocableConfig(n=64, t_mix=4, conductance=0.25)
+        large = IrrevocableConfig(n=64, t_mix=16, conductance=0.25)
+        # c * t_mix * ln(n) up to rounding: quadrupling t_mix quadruples it.
+        assert large.phase_rounds == pytest.approx(4 * small.phase_rounds, abs=4)
+
+    def test_total_rounds_composition(self):
+        config = IrrevocableConfig(n=32, t_mix=8, conductance=0.25)
+        assert config.total_rounds() == (
+            config.broadcast_phase_rounds
+            + config.walk_phase_rounds
+            + config.convergecast_phase_rounds
+            + 1
+        )
+        assert config.broadcast_phase_rounds == config.num_slots * config.phase_rounds
+
+    def test_territory_cap_formula(self):
+        config = IrrevocableConfig(n=64, t_mix=10, conductance=0.2, x=8)
+        assert config.territory_cap == pytest.approx(8 * 10 * 0.2)
+
+    def test_from_topology_measures_graph(self):
+        topology = cycle(12)
+        config = IrrevocableConfig.from_topology(topology)
+        assert config.n == 12
+        assert config.t_mix >= 1
+        assert 0 < config.conductance <= 1
+
+    def test_from_topology_accepts_overrides(self):
+        topology = cycle(12)
+        config = IrrevocableConfig.from_topology(topology, t_mix=5, conductance=0.5)
+        assert config.t_mix == 5
+        assert config.conductance == 0.5
+
+    def test_as_dict_exposes_derived_values(self):
+        config = IrrevocableConfig(n=32, t_mix=8, conductance=0.25)
+        data = config.as_dict()
+        assert data["x"] == config.walks_per_candidate
+        assert data["total_rounds"] == config.total_rounds()
+
+
+class TestElectionEndToEnd:
+    def test_unique_leader_on_expander(self):
+        topology = random_regular(32, 4, seed=3)
+        result = run_irrevocable_election(topology, seed=11)
+        assert result.success
+        assert result.outcome.num_leaders == 1
+        # The leader must be one of the candidates.
+        assert set(result.outcome.leader_indices) <= set(result.outcome.candidate_indices)
+
+    def test_unique_leader_on_cycle(self):
+        result = run_irrevocable_election(cycle(16), seed=5)
+        assert result.success
+
+    def test_unique_leader_on_grid(self):
+        result = run_irrevocable_election(grid_2d(4, 4), seed=2)
+        assert result.success
+
+    def test_unique_leader_on_complete_graph(self):
+        result = run_irrevocable_election(complete(16), seed=8)
+        assert result.success
+
+    def test_high_success_rate_across_seeds(self):
+        topology = random_regular(24, 4, seed=1)
+        config = IrrevocableConfig.from_topology(topology)
+        outcomes = [
+            run_irrevocable_election(topology, seed=seed, config=config).success
+            for seed in range(8)
+        ]
+        assert sum(outcomes) >= 7
+
+    def test_leader_is_candidate_with_maximum_id(self):
+        topology = random_regular(32, 4, seed=3)
+        result = run_irrevocable_election(topology, seed=11)
+        candidate_ids = {
+            index: result.node_results[index]["node_id"]
+            for index in result.outcome.candidate_indices
+        }
+        leader = result.outcome.leader_indices[0]
+        assert candidate_ids[leader] == max(candidate_ids.values())
+
+    def test_rounds_match_configured_schedule(self):
+        topology = cycle(12)
+        config = IrrevocableConfig.from_topology(topology)
+        result = run_irrevocable_election(topology, seed=1, config=config)
+        assert result.rounds_executed == config.total_rounds()
+
+    def test_phase_metrics_are_populated(self):
+        topology = random_regular(16, 4, seed=2)
+        result = run_irrevocable_election(topology, seed=3)
+        phases = result.metrics.phases
+        assert {"cautious-broadcast", "random-walk", "convergecast"} <= set(phases)
+        assert phases["random-walk"].messages > 0
+
+    def test_all_nodes_halt(self):
+        topology = cycle(10)
+        result = run_irrevocable_election(topology, seed=4)
+        assert all(r["halted"] for r in result.node_results)
+
+    def test_deterministic_given_seed(self):
+        topology = random_regular(16, 4, seed=6)
+        config = IrrevocableConfig.from_topology(topology)
+        a = run_irrevocable_election(topology, seed=9, config=config)
+        b = run_irrevocable_election(topology, seed=9, config=config)
+        assert a.messages == b.messages
+        assert a.outcome.leader_indices == b.outcome.leader_indices
+
+    def test_different_seeds_differ(self):
+        topology = random_regular(16, 4, seed=6)
+        config = IrrevocableConfig.from_topology(topology)
+        a = run_irrevocable_election(topology, seed=1, config=config)
+        b = run_irrevocable_election(topology, seed=2, config=config)
+        assert (
+            a.outcome.candidate_indices != b.outcome.candidate_indices
+            or a.node_results != b.node_results
+        )
+
+    def test_parallel_broadcast_count_stays_within_slots(self):
+        topology = random_regular(32, 4, seed=3)
+        config = IrrevocableConfig.from_topology(topology)
+        result = run_irrevocable_election(topology, seed=11, config=config)
+        assert all(
+            r["parallel_broadcasts"] <= config.num_slots and r["broadcast_overflow"] == 0
+            for r in result.node_results
+        )
+
+    def test_congest_message_sizes(self):
+        # All messages must fit the O(log n) budget the simulator enforces.
+        topology = random_regular(16, 4, seed=2)
+        result = run_irrevocable_election(topology, seed=3, enforce_congest=True)
+        assert result.metrics.congest_violations == 0

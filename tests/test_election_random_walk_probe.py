@@ -1,0 +1,139 @@
+"""Unit tests for the random-walk probing phase (Algorithm 5)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import ConfigurationError, run_protocol
+from repro.election import (
+    RandomWalkProbeConfig,
+    RandomWalkProbeNode,
+    RandomWalkProbeState,
+    WalkMessage,
+)
+from repro.graphs import Topology, complete, cycle, random_regular
+
+
+def run_walk_phase(topology: Topology, candidates: dict, config: RandomWalkProbeConfig, seed=0):
+    """Run a standalone walk phase; ``candidates`` maps node index -> ID."""
+
+    def factory(index: int, num_ports: int, rng: random.Random):
+        return RandomWalkProbeNode(
+            num_ports,
+            rng,
+            config=config,
+            candidate=index in candidates,
+            node_id=candidates.get(index, 0),
+        )
+
+    return run_protocol(topology, factory, max_rounds=config.walk_rounds + 1, seed=seed)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RandomWalkProbeConfig(walk_rounds=0, walks_per_candidate=1)
+        with pytest.raises(ConfigurationError):
+            RandomWalkProbeConfig(walk_rounds=1, walks_per_candidate=0)
+
+
+class TestState:
+    def test_candidate_initial_max_is_own_id(self):
+        config = RandomWalkProbeConfig(walk_rounds=5, walks_per_candidate=3)
+        state = RandomWalkProbeState(num_ports=2, config=config, candidate=True, node_id=99)
+        assert state.max_walk_id == 99
+
+    def test_non_candidate_initial_max_is_zero(self):
+        # Deviation 2 (DESIGN.md): a non-candidate's private ID never enters
+        # any walk, so it must not shadow the candidates' IDs.
+        config = RandomWalkProbeConfig(walk_rounds=5, walks_per_candidate=3)
+        state = RandomWalkProbeState(num_ports=2, config=config, candidate=False, node_id=1234)
+        assert state.max_walk_id == 0
+
+    def test_initial_scatter_emits_all_tokens(self):
+        config = RandomWalkProbeConfig(walk_rounds=5, walks_per_candidate=10)
+        state = RandomWalkProbeState(num_ports=3, config=config, candidate=True, node_id=5)
+        counts = state.initial_scatter(random.Random(0))
+        assert sum(counts.values()) == 10
+        assert all(1 <= port <= 3 for port in counts)
+
+    def test_non_candidate_scatters_nothing(self):
+        config = RandomWalkProbeConfig(walk_rounds=5, walks_per_candidate=10)
+        state = RandomWalkProbeState(num_ports=3, config=config, candidate=False, node_id=5)
+        assert state.initial_scatter(random.Random(0)) == {}
+
+    def test_absorb_merges_ids_and_counts(self):
+        config = RandomWalkProbeConfig(walk_rounds=5, walks_per_candidate=1)
+        state = RandomWalkProbeState(num_ports=2, config=config, candidate=False, node_id=0)
+        state.absorb({1: WalkMessage(walk_id=7, count=3), 2: WalkMessage(walk_id=4, count=2)})
+        assert state.tokens == 5
+        assert state.max_walk_id == 7
+        assert state.tokens_seen == 5
+
+    def test_move_tokens_conserves_count(self):
+        config = RandomWalkProbeConfig(walk_rounds=5, walks_per_candidate=1)
+        state = RandomWalkProbeState(num_ports=4, config=config, candidate=False, node_id=0)
+        state.tokens = 50
+        moved = state.move_tokens(random.Random(1))
+        assert sum(moved.values()) + state.tokens == 50
+
+    def test_step_outbox_carries_current_max(self):
+        config = RandomWalkProbeConfig(walk_rounds=5, walks_per_candidate=4)
+        state = RandomWalkProbeState(num_ports=2, config=config, candidate=True, node_id=11)
+        outbox = state.step(random.Random(0), {})
+        assert all(message.walk_id == 11 for message in outbox.values())
+        assert sum(message.count for message in outbox.values()) == 4
+
+
+class TestWalkPhaseEndToEnd:
+    def test_token_count_is_conserved_globally(self):
+        topology = cycle(10)
+        config = RandomWalkProbeConfig(walk_rounds=12, walks_per_candidate=6)
+        result = run_walk_phase(topology, {0: 50, 5: 80}, config)
+        held = sum(r["tokens_held"] for r in result.results())
+        assert held == 12  # two candidates x 6 walks
+
+    def test_max_id_spreads_on_well_connected_graph(self):
+        topology = complete(12)
+        config = RandomWalkProbeConfig(walk_rounds=30, walks_per_candidate=12)
+        result = run_walk_phase(topology, {0: 500, 3: 900}, config, seed=2)
+        results = result.results()
+        # Node 3 has the larger ID; a clear majority of nodes should have
+        # been visited by one of its walks within 30 rounds.
+        aware = sum(r["max_walk_id"] == 900 for r in results)
+        assert aware >= 8
+        # Candidate 0 must have learned it is beaten.
+        assert results[0]["max_walk_id"] == 900
+
+    def test_non_candidates_never_inject_their_ids(self):
+        topology = cycle(8)
+        config = RandomWalkProbeConfig(walk_rounds=10, walks_per_candidate=2)
+        result = run_walk_phase(topology, {2: 77}, config)
+        observed = {r["max_walk_id"] for r in result.results()}
+        assert observed <= {0, 77}
+
+    def test_walks_stay_near_source_on_long_cycle(self):
+        topology = cycle(64)
+        config = RandomWalkProbeConfig(walk_rounds=6, walks_per_candidate=4)
+        result = run_walk_phase(topology, {0: 42}, config, seed=1)
+        results = result.results()
+        touched = [i for i, r in enumerate(results) if r["max_walk_id"] == 42]
+        # In 6 lazy steps a walk cannot be farther than 6 hops away.
+        assert all(min(i, 64 - i) <= 6 for i in touched)
+
+    def test_message_count_bounded_by_token_rounds(self):
+        topology = random_regular(16, 4, seed=3)
+        config = RandomWalkProbeConfig(walk_rounds=20, walks_per_candidate=5)
+        result = run_walk_phase(topology, {0: 10, 1: 20, 2: 30}, config, seed=5)
+        # At most one message per token movement: 15 tokens x 20 rounds,
+        # plus the initial scatter.
+        assert result.metrics.messages <= 15 * 21
+
+    def test_halts_after_configured_rounds(self):
+        topology = cycle(6)
+        config = RandomWalkProbeConfig(walk_rounds=7, walks_per_candidate=2)
+        result = run_walk_phase(topology, {0: 9}, config)
+        assert result.all_halted
+        assert result.rounds_executed == 8

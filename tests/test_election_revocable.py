@@ -1,0 +1,142 @@
+"""Tests for the blind revocable election (Algorithms 6–7, Theorem 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.election import (
+    Certificate,
+    ScaledSchedule,
+    default_scaled_schedule,
+    run_revocable_election,
+)
+from repro.graphs import algebraic_connectivity, complete, cycle, grid_2d, star
+
+
+class TestDefaultSchedule:
+    def test_uses_topology_connectivity(self):
+        topology = complete(5)
+        schedule = default_scaled_schedule(topology)
+        assert schedule.convergence_rate == pytest.approx(
+            algebraic_connectivity(topology)
+        )
+
+    def test_parameters_forwarded(self):
+        schedule = default_scaled_schedule(
+            complete(5), epsilon=0.25, xi=0.05, certification_min=7
+        )
+        assert schedule.epsilon == 0.25
+        assert schedule.xi == 0.05
+        assert schedule.certification_repeats(2) >= 7
+
+
+class TestRevocableElection:
+    def test_unique_leader_and_agreement_on_small_clique(self):
+        topology = complete(5)
+        result = run_revocable_election(topology, seed=7)
+        assert result.success
+        assert result.outcome.num_leaders == 1
+        assert result.outcome.agreement is True
+
+    def test_unique_leader_on_star(self):
+        result = run_revocable_election(star(5), seed=3)
+        assert result.success
+        assert result.outcome.agreement is True
+
+    def test_unique_leader_on_small_cycle(self):
+        result = run_revocable_election(cycle(5), seed=1)
+        assert result.success
+        assert result.outcome.agreement is True
+
+    def test_unique_leader_on_grid(self):
+        result = run_revocable_election(grid_2d(2, 3), seed=2)
+        assert result.success
+
+    def test_success_rate_across_seeds(self):
+        topology = complete(4)
+        schedule = default_scaled_schedule(topology)
+        successes = 0
+        for seed in range(6):
+            result = run_revocable_election(topology, seed=seed, schedule=schedule)
+            successes += result.success and result.outcome.agreement
+        assert successes >= 5
+
+    def test_leader_holds_strongest_certificate(self):
+        topology = complete(5)
+        result = run_revocable_election(topology, seed=7)
+        certificates = [
+            Certificate(estimate=r["own_estimate"], node_id=r["node_id"])
+            for r in result.node_results
+            if r["node_id"] is not None
+        ]
+        strongest = max(certificates, key=Certificate.sort_key)
+        leader_index = result.outcome.leader_indices[0]
+        leader = result.node_results[leader_index]
+        assert (leader["own_estimate"], leader["node_id"]) == strongest.as_tuple()
+
+    def test_all_nodes_choose_ids_by_the_final_estimate(self):
+        topology = complete(5)
+        result = run_revocable_election(topology, seed=7)
+        assert all(r["node_id"] is not None for r in result.node_results)
+        final = result.parameters["final_estimate"]
+        assert all(r["own_estimate"] <= final for r in result.node_results)
+
+    def test_no_node_decides_at_a_hopelessly_small_estimate(self):
+        # Lemma 7: nodes should not fix an ID while k^{1+eps}*log(4k) < n is
+        # grossly violated; with our tiny graphs this means estimates of at
+        # least 2.
+        topology = complete(6)
+        result = run_revocable_election(topology, seed=11)
+        assert all(r["own_estimate"] >= 2 for r in result.node_results)
+
+    def test_nodes_never_halt(self):
+        topology = complete(4)
+        result = run_revocable_election(topology, seed=5)
+        # Revocable election never terminates at the nodes; the driver just
+        # stops simulating.
+        assert not result.node_results[0]["leader"] is None
+        assert all(r["iterations_completed"] >= 1 for r in result.node_results)
+
+    def test_simulated_rounds_match_schedule(self):
+        topology = complete(4)
+        schedule = default_scaled_schedule(topology)
+        result = run_revocable_election(topology, seed=5, schedule=schedule)
+        expected = schedule.total_rounds_through(
+            result.parameters["final_estimate"]
+        ) + 2 * topology.num_nodes + 2
+        assert result.rounds_executed <= expected
+
+    def test_paper_bit_round_accounting_reported(self):
+        result = run_revocable_election(complete(4), seed=5)
+        assert result.parameters["paper_bit_rounds"] > result.rounds_executed
+
+    def test_message_complexity_tracks_m_times_rounds(self):
+        topology = complete(5)
+        result = run_revocable_election(topology, seed=7)
+        # Every round broadcasts over every edge in both directions at most.
+        assert result.messages <= 2 * topology.num_edges * result.rounds_executed
+
+    def test_max_rounds_cap_respected(self):
+        topology = complete(5)
+        result = run_revocable_election(topology, seed=7, max_rounds=50)
+        assert result.rounds_executed <= 50
+
+    def test_deterministic_given_seed(self):
+        topology = complete(4)
+        schedule = default_scaled_schedule(topology)
+        a = run_revocable_election(topology, seed=9, schedule=schedule)
+        b = run_revocable_election(topology, seed=9, schedule=schedule)
+        assert a.messages == b.messages
+        assert a.outcome.leader_indices == b.outcome.leader_indices
+
+    def test_custom_schedule_accepted(self):
+        topology = cycle(4)
+        schedule = ScaledSchedule(
+            epsilon=0.5,
+            xi=0.1,
+            convergence_rate=algebraic_connectivity(topology),
+            certification_min=4,
+        )
+        result = run_revocable_election(topology, seed=2, schedule=schedule)
+        assert result.parameters["schedule"] == "ScaledSchedule"
+        assert result.outcome.num_leaders >= 1

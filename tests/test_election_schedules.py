@@ -1,0 +1,153 @@
+"""Unit tests for the revocable-election parameter schedules."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.election import PaperSchedule, ScaledSchedule
+
+
+class TestCommonStructure:
+    @pytest.fixture(params=["paper", "scaled"])
+    def schedule(self, request):
+        if request.param == "paper":
+            return PaperSchedule(epsilon=1.0, xi=0.1)
+        return ScaledSchedule(epsilon=0.5, xi=0.1, convergence_rate=2.0)
+
+    def test_estimate_power(self, schedule):
+        assert schedule.estimate_power(4) == pytest.approx(4 ** (1 + schedule.epsilon))
+
+    def test_white_probability_formula(self, schedule):
+        k = 8
+        assert schedule.white_probability(k) == pytest.approx(
+            math.log(2.0) / schedule.estimate_power(k)
+        )
+
+    def test_white_probability_capped_at_one(self, schedule):
+        assert schedule.white_probability(1) <= 1.0
+
+    def test_threshold_below_one_and_increasing(self, schedule):
+        values = [schedule.potential_threshold(k) for k in (2, 4, 8, 16)]
+        assert all(0.0 <= v < 1.0 for v in values)
+        assert values == sorted(values)
+
+    def test_dissemination_rounds_grow(self, schedule):
+        assert schedule.dissemination_rounds(8) > schedule.dissemination_rounds(2)
+
+    def test_id_range_is_superlinear(self, schedule):
+        assert schedule.id_range(8) > 8 ** 4
+
+    def test_diffusion_rounds_positive_and_growing(self, schedule):
+        assert schedule.diffusion_rounds(2) >= 1
+        assert schedule.diffusion_rounds(16) > schedule.diffusion_rounds(4)
+
+    def test_certification_repeats_at_least_one(self, schedule):
+        assert schedule.certification_repeats(2) >= 1
+
+    def test_rounds_bookkeeping(self, schedule):
+        k = 4
+        per = schedule.rounds_per_certification(k)
+        assert per == schedule.diffusion_rounds(k) + schedule.dissemination_rounds(k)
+        assert schedule.rounds_for_estimate(k) == schedule.certification_repeats(k) * per
+
+    def test_estimates_iterator(self, schedule):
+        assert list(schedule.estimates(16)) == [2, 4, 8, 16]
+
+    def test_total_rounds_through_sums_estimates(self, schedule):
+        total = schedule.total_rounds_through(8)
+        assert total == sum(schedule.rounds_for_estimate(k) for k in (2, 4, 8))
+
+    def test_final_estimate_exceeds_4n(self, schedule):
+        for n in (1, 3, 10, 50):
+            k = schedule.final_estimate(n)
+            assert schedule.estimate_power(k) > 4 * n
+            assert schedule.estimate_power(k // 2) <= 4 * n
+
+    def test_final_estimate_rejects_nonpositive(self, schedule):
+        with pytest.raises(ConfigurationError):
+            schedule.final_estimate(0)
+
+    def test_paper_bit_rounds_exceed_simulated_rounds(self, schedule):
+        # Bit-by-bit transmission can only make rounds longer.
+        assert schedule.paper_bit_rounds_for_estimate(4) >= schedule.rounds_for_estimate(4)
+
+    def test_describe_rows(self, schedule):
+        rows = schedule.describe([2, 4])
+        assert len(rows) == 2
+        assert {"k", "r(k)", "f(k)", "p(k)", "tau(k)"} <= set(rows[0])
+
+    def test_epsilon_validation(self):
+        with pytest.raises(ConfigurationError):
+            PaperSchedule(epsilon=0.0)
+        with pytest.raises(ConfigurationError):
+            PaperSchedule(epsilon=1.5)
+        with pytest.raises(ConfigurationError):
+            PaperSchedule(xi=1.0)
+
+
+class TestPaperSchedule:
+    def test_theorem3_r_uses_isoperimetric_number(self):
+        blind = PaperSchedule(epsilon=1.0, xi=0.1)
+        informed = PaperSchedule(epsilon=1.0, xi=0.1, isoperimetric_number=2.0)
+        # Knowing i(G) tightens the diffusion length dramatically (Theorem 3
+        # vs Corollary 1).
+        assert informed.diffusion_rounds(8) < blind.diffusion_rounds(8)
+
+    def test_corollary1_form_matches_substitution(self):
+        # With i(G) = 2/k the Theorem 3 head term equals the Corollary 1 one.
+        k, eps = 8, 1.0
+        blind = PaperSchedule(epsilon=eps, xi=0.1)
+        informed = PaperSchedule(epsilon=eps, xi=0.1, isoperimetric_number=2.0 / k)
+        assert blind.diffusion_rounds(k) == pytest.approx(
+            informed.diffusion_rounds(k), rel=1e-6
+        )
+
+    def test_f_uses_paper_constant(self):
+        schedule = PaperSchedule(epsilon=1.0, xi=0.1)
+        k = 8
+        expected = (4 * math.sqrt(2) / (math.sqrt(2) - 1) ** 2) * math.log(
+            schedule.estimate_power(k) / schedule.xi
+        )
+        assert schedule.certification_repeats(k) == math.ceil(expected)
+
+    def test_paper_rounds_are_enormous(self):
+        # Sanity check of the Õ(n^{4(2+ε)}) blow-up the paper reports: even
+        # n = 8 needs hundreds of millions of rounds under Corollary 1.
+        schedule = PaperSchedule(epsilon=1.0, xi=0.1)
+        assert schedule.total_rounds_through(schedule.final_estimate(8)) > 10 ** 8
+
+    def test_isoperimetric_validation(self):
+        with pytest.raises(ConfigurationError):
+            PaperSchedule(isoperimetric_number=0.0)
+
+
+class TestScaledSchedule:
+    def test_scaled_is_cheaper_than_paper(self):
+        paper = PaperSchedule(epsilon=0.5, xi=0.1, isoperimetric_number=1.0)
+        scaled = ScaledSchedule(epsilon=0.5, xi=0.1, convergence_rate=1.0)
+        assert scaled.total_rounds_through(8) < paper.total_rounds_through(8)
+
+    def test_higher_convergence_rate_means_fewer_rounds(self):
+        slow = ScaledSchedule(convergence_rate=0.5)
+        fast = ScaledSchedule(convergence_rate=4.0)
+        assert fast.diffusion_rounds(8) < slow.diffusion_rounds(8)
+
+    def test_certification_min_respected(self):
+        schedule = ScaledSchedule(convergence_rate=1.0, certification_min=9)
+        assert schedule.certification_repeats(2) >= 9
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ScaledSchedule(convergence_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            ScaledSchedule(convergence_rate=1.0, diffusion_scale=0.0)
+        with pytest.raises(ConfigurationError):
+            ScaledSchedule(convergence_rate=1.0, certification_min=0)
+
+    def test_id_exponent_controls_range(self):
+        wide = ScaledSchedule(convergence_rate=1.0, id_exponent=4.0)
+        narrow = ScaledSchedule(convergence_rate=1.0, id_exponent=2.0)
+        assert narrow.id_range(8) < wide.id_range(8)

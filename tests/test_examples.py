@@ -1,0 +1,52 @@
+"""Smoke tests: every example script runs end to end on shrunk inputs."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_directory_has_quickstart_plus_scenarios(self):
+        scripts = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+        assert "quickstart" in scripts
+        assert len(scripts) >= 3
+
+    def test_quickstart_runs_and_elects(self, capsys):
+        module = load_example("quickstart")
+        assert module.main(n=24, seed=3) == 0
+        out = capsys.readouterr().out
+        assert "election outcomes" in out
+        assert "kowalski-mosteiro-irrevocable" in out
+
+    def test_sensor_field_runs(self, capsys):
+        module = load_example("sensor_field")
+        assert module.main(side=4, seed=2) == 0
+        out = capsys.readouterr().out
+        assert "coordinator election cost" in out
+
+    def test_unknown_size_swarm_runs(self, capsys):
+        module = load_example("unknown_size_swarm")
+        assert module.main(n=4, seed=3) == 0
+        out = capsys.readouterr().out
+        assert "per-robot view" in out
+
+    def test_impossibility_demo_runs(self, capsys):
+        module = load_example("impossibility_demo")
+        assert module.main(n=4, max_witnesses=2) == 0
+        out = capsys.readouterr().out
+        assert "broken on the wheel" in out

@@ -1,0 +1,178 @@
+"""Unit tests for the topology generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import TopologyError
+from repro.graphs import (
+    GENERATORS,
+    barbell,
+    binary_tree,
+    by_name,
+    complete,
+    cycle,
+    dumbbell,
+    erdos_renyi,
+    grid_2d,
+    hypercube,
+    lollipop,
+    path,
+    random_regular,
+    star,
+    torus_2d,
+    two_cliques_bridge,
+)
+
+
+class TestBasicFamilies:
+    def test_cycle(self):
+        topology = cycle(10)
+        assert topology.num_edges == 10
+        assert set(topology.degrees()) == {2}
+        assert topology.diameter() == 5
+
+    def test_cycle_minimum_size(self):
+        with pytest.raises(TopologyError):
+            cycle(2)
+
+    def test_path(self):
+        topology = path(10)
+        assert topology.num_edges == 9
+        assert topology.diameter() == 9
+        assert sorted(topology.degrees())[:2] == [1, 1]
+
+    def test_complete(self):
+        topology = complete(6)
+        assert topology.num_edges == 15
+        assert set(topology.degrees()) == {5}
+        assert topology.diameter() == 1
+
+    def test_star(self):
+        topology = star(7)
+        assert topology.degree(0) == 6
+        assert topology.diameter() == 2
+
+    def test_binary_tree(self):
+        topology = binary_tree(3)
+        assert topology.num_nodes == 15
+        assert topology.num_edges == 14
+        assert topology.degree(0) == 2
+
+
+class TestGridsAndCubes:
+    def test_grid_dimensions(self):
+        topology = grid_2d(3, 4)
+        assert topology.num_nodes == 12
+        assert topology.num_edges == 3 * 3 + 4 * 2
+        assert topology.diameter() == 5
+
+    def test_torus_is_regular(self):
+        topology = torus_2d(4, 4)
+        assert set(topology.degrees()) == {4}
+        assert topology.num_edges == 32
+
+    def test_torus_rejects_small_sides(self):
+        with pytest.raises(TopologyError):
+            torus_2d(2, 5)
+
+    def test_hypercube(self):
+        topology = hypercube(4)
+        assert topology.num_nodes == 16
+        assert set(topology.degrees()) == {4}
+        assert topology.diameter() == 4
+
+
+class TestRandomFamilies:
+    def test_random_regular_degree_and_connectivity(self):
+        topology = random_regular(20, 4, seed=1)
+        assert set(topology.degrees()) == {4}
+        assert topology.num_edges == 40
+
+    def test_random_regular_reproducible(self):
+        a = random_regular(16, 4, seed=3)
+        b = random_regular(16, 4, seed=3)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_random_regular_parity_check(self):
+        with pytest.raises(TopologyError):
+            random_regular(9, 3, seed=1)
+
+    def test_random_regular_degree_bounds(self):
+        with pytest.raises(TopologyError):
+            random_regular(8, 1, seed=1)
+        with pytest.raises(TopologyError):
+            random_regular(8, 8, seed=1)
+
+    def test_erdos_renyi_connected(self):
+        topology = erdos_renyi(30, seed=2)
+        assert topology.num_nodes == 30
+        assert topology.diameter() >= 1
+
+    def test_erdos_renyi_probability_validation(self):
+        with pytest.raises(TopologyError):
+            erdos_renyi(10, probability=0.0, seed=1)
+        with pytest.raises(TopologyError):
+            erdos_renyi(10, probability=1.5, seed=1)
+
+
+class TestBottleneckFamilies:
+    def test_barbell_structure(self):
+        topology = barbell(5)
+        assert topology.num_nodes == 10
+        # two K5's plus the bridge edge
+        assert topology.num_edges == 2 * 10 + 1
+
+    def test_two_cliques_bridge_alias(self):
+        assert two_cliques_bridge(5).num_edges == barbell(5).num_edges
+
+    def test_lollipop(self):
+        topology = lollipop(5, 4)
+        assert topology.num_nodes == 9
+        assert topology.num_edges == 10 + 4
+        assert topology.degree(topology.num_nodes - 1) == 1
+
+    def test_dumbbell(self):
+        topology = dumbbell(4, 3)
+        assert topology.num_nodes == 11
+        assert topology.num_edges == 2 * 6 + 4
+
+    def test_minimum_sizes_enforced(self):
+        with pytest.raises(TopologyError):
+            barbell(2)
+        with pytest.raises(TopologyError):
+            lollipop(5, 0)
+        with pytest.raises(TopologyError):
+            dumbbell(2, 3)
+
+
+class TestRegistry:
+    def test_by_name_dispatch(self):
+        topology = by_name("cycle", 12)
+        assert topology.num_nodes == 12
+
+    def test_by_name_unknown(self):
+        with pytest.raises(TopologyError):
+            by_name("moebius", 12)
+
+    def test_registry_contains_all_families(self):
+        expected = {
+            "cycle",
+            "path",
+            "complete",
+            "star",
+            "grid_2d",
+            "torus_2d",
+            "hypercube",
+            "binary_tree",
+            "random_regular",
+            "erdos_renyi",
+            "barbell",
+            "lollipop",
+            "dumbbell",
+        }
+        assert expected <= set(GENERATORS)
+
+    def test_names_embed_parameters(self):
+        assert "n=12" in cycle(12).name
+        assert "8x8" in torus_2d(8, 8).name

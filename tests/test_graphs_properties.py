@@ -1,0 +1,160 @@
+"""Unit tests for conductance, isoperimetric number and Cheeger bounds."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.graphs import (
+    EXACT_CUT_LIMIT,
+    barbell,
+    cheeger_bounds,
+    complete,
+    conductance,
+    conductance_exact,
+    conductance_sweep,
+    cut_conductance,
+    cut_expansion,
+    cycle,
+    expansion_profile,
+    isoperimetric_number,
+    isoperimetric_number_exact,
+    isoperimetric_number_sweep,
+    path,
+    random_regular,
+    star,
+)
+
+
+class TestCutQuantities:
+    def test_cut_conductance_on_cycle_half(self):
+        topology = cycle(8)
+        # Half the cycle: boundary 2, volume 8.
+        assert cut_conductance(topology, range(4)) == pytest.approx(2 / 8)
+
+    def test_cut_expansion_on_cycle_half(self):
+        topology = cycle(8)
+        assert cut_expansion(topology, range(4)) == pytest.approx(2 / 4)
+
+    def test_cut_expansion_flips_large_sets(self):
+        topology = cycle(8)
+        small = cut_expansion(topology, range(3))
+        large = cut_expansion(topology, range(3, 8))
+        assert small == pytest.approx(large)
+
+    def test_rejects_improper_subsets(self):
+        topology = cycle(6)
+        with pytest.raises(ConfigurationError):
+            cut_conductance(topology, [])
+        with pytest.raises(ConfigurationError):
+            cut_conductance(topology, range(6))
+
+
+class TestExactValues:
+    def test_cycle_conductance(self):
+        # Optimal cut of C_n splits it in half: 2 / (2 * floor(n/2)).
+        assert conductance_exact(cycle(8)) == pytest.approx(2 / 8)
+        assert conductance_exact(cycle(6)) == pytest.approx(2 / 6)
+
+    def test_cycle_isoperimetric(self):
+        assert isoperimetric_number_exact(cycle(8)) == pytest.approx(0.5)
+
+    def test_complete_graph_conductance(self):
+        n = 6
+        # Optimal cut has n/2 nodes: (n/2)^2 edges across, volume (n/2)(n-1).
+        expected = (n / 2) ** 2 / ((n / 2) * (n - 1))
+        assert conductance_exact(complete(n)) == pytest.approx(expected)
+
+    def test_complete_graph_isoperimetric(self):
+        assert isoperimetric_number_exact(complete(6)) == pytest.approx(3.0)
+
+    def test_path_is_worst_at_the_middle(self):
+        assert isoperimetric_number_exact(path(8)) == pytest.approx(1 / 4)
+
+    def test_star_isoperimetric(self):
+        # Any subset of leaves has expansion 1.
+        assert isoperimetric_number_exact(star(7)) == pytest.approx(1.0)
+
+    def test_barbell_has_tiny_conductance(self):
+        assert conductance_exact(barbell(4)) < 0.1
+
+    def test_single_node_rejected(self):
+        from repro.graphs import Topology
+
+        with pytest.raises(ConfigurationError):
+            conductance_exact(Topology(1, []))
+
+
+class TestSweepApproximation:
+    def test_sweep_upper_bounds_exact_on_small_graphs(self):
+        for topology in (cycle(10), complete(8), barbell(4), star(8)):
+            exact = conductance_exact(topology)
+            sweep = conductance_sweep(topology)
+            assert sweep >= exact - 1e-9
+
+    def test_sweep_is_tight_on_cycle(self):
+        topology = cycle(12)
+        assert conductance_sweep(topology) == pytest.approx(
+            conductance_exact(topology), rel=0.25
+        )
+
+    def test_isoperimetric_sweep_upper_bounds_exact(self):
+        for topology in (cycle(10), barbell(4)):
+            assert (
+                isoperimetric_number_sweep(topology)
+                >= isoperimetric_number_exact(topology) - 1e-9
+            )
+
+    def test_dispatcher_switches_on_size(self):
+        small = cycle(10)
+        large = random_regular(EXACT_CUT_LIMIT + 14, 4, seed=1)
+        assert conductance(small) == pytest.approx(conductance_exact(small))
+        # For the large graph the dispatcher must not take exponential time;
+        # we just check it returns a sensible positive value.
+        value = conductance(large)
+        assert 0.0 < value <= 1.0
+
+    def test_dispatcher_exact_override(self):
+        topology = cycle(10)
+        assert conductance(topology, exact=False) >= conductance(topology, exact=True) - 1e-9
+
+
+class TestCheeger:
+    def test_sandwich_holds_on_small_graphs(self):
+        for topology in (cycle(8), complete(6), star(8), barbell(4)):
+            lower, gap, upper = cheeger_bounds(topology)
+            assert lower <= gap + 1e-9
+            assert gap <= upper + 1e-9
+
+    def test_known_mixing_conductance_relation(self):
+        # 1/phi <= t_mix <= 1/phi^2 up to constants (used in Section 1).
+        from repro.graphs import mixing_time
+
+        topology = cycle(12)
+        phi = conductance_exact(topology)
+        t_mix = mixing_time(topology)
+        assert t_mix >= 1.0 / (4.0 * phi)
+        assert t_mix <= 16.0 / (phi * phi) * math.log(12)
+
+
+class TestExpansionProfile:
+    def test_profile_consistency(self):
+        topology = cycle(10)
+        profile = expansion_profile(topology)
+        assert profile.num_nodes == 10
+        assert profile.diameter == 5
+        assert profile.conductance == pytest.approx(conductance(topology))
+        assert profile.isoperimetric_number == pytest.approx(isoperimetric_number(topology))
+        assert profile.min_degree == profile.max_degree == 2
+
+    def test_profile_as_dict(self):
+        data = expansion_profile(complete(6)).as_dict()
+        assert data["name"].startswith("complete")
+        assert {"conductance", "isoperimetric_number", "mixing_time", "diameter"} <= set(data)
+
+    def test_isoperimetric_at_least_conductance_times_min_degree_fraction(self):
+        # i(G) >= phi(G) since volumes upper-bound set sizes times min degree.
+        topology = random_regular(16, 4, seed=2)
+        assert isoperimetric_number(topology) >= conductance(topology) - 1e-9

@@ -1,0 +1,141 @@
+"""Unit tests for token-level random-walk machinery."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import ConfigurationError
+from repro.graphs import (
+    WalkPopulation,
+    complete,
+    cycle,
+    empirical_cover_time,
+    empirical_hitting_time,
+    estimate_hitting_probability,
+    lazy_walk_step,
+    simulate_lazy_walk,
+    star,
+    walk_distribution_after,
+)
+
+
+class TestSingleWalk:
+    def test_step_stays_or_moves_to_neighbor(self):
+        topology = cycle(6)
+        rng = random.Random(0)
+        for _ in range(50):
+            nxt = lazy_walk_step(topology, 0, rng)
+            assert nxt in (0, 1, 5)
+
+    def test_laziness_probability_roughly_half(self):
+        topology = cycle(6)
+        rng = random.Random(1)
+        stays = sum(lazy_walk_step(topology, 0, rng) == 0 for _ in range(2000))
+        assert 0.4 < stays / 2000 < 0.6
+
+    def test_trajectory_length_and_contiguity(self):
+        topology = cycle(8)
+        rng = random.Random(2)
+        trajectory = simulate_lazy_walk(topology, 3, 20, rng)
+        assert len(trajectory) == 21
+        for a, b in zip(trajectory, trajectory[1:]):
+            assert a == b or topology.has_edge(a, b)
+
+    def test_negative_steps_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simulate_lazy_walk(cycle(5), 0, -1, random.Random(0))
+
+
+class TestWalkPopulation:
+    def test_token_count_is_conserved(self):
+        topology = cycle(8)
+        population = WalkPopulation.from_sources(topology, {0: 5, 3: 2})
+        rng = random.Random(0)
+        for _ in range(10):
+            population.step(rng)
+            assert population.total_tokens == 7
+
+    def test_occupied_nodes_expand_over_time(self):
+        topology = cycle(16)
+        population = WalkPopulation.from_sources(topology, {0: 10})
+        rng = random.Random(1)
+        seen = population.run(60, rng)
+        assert len(seen) > 3
+        assert 0 in seen
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ConfigurationError):
+            WalkPopulation.from_sources(cycle(5), {0: -1})
+
+    def test_hitting_probability_is_one_when_target_is_source(self):
+        topology = cycle(8)
+        probability = estimate_hitting_probability(
+            topology,
+            sources=[0],
+            targets=[0],
+            walks_per_source=1,
+            steps=0,
+            rng=random.Random(0),
+        )
+        assert probability == 1.0
+
+    def test_hitting_probability_requires_targets(self):
+        with pytest.raises(ConfigurationError):
+            estimate_hitting_probability(
+                cycle(8),
+                sources=[0],
+                targets=[],
+                walks_per_source=1,
+                steps=1,
+                rng=random.Random(0),
+            )
+
+    def test_many_walks_hit_large_target_on_complete_graph(self):
+        topology = complete(16)
+        probability = estimate_hitting_probability(
+            topology,
+            sources=[0],
+            targets=range(8, 16),
+            walks_per_source=20,
+            steps=10,
+            rng=random.Random(3),
+        )
+        assert probability == 1.0
+
+
+class TestExactDistribution:
+    def test_distribution_sums_to_one(self):
+        distribution = walk_distribution_after(cycle(9), 0, 5)
+        assert distribution.sum() == pytest.approx(1.0)
+
+    def test_distribution_converges_to_stationary(self):
+        topology = star(6)
+        distribution = walk_distribution_after(topology, 1, 200)
+        from repro.graphs import stationary_distribution
+
+        assert np.allclose(distribution, stationary_distribution(topology), atol=1e-3)
+
+    def test_zero_steps_is_point_mass(self):
+        distribution = walk_distribution_after(cycle(5), 2, 0)
+        assert distribution[2] == 1.0
+
+
+class TestEmpiricalStatistics:
+    def test_hitting_time_neighbor_vs_antipode(self):
+        topology = cycle(12)
+        rng = random.Random(5)
+        near = empirical_hitting_time(topology, 0, 1, rng, repeats=30)
+        far = empirical_hitting_time(topology, 0, 6, rng, repeats=30)
+        assert far > near
+
+    def test_hitting_time_zero_for_same_node(self):
+        assert empirical_hitting_time(cycle(8), 2, 2, random.Random(0), repeats=3) == 0
+
+    def test_cover_time_complete_beats_cycle(self):
+        rng = random.Random(7)
+        cover_complete = empirical_cover_time(complete(8), 0, rng, repeats=3)
+        cover_cycle = empirical_cover_time(cycle(8), 0, rng, repeats=3)
+        assert cover_complete < cover_cycle

@@ -1,0 +1,155 @@
+"""Unit tests for the port-numbered anonymous topology."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core import TopologyError
+from repro.graphs import Topology, cycle, star
+
+
+class TestConstruction:
+    def test_basic_counts(self):
+        topology = Topology(3, [(0, 1), (1, 2), (2, 0)])
+        assert topology.num_nodes == 3
+        assert topology.num_edges == 3
+        assert sorted(topology.degrees()) == [2, 2, 2]
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(TopologyError):
+            Topology(0, [])
+
+    def test_rejects_out_of_range_edge(self):
+        with pytest.raises(TopologyError):
+            Topology(2, [(0, 5)])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(TopologyError):
+            Topology(2, [(0, 0)])
+
+    def test_rejects_parallel_edges(self):
+        with pytest.raises(TopologyError):
+            Topology(2, [(0, 1), (1, 0)])
+
+    def test_rejects_disconnected_by_default(self):
+        with pytest.raises(TopologyError):
+            Topology(4, [(0, 1), (2, 3)])
+
+    def test_disconnected_allowed_when_requested(self):
+        topology = Topology(4, [(0, 1), (2, 3)], require_connected=False)
+        assert topology.num_edges == 2
+
+    def test_single_node_is_connected(self):
+        topology = Topology(1, [])
+        assert topology.num_nodes == 1
+        assert topology.degree(0) == 0
+
+
+class TestPorts:
+    def test_ports_cover_neighbors_bijectively(self):
+        topology = star(5)
+        hub_neighbors = {topology.neighbor_via(0, port) for port in range(1, 5)}
+        assert hub_neighbors == {1, 2, 3, 4}
+
+    def test_endpoint_roundtrip(self):
+        topology = cycle(6)
+        for node in range(6):
+            for port in range(1, topology.degree(node) + 1):
+                neighbor, neighbor_port = topology.endpoint(node, port)
+                back, back_port = topology.endpoint(neighbor, neighbor_port)
+                assert back == node
+                assert back_port == port
+
+    def test_port_to_inverse_of_neighbor_via(self):
+        topology = cycle(5)
+        for node in range(5):
+            for neighbor in topology.neighbors(node):
+                port = topology.port_to(node, neighbor)
+                assert topology.neighbor_via(node, port) == neighbor
+
+    def test_port_to_rejects_non_neighbors(self):
+        topology = cycle(5)
+        with pytest.raises(TopologyError):
+            topology.port_to(0, 2)
+
+    def test_invalid_port_rejected(self):
+        topology = cycle(5)
+        with pytest.raises(TopologyError):
+            topology.endpoint(0, 3)
+        with pytest.raises(TopologyError):
+            topology.endpoint(0, 0)
+
+    def test_random_port_assignment_is_a_permutation(self):
+        canonical = star(6)
+        shuffled = star(6, port_seed=99)
+        assert set(canonical.port_order(0)) == set(shuffled.port_order(0))
+
+    def test_with_port_seed_preserves_edges(self):
+        topology = cycle(6)
+        reshuffled = topology.with_port_seed(3)
+        assert sorted(topology.edges()) == sorted(reshuffled.edges())
+
+    def test_port_seed_changes_assignment_somewhere(self):
+        topology = star(8)
+        reshuffled = topology.with_port_seed(123)
+        assert any(
+            topology.port_order(node) != reshuffled.port_order(node)
+            for node in range(topology.num_nodes)
+        )
+
+
+class TestQueries:
+    def test_has_edge(self):
+        topology = cycle(4)
+        assert topology.has_edge(0, 1)
+        assert not topology.has_edge(0, 2)
+
+    def test_volume(self):
+        topology = star(5)
+        assert topology.volume() == 2 * topology.num_edges
+        assert topology.volume([0]) == 4
+        assert topology.volume([1, 2]) == 2
+
+    def test_edge_boundary(self):
+        topology = cycle(6)
+        assert topology.edge_boundary({0, 1, 2}) == 2
+        assert topology.edge_boundary({0, 2, 4}) == 6
+
+    def test_bfs_distances_and_diameter(self):
+        topology = cycle(8)
+        distances = topology.bfs_distances(0)
+        assert distances[4] == 4
+        assert topology.diameter() == 4
+
+    def test_out_of_range_node_rejected(self):
+        topology = cycle(4)
+        with pytest.raises(TopologyError):
+            topology.degree(9)
+
+    def test_equality_and_hash(self):
+        a = cycle(5)
+        b = cycle(5)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != cycle(6)
+
+    def test_repr_mentions_size(self):
+        assert "n=5" in repr(cycle(5))
+
+
+class TestNetworkxInterop:
+    def test_to_networkx_preserves_structure(self):
+        topology = cycle(7)
+        graph = topology.to_networkx()
+        assert graph.number_of_nodes() == 7
+        assert graph.number_of_edges() == 7
+        assert nx.is_connected(graph)
+
+    def test_from_networkx_roundtrip(self):
+        graph = nx.petersen_graph()
+        topology = Topology.from_networkx(graph, name="petersen")
+        assert topology.num_nodes == 10
+        assert topology.num_edges == 15
+        assert topology.name == "petersen"
+        assert topology.diameter() == 2

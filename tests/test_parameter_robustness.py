@@ -1,0 +1,99 @@
+"""Robustness to approximate knowledge (Section 4's "linear upper bounds").
+
+The paper notes that the known-``n`` protocol only needs *linear upper
+bounds* on ``n``, ``t_mix`` and (a lower bound on) ``Φ`` — exact values are
+used in the presentation purely for simplicity.  These tests run the
+protocol with deliberately slack parameters and check the election still
+succeeds, and that the cost degrades in the direction the formulas predict
+(more walks / longer phases), never correctness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.election import IrrevocableConfig, run_irrevocable_election
+from repro.graphs import conductance, mixing_time, random_regular
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return random_regular(24, 4, seed=13)
+
+
+@pytest.fixture(scope="module")
+def exact_parameters(topology):
+    return {
+        "n": topology.num_nodes,
+        "t_mix": mixing_time(topology),
+        "conductance": conductance(topology),
+    }
+
+
+class TestLinearUpperBounds:
+    def test_doubled_n_still_elects(self, topology, exact_parameters):
+        config = IrrevocableConfig(
+            n=2 * exact_parameters["n"],
+            t_mix=exact_parameters["t_mix"],
+            conductance=exact_parameters["conductance"],
+        )
+        result = run_irrevocable_election(topology, seed=5, config=config)
+        assert result.success
+
+    def test_doubled_mixing_time_still_elects(self, topology, exact_parameters):
+        config = IrrevocableConfig(
+            n=exact_parameters["n"],
+            t_mix=2 * exact_parameters["t_mix"],
+            conductance=exact_parameters["conductance"],
+        )
+        result = run_irrevocable_election(topology, seed=5, config=config)
+        assert result.success
+
+    def test_halved_conductance_still_elects(self, topology, exact_parameters):
+        config = IrrevocableConfig(
+            n=exact_parameters["n"],
+            t_mix=exact_parameters["t_mix"],
+            conductance=exact_parameters["conductance"] / 2,
+        )
+        result = run_irrevocable_election(topology, seed=5, config=config)
+        assert result.success
+
+    def test_all_bounds_slack_simultaneously(self, topology, exact_parameters):
+        config = IrrevocableConfig(
+            n=2 * exact_parameters["n"],
+            t_mix=2 * exact_parameters["t_mix"],
+            conductance=exact_parameters["conductance"] / 2,
+        )
+        result = run_irrevocable_election(topology, seed=5, config=config)
+        assert result.success
+
+    def test_slack_parameters_only_increase_cost(self, topology, exact_parameters):
+        exact = IrrevocableConfig(**exact_parameters)
+        slack = IrrevocableConfig(
+            n=2 * exact_parameters["n"],
+            t_mix=2 * exact_parameters["t_mix"],
+            conductance=exact_parameters["conductance"] / 2,
+        )
+        exact_result = run_irrevocable_election(topology, seed=5, config=exact)
+        slack_result = run_irrevocable_election(topology, seed=5, config=slack)
+        assert slack_result.rounds_executed > exact_result.rounds_executed
+        assert slack_result.messages > exact_result.messages
+
+    def test_slack_increases_walks_and_territory(self, exact_parameters):
+        exact = IrrevocableConfig(**exact_parameters)
+        slack = IrrevocableConfig(
+            n=2 * exact_parameters["n"],
+            t_mix=exact_parameters["t_mix"],
+            conductance=exact_parameters["conductance"] / 2,
+        )
+        assert slack.walks_per_candidate >= exact.walks_per_candidate
+        assert slack.territory_cap >= exact.territory_cap
+
+    def test_underestimating_conductance_never_shrinks_walk_budget(self, exact_parameters):
+        accurate = IrrevocableConfig(**exact_parameters)
+        pessimistic = IrrevocableConfig(
+            n=exact_parameters["n"],
+            t_mix=exact_parameters["t_mix"],
+            conductance=exact_parameters["conductance"] / 4,
+        )
+        assert pessimistic.walks_per_candidate >= 2 * accurate.walks_per_candidate - 1

@@ -1,0 +1,188 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from __future__ import annotations
+
+import math
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import MetricsCollector, bits_for_int
+from repro.election import Certificate, best_certificate
+from repro.election.ids import candidate_probability, id_space_size
+from repro.graphs import (
+    Topology,
+    cheeger_bounds,
+    conductance_exact,
+    cut_conductance,
+    cycle,
+    isoperimetric_number_exact,
+    mixing_time,
+    random_regular,
+    spectral_gap,
+    stationary_distribution,
+)
+
+# Hypothesis settings: the graph-heavy properties build topologies, which is
+# not instantaneous, so cap the number of examples to keep the suite quick.
+GRAPH_SETTINGS = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+# --------------------------------------------------------------------------- #
+# strategies
+# --------------------------------------------------------------------------- #
+
+small_cycle_sizes = st.integers(min_value=3, max_value=14)
+certificates = st.builds(
+    Certificate,
+    estimate=st.integers(min_value=1, max_value=2 ** 20),
+    node_id=st.integers(min_value=1, max_value=2 ** 30),
+)
+
+
+@st.composite
+def connected_topologies(draw) -> Topology:
+    """Small random connected graphs: a random tree plus extra edges."""
+    n = draw(st.integers(min_value=2, max_value=12))
+    rng = random.Random(draw(st.integers(min_value=0, max_value=2 ** 16)))
+    edges = set()
+    for v in range(1, n):
+        u = rng.randrange(v)
+        edges.add((u, v))
+    extra = draw(st.integers(min_value=0, max_value=n))
+    for _ in range(extra):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    return Topology(n, sorted(edges), name=f"random_connected(n={n})")
+
+
+# --------------------------------------------------------------------------- #
+# core encoding properties
+# --------------------------------------------------------------------------- #
+
+
+class TestEncodingProperties:
+    @given(st.integers(min_value=0, max_value=2 ** 62))
+    def test_bits_for_int_matches_bit_length(self, value):
+        assert bits_for_int(value) == max(1, value.bit_length())
+
+    @given(st.integers(min_value=1, max_value=10 ** 6))
+    def test_id_space_is_fourth_power(self, n):
+        assert id_space_size(n) == max(2, n) ** 4
+
+    @given(st.integers(min_value=1, max_value=10 ** 6), st.floats(min_value=0.1, max_value=10))
+    def test_candidate_probability_is_a_probability(self, n, c):
+        p = candidate_probability(n, c)
+        assert 0.0 < p <= 1.0
+
+    @given(st.lists(st.tuples(st.integers(0, 1000), st.integers(0, 1000)), max_size=30))
+    def test_metrics_merge_is_additive(self, records):
+        a, b, merged = MetricsCollector(), MetricsCollector(), MetricsCollector()
+        for i, (bits, count) in enumerate(records):
+            target = a if i % 2 == 0 else b
+            target.record_message(bits=bits, count=count)
+            target.record_round()
+        merged.merge(a)
+        merged.merge(b)
+        assert merged.messages == a.messages + b.messages
+        assert merged.bits == a.bits + b.bits
+        assert merged.rounds == a.rounds + b.rounds
+
+
+# --------------------------------------------------------------------------- #
+# certificate ordering properties
+# --------------------------------------------------------------------------- #
+
+
+class TestCertificateProperties:
+    @given(certificates, certificates)
+    def test_beats_is_antisymmetric(self, a, b):
+        if a == b:
+            assert not a.beats(b) and not b.beats(a)
+        else:
+            assert a.beats(b) != b.beats(a)
+
+    @given(certificates, certificates, certificates)
+    def test_beats_is_transitive(self, a, b, c):
+        if a.beats(b) and b.beats(c):
+            assert a.beats(c)
+
+    @given(st.lists(certificates, min_size=1, max_size=20))
+    def test_best_certificate_beats_all_others(self, items):
+        best = best_certificate(items)
+        assert best in items
+        assert all(best == other or best.beats(other) for other in items)
+
+
+# --------------------------------------------------------------------------- #
+# graph-theoretic invariants
+# --------------------------------------------------------------------------- #
+
+
+class TestTopologyProperties:
+    @GRAPH_SETTINGS
+    @given(connected_topologies())
+    def test_port_maps_are_involutive(self, topology):
+        for node in range(topology.num_nodes):
+            for port in range(1, topology.degree(node) + 1):
+                neighbor, neighbor_port = topology.endpoint(node, port)
+                assert topology.endpoint(neighbor, neighbor_port) == (node, port)
+
+    @GRAPH_SETTINGS
+    @given(connected_topologies())
+    def test_handshake_lemma(self, topology):
+        assert sum(topology.degrees()) == 2 * topology.num_edges
+
+    @GRAPH_SETTINGS
+    @given(connected_topologies())
+    def test_stationary_distribution_sums_to_one(self, topology):
+        if topology.num_edges == 0:
+            return
+        pi = stationary_distribution(topology)
+        assert math.isclose(float(pi.sum()), 1.0, rel_tol=1e-9)
+
+    @GRAPH_SETTINGS
+    @given(connected_topologies())
+    def test_cheeger_sandwich(self, topology):
+        if topology.num_nodes < 2 or topology.num_edges == 0:
+            return
+        lower, gap, upper = cheeger_bounds(topology)
+        assert lower <= gap + 1e-9 <= upper + 2e-9
+
+    @GRAPH_SETTINGS
+    @given(connected_topologies())
+    def test_isoperimetric_dominates_conductance(self, topology):
+        if topology.num_nodes < 2 or topology.num_edges == 0:
+            return
+        assert (
+            isoperimetric_number_exact(topology)
+            >= conductance_exact(topology) - 1e-12
+        )
+
+    @GRAPH_SETTINGS
+    @given(connected_topologies(), st.integers(min_value=0, max_value=2 ** 16))
+    def test_conductance_is_a_lower_bound_over_cuts(self, topology, seed):
+        if topology.num_nodes < 2:
+            return
+        rng = random.Random(seed)
+        size = rng.randint(1, topology.num_nodes - 1)
+        subset = rng.sample(range(topology.num_nodes), size)
+        assert conductance_exact(topology) <= cut_conductance(topology, subset) + 1e-12
+
+    @given(small_cycle_sizes)
+    def test_mixing_time_vs_spectral_relation_on_cycles(self, n):
+        topology = cycle(n)
+        t_mix = mixing_time(topology)
+        gap = spectral_gap(topology)
+        # t_mix >= (1/gap - 1) * ln 2 is the standard lower bound.
+        assert t_mix >= (1.0 / gap - 1.0) * math.log(2.0) - 1.0
+
+    @given(st.integers(min_value=2, max_value=6))
+    def test_random_regular_is_regular(self, half_degree):
+        degree = 2 * half_degree // 2 + 2  # even degrees 4..8
+        topology = random_regular(16, degree, seed=half_degree)
+        assert set(topology.degrees()) == {degree}

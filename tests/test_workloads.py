@@ -1,0 +1,76 @@
+"""Unit tests for the named topology suites."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.workloads import (
+    SUITES,
+    mixed_suite,
+    poorly_connected_suite,
+    scaling_family,
+    suite_by_name,
+    tiny_suite,
+    well_connected_suite,
+)
+from repro.graphs import conductance, mixing_time
+
+
+class TestSuites:
+    def test_registry_contains_all_builders(self):
+        assert {"well_connected", "poorly_connected", "mixed", "tiny"} <= set(SUITES)
+
+    def test_suite_by_name_dispatch(self):
+        suite = suite_by_name("tiny")
+        assert len(suite) >= 3
+
+    def test_suite_by_name_unknown(self):
+        with pytest.raises(ConfigurationError):
+            suite_by_name("nonexistent")
+
+    def test_well_connected_sizes(self):
+        suite = well_connected_suite(sizes=(16, 32))
+        names = [t.name for t in suite]
+        assert any("random_regular(n=16" in name for name in names)
+        assert any("hypercube" in name for name in names)
+        assert all(t.num_nodes >= 8 for t in suite)
+
+    def test_poorly_connected_contains_cycles_and_barbell(self):
+        suite = poorly_connected_suite(sizes=(16,))
+        names = " ".join(t.name for t in suite)
+        assert "cycle" in names and "barbell" in names
+
+    def test_mixed_suite_spans_regimes(self):
+        suite = mixed_suite()
+        conductances = [conductance(t) for t in suite]
+        assert max(conductances) / min(conductances) > 3
+
+    def test_tiny_suite_is_small(self):
+        assert all(t.num_nodes <= 8 for t in tiny_suite())
+
+    def test_suites_are_reproducible(self):
+        a = [t.name for t in well_connected_suite(sizes=(16,), seed=3)]
+        b = [t.name for t in well_connected_suite(sizes=(16,), seed=3)]
+        assert a == b
+        first = well_connected_suite(sizes=(16,), seed=3)[0]
+        second = well_connected_suite(sizes=(16,), seed=3)[0]
+        assert sorted(first.edges()) == sorted(second.edges())
+
+
+class TestScalingFamily:
+    def test_random_regular_family_sizes(self):
+        family = scaling_family("random_regular", [16, 32])
+        assert [t.num_nodes for t in family] == [16, 32]
+
+    def test_cycle_family_mixing_grows(self):
+        family = scaling_family("cycle", [8, 16])
+        assert mixing_time(family[1]) > mixing_time(family[0])
+
+    def test_torus_family_uses_square_sides(self):
+        family = scaling_family("torus", [16, 36])
+        assert [t.num_nodes for t in family] == [16, 36]
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scaling_family("moebius", [8])
