@@ -14,6 +14,7 @@ helpers here take care of the bookkeeping that is common to all of them:
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 from typing import Dict, Iterable, List
 
@@ -51,3 +52,18 @@ def record_report(experiment_id: str, *sections: str) -> Path:
 def rows_table(rows: List[dict], title: str, columns=None) -> str:
     """Thin wrapper over :func:`repro.analysis.render_table`."""
     return render_table(rows, title=title, columns=columns)
+
+
+def record_bench_json(experiment_id: str, payload: Dict[str, object]) -> Path:
+    """Persist a machine-readable benchmark record and print a BENCH line.
+
+    The record lands in ``benchmarks/results/<experiment>.json`` and a
+    single ``BENCH {...}`` line goes to stdout, so perf trajectories can be
+    collected from CI logs with a grep.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    record = {"experiment": experiment_id, **payload}
+    path = RESULTS_DIR / f"{experiment_id}.json"
+    path.write_text(json.dumps(record, indent=1, sort_keys=True) + "\n", encoding="utf-8")
+    print(f"BENCH {json.dumps(record, sort_keys=True)}")
+    return path

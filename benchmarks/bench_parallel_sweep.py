@@ -1,0 +1,123 @@
+"""Experiment ``bench-parallel-sweep``: serial vs parallel sweep wall-clock.
+
+The parallel engine exists so that the paper's crossover claims can be
+checked on grids far larger than the serial driver can finish.  This
+benchmark tracks the thing that justifies it: wall-clock for the same
+``mixed_suite`` sweep (flooding + the Theorem 1 protocol, two seeds each)
+executed serially and through a 4-worker pool, with per-run sharding over
+the suite's deliberately skewed topology costs.
+
+Two guarantees are asserted, one always and one hardware-permitting:
+
+* the parallel cells are identical to the serial cells (wall-clock
+  readings aside) — determinism is non-negotiable;
+* on machines with >= 4 usable cores, the pool must deliver at least a 2x
+  speedup.  On smaller runners the measured ratio is still recorded in the
+  BENCH JSON so the perf trajectory keeps its history, but the threshold
+  is not enforced (there is nothing to parallelise onto).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.parallel import run_experiments
+from repro.workloads import mixed_suite, sweep_specs
+
+from _harness import record_bench_json, record_report, rows_table
+
+EXPERIMENT_ID = "bench-parallel-sweep"
+ALGORITHMS = ("flooding", "irrevocable")
+SEEDS = (0, 1)
+WORKERS = 4
+
+
+def _build_specs():
+    return sweep_specs(
+        ALGORITHMS, mixed_suite(), seeds=SEEDS, collect_profile=False
+    )
+
+
+def _run_both():
+    started = time.perf_counter()
+    serial = run_experiments(_build_specs(), workers=1)
+    serial_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = run_experiments(_build_specs(), workers=WORKERS)
+    parallel_seconds = time.perf_counter() - started
+    return serial, serial_seconds, parallel, parallel_seconds
+
+
+def _comparable(cells):
+    rows = []
+    for cell in cells:
+        row = cell.as_dict()
+        row.pop("mean_wall_clock_seconds")
+        rows.append(row)
+    return rows
+
+
+@pytest.mark.benchmark(group=EXPERIMENT_ID)
+def test_parallel_sweep(benchmark):
+    serial, serial_seconds, parallel, parallel_seconds = benchmark.pedantic(
+        _run_both, rounds=1, iterations=1
+    )
+
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else 0.0
+    # Affinity-aware count: cgroup/taskset-restricted runners report the
+    # cores this process can actually use, not the host's.
+    cpu_count = len(os.sched_getaffinity(0))
+    cells = sum(len(result.cells) for result in serial)
+    runs = cells * len(SEEDS)
+
+    rows = [
+        {"backend": "serial", "workers": 1, "wall_clock_seconds": serial_seconds},
+        {
+            "backend": "parallel",
+            "workers": WORKERS,
+            "wall_clock_seconds": parallel_seconds,
+        },
+    ]
+    record_report(
+        EXPERIMENT_ID,
+        rows_table(
+            rows,
+            f"mixed_suite sweep ({runs} runs, {cells} cells): serial vs "
+            f"{WORKERS}-worker pool (cpu_count={cpu_count})",
+        ),
+    )
+    record_bench_json(
+        EXPERIMENT_ID,
+        {
+            "suite": "mixed",
+            "algorithms": list(ALGORITHMS),
+            "runs": runs,
+            "cells": cells,
+            "workers": WORKERS,
+            "cpu_count": cpu_count,
+            "serial_seconds": serial_seconds,
+            "parallel_seconds": parallel_seconds,
+            "speedup": speedup,
+        },
+    )
+
+    # --- shape checks ----------------------------------------------------- #
+    # Determinism first: the pool must not change a single aggregate.
+    for serial_result, parallel_result in zip(serial, parallel):
+        assert _comparable(parallel_result.cells) == _comparable(serial_result.cells)
+
+    if cpu_count >= WORKERS:
+        assert speedup >= 2.0, (
+            f"expected >=2x speedup with {WORKERS} workers on {cpu_count} "
+            f"cores, measured {speedup:.2f}x "
+            f"({serial_seconds:.1f}s -> {parallel_seconds:.1f}s)"
+        )
+    else:
+        print(
+            f"only {cpu_count} usable core(s): speedup threshold not "
+            f"enforced (measured {speedup:.2f}x)"
+        )

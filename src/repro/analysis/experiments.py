@@ -14,7 +14,8 @@ from __future__ import annotations
 import statistics
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..core.errors import ConfigurationError
 from ..election.base import LeaderElectionResult
@@ -26,6 +27,8 @@ __all__ = [
     "ExperimentSpec",
     "ExperimentCell",
     "ExperimentResult",
+    "aggregate_cell",
+    "execute_run",
     "run_experiment",
     "summarize_results",
 ]
@@ -129,11 +132,84 @@ class ExperimentResult:
         return [cell.as_dict() for cell in self.cells]
 
 
+def execute_run(
+    runner: ElectionRunner, topology: Topology, seed: int
+) -> Tuple[LeaderElectionResult, float]:
+    """Execute one (topology, seed) run and measure its wall-clock time.
+
+    This is the single unit of work shared by the serial driver below and
+    the worker processes of :mod:`repro.parallel`; keeping it in one place
+    guarantees both backends run cells identically.
+    """
+    started = time.perf_counter()
+    result = runner(topology, seed)
+    return result, time.perf_counter() - started
+
+
+def aggregate_cell(
+    topology: Topology,
+    runs: Sequence[LeaderElectionResult],
+    wall_clock: Sequence[float],
+    *,
+    profile: Optional[ExpansionProfile] = None,
+    keep_results: bool = False,
+) -> ExperimentCell:
+    """Aggregate the per-seed runs of one (algorithm, topology) cell.
+
+    Both the serial and the parallel experiment backends funnel through
+    this function, so cell statistics are computed identically regardless
+    of how the runs were scheduled.
+    """
+    messages = [float(run.messages) for run in runs]
+    return ExperimentCell(
+        algorithm=runs[0].algorithm,
+        topology_name=topology.name,
+        num_nodes=topology.num_nodes,
+        num_edges=topology.num_edges,
+        runs=len(runs),
+        successes=sum(run.success for run in runs),
+        mean_messages=statistics.fmean(messages),
+        mean_bits=statistics.fmean(float(run.bits) for run in runs),
+        mean_rounds=statistics.fmean(float(run.rounds_executed) for run in runs),
+        stdev_messages=statistics.pstdev(messages) if len(messages) > 1 else 0.0,
+        mean_wall_clock_seconds=statistics.fmean(wall_clock),
+        profile=profile,
+        results=list(runs) if keep_results else [],
+    )
+
+
+def resolve_profile(
+    topology: Topology,
+    profiles: Dict[str, ExpansionProfile],
+    collect_profile: bool,
+) -> Optional[ExpansionProfile]:
+    """Look up (or compute and cache) the expansion profile of a topology.
+
+    Caller-supplied entries are keyed by display name (the benchmarks'
+    long-standing contract), but profiles computed here are cached under
+    the topology's structure fingerprint: a grid may contain distinct
+    graph instances that share a display name, and those must not
+    silently inherit each other's mixing time or conductance.
+    """
+    if not collect_profile:
+        return None
+    profile = profiles.get(topology.fingerprint())
+    if profile is None:
+        profile = profiles.get(topology.name)
+    if profile is None:
+        profile = expansion_profile(topology)
+        profiles[topology.fingerprint()] = profile
+    return profile
+
+
 def run_experiment(
     spec: ExperimentSpec,
     *,
     profiles: Optional[Dict[str, ExpansionProfile]] = None,
     keep_results: bool = False,
+    workers: Optional[int] = None,
+    checkpoint: Optional[Union[str, Path]] = None,
+    start_method: Optional[str] = None,
 ) -> ExperimentResult:
     """Run every (topology, seed) pair of the spec and aggregate per topology.
 
@@ -141,38 +217,43 @@ def run_experiment(
     benchmarks reuse them across algorithms to avoid recomputing mixing
     times); missing entries are computed on demand when
     ``spec.collect_profile`` is set.
+
+    ``workers`` > 1 dispatches the (topology, seed) runs to a
+    :mod:`multiprocessing` pool via :mod:`repro.parallel`; results are
+    identical to the serial backend (same seeds, same aggregation — only
+    wall-clock readings differ).  ``checkpoint`` names a JSON file to which
+    completed runs are persisted so an interrupted sweep resumes instead of
+    restarting; passing it routes execution through the parallel engine
+    even when ``workers`` is 1.  ``start_method`` picks the multiprocessing
+    start method (``"fork"``, ``"spawn"``, ...; platform default if ``None``).
     """
+    if (workers is not None and workers > 1) or checkpoint is not None:
+        from ..parallel.runner import run_parallel_experiment
+
+        return run_parallel_experiment(
+            spec,
+            workers=workers or 1,
+            checkpoint=checkpoint,
+            start_method=start_method,
+            profiles=profiles,
+            keep_results=keep_results,
+        )
     result = ExperimentResult(name=spec.name)
     profiles = dict(profiles or {})
     for topology in spec.topologies:
         runs: List[LeaderElectionResult] = []
         wall_clock: List[float] = []
         for seed in spec.seeds:
-            started = time.perf_counter()
-            runs.append(spec.runner(topology, seed))
-            wall_clock.append(time.perf_counter() - started)
-        profile = None
-        if spec.collect_profile:
-            profile = profiles.get(topology.name)
-            if profile is None:
-                profile = expansion_profile(topology)
-                profiles[topology.name] = profile
-        messages = [float(run.messages) for run in runs]
+            run, elapsed = execute_run(spec.runner, topology, seed)
+            runs.append(run)
+            wall_clock.append(elapsed)
         result.cells.append(
-            ExperimentCell(
-                algorithm=runs[0].algorithm,
-                topology_name=topology.name,
-                num_nodes=topology.num_nodes,
-                num_edges=topology.num_edges,
-                runs=len(runs),
-                successes=sum(run.success for run in runs),
-                mean_messages=statistics.fmean(messages),
-                mean_bits=statistics.fmean(float(run.bits) for run in runs),
-                mean_rounds=statistics.fmean(float(run.rounds_executed) for run in runs),
-                stdev_messages=statistics.pstdev(messages) if len(messages) > 1 else 0.0,
-                mean_wall_clock_seconds=statistics.fmean(wall_clock),
-                profile=profile,
-                results=list(runs) if keep_results else [],
+            aggregate_cell(
+                topology,
+                runs,
+                wall_clock,
+                profile=resolve_profile(topology, profiles, spec.collect_profile),
+                keep_results=keep_results,
             )
         )
     return result

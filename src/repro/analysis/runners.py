@@ -1,0 +1,79 @@
+"""Named, picklable election runners for experiment sweeps.
+
+:class:`~repro.analysis.experiments.ExperimentSpec` carries its algorithm
+as a callable.  The parallel engine (:mod:`repro.parallel`) ships that
+callable to worker processes, which requires it to be picklable — i.e. an
+importable module-level function, not a lambda or closure.  This module
+provides exactly that: one positional ``(topology, seed)`` adapter per
+election algorithm in the library, plus a registry for looking them up by
+the same names the CLI uses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..baselines import (
+    run_flooding_election,
+    run_gilbert_election,
+    run_uniform_id_election,
+)
+from ..election import run_irrevocable_election, run_revocable_election
+from ..election.base import LeaderElectionResult
+from ..graphs.topology import Topology
+
+__all__ = [
+    "RUNNERS",
+    "runner_by_name",
+    "flooding_runner",
+    "gilbert_runner",
+    "irrevocable_runner",
+    "revocable_runner",
+    "uniform_id_runner",
+]
+
+
+def flooding_runner(topology: Topology, seed: int) -> LeaderElectionResult:
+    """Flooding (Kutten et al.-style) baseline with default configuration."""
+    return run_flooding_election(topology, seed=seed)
+
+
+def gilbert_runner(topology: Topology, seed: int) -> LeaderElectionResult:
+    """Gilbert et al. baseline with default configuration."""
+    return run_gilbert_election(topology, seed=seed)
+
+
+def irrevocable_runner(topology: Topology, seed: int) -> LeaderElectionResult:
+    """The paper's Theorem 1 (known ``n``) protocol with default config."""
+    return run_irrevocable_election(topology, seed=seed)
+
+
+def revocable_runner(topology: Topology, seed: int) -> LeaderElectionResult:
+    """The paper's revocable (unknown ``n``) protocol with default config."""
+    return run_revocable_election(topology, seed=seed)
+
+
+def uniform_id_runner(topology: Topology, seed: int) -> LeaderElectionResult:
+    """Every-node-competes flooding election."""
+    return run_uniform_id_election(topology, seed=seed)
+
+
+RUNNERS: Dict[str, Callable[[Topology, int], LeaderElectionResult]] = {
+    "flooding": flooding_runner,
+    "gilbert": gilbert_runner,
+    "irrevocable": irrevocable_runner,
+    "revocable": revocable_runner,
+    "uniform": uniform_id_runner,
+}
+
+
+def runner_by_name(name: str) -> Callable[[Topology, int], LeaderElectionResult]:
+    """Look up a picklable runner by its CLI name."""
+    try:
+        return RUNNERS[name]
+    except KeyError:
+        from ..core.errors import ConfigurationError
+
+        raise ConfigurationError(
+            f"unknown runner {name!r}; available: {sorted(RUNNERS)}"
+        ) from None

@@ -11,6 +11,8 @@ Examples::
     repro-le elect     --algorithm irrevocable --topology torus_2d:8:8 --seed 3
     repro-le elect     --algorithm revocable   --topology complete:5 --explicit
     repro-le compare   --topology random_regular:64:4 --seeds 2
+    repro-le sweep     --suite mixed --algorithms flooding gilbert \
+                       --seeds 3 --workers 4 --checkpoint sweep.json
     repro-le impossibility --n 6 --witnesses 4 --trials 10
 
 Topology specifications are ``family:arg[:arg...]`` using the generator
@@ -25,9 +27,8 @@ import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
 from .analysis import render_kv, render_table
-from .baselines import run_flooding_election, run_gilbert_election, run_uniform_id_election
+from .analysis.runners import RUNNERS
 from .core.errors import ReproError
-from .election import run_irrevocable_election, run_revocable_election
 from .election.explicit import extend_to_explicit
 from .graphs import Topology, expansion_profile
 from .graphs.generators import GENERATORS
@@ -35,14 +36,10 @@ from .impossibility import demonstrate_impossibility
 
 __all__ = ["main", "parse_topology", "build_parser"]
 
-
-ELECTION_RUNNERS: Dict[str, Callable[..., object]] = {
-    "irrevocable": run_irrevocable_election,
-    "revocable": run_revocable_election,
-    "flooding": run_flooding_election,
-    "gilbert": run_gilbert_election,
-    "uniform": run_uniform_id_election,
-}
+#: Single name -> algorithm registry shared by `elect`, `compare` and
+#: `sweep` (and, through :mod:`repro.analysis.runners`, by the parallel
+#: engine's workers).
+ELECTION_RUNNERS: Dict[str, Callable[..., object]] = RUNNERS
 
 
 def parse_topology(spec: str, *, seed: Optional[int] = None) -> Topology:
@@ -121,6 +118,32 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0 if all(row["unique leader"] for row in rows) else 1
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .analysis import summarize_results
+    from .parallel import run_experiments
+    from .workloads import suite_by_name, sweep_specs
+
+    topologies = suite_by_name(args.suite)
+    specs = sweep_specs(
+        args.algorithms,
+        topologies,
+        seeds=tuple(range(args.seeds)),
+        collect_profile=not args.no_profile,
+    )
+    results = run_experiments(
+        specs,
+        workers=args.workers,
+        checkpoint=args.checkpoint,
+        start_method=args.start_method,
+        derive_seeds=args.derive_seeds,
+        base_seed=args.base_seed,
+    )
+    rows = summarize_results(results)
+    print(render_table(rows, title=f"sweep over suite {args.suite!r}"))
+    # Same criterion as `compare`: every run elected a unique leader.
+    return 0 if all(result.overall_success_rate() == 1.0 for result in results) else 1
+
+
 def _cmd_impossibility(args: argparse.Namespace) -> int:
     report = demonstrate_impossibility(
         args.n, num_witnesses=args.witnesses, seeds=range(args.trials)
@@ -164,6 +187,57 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(ELECTION_RUNNERS),
     )
     compare.set_defaults(func=_cmd_compare)
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="run an experiment grid over a topology suite, optionally in parallel",
+    )
+    sweep.add_argument(
+        "--suite",
+        default="mixed",
+        help="topology suite name (see repro.workloads.SUITES)",
+    )
+    sweep.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["flooding", "gilbert"],
+        choices=sorted(ELECTION_RUNNERS),
+    )
+    sweep.add_argument(
+        "--seeds", type=int, default=3, help="number of seeds per cell (0..N-1)"
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes; >1 shards runs over a multiprocessing pool "
+        "(results identical to --workers 1)",
+    )
+    sweep.add_argument(
+        "--checkpoint",
+        default=None,
+        help="JSON file recording completed runs; an interrupted sweep "
+        "rerun with the same checkpoint resumes instead of restarting",
+    )
+    sweep.add_argument(
+        "--start-method",
+        default=None,
+        choices=["fork", "spawn", "forkserver"],
+        help="multiprocessing start method (platform default if omitted)",
+    )
+    sweep.add_argument(
+        "--derive-seeds",
+        action="store_true",
+        help="derive an independent deterministic seed per cell from "
+        "--base-seed instead of reusing 0..N-1 everywhere",
+    )
+    sweep.add_argument("--base-seed", type=int, default=None)
+    sweep.add_argument(
+        "--no-profile",
+        action="store_true",
+        help="skip expansion-profile computation for the suite",
+    )
+    sweep.set_defaults(func=_cmd_sweep)
 
     impossibility = subparsers.add_parser(
         "impossibility", help="run the Theorem 2 pumping-wheel demonstration"

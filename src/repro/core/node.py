@@ -62,6 +62,11 @@ class ProtocolNode(ABC):
         were transmitted to this node in round ``round_index - 1`` (empty
         in round 0).  The return value maps ports to the messages to send
         in this round; at most one message per port (CONGEST).
+
+        The ``inbox`` mapping is only valid for the duration of this call:
+        the simulator recycles inbox containers between rounds, so
+        implementations that need received messages later must copy them
+        (``dict(inbox)``), never store the mapping itself.
         """
 
     @property

@@ -37,7 +37,13 @@ NodeFactory = Callable[[int, int, random.Random], ProtocolNode]
 
 @dataclass
 class SimulationResult:
-    """Outcome of a simulator run."""
+    """Outcome of a simulator run.
+
+    ``rounds_executed`` counts the rounds executed by the :meth:`~SynchronousSimulator.run`
+    call that produced this result; ``total_rounds`` is the simulator's
+    lifetime round counter.  The two differ when ``run`` is invoked more
+    than once on the same simulator (phase-structured protocols).
+    """
 
     nodes: List[ProtocolNode]
     metrics: Metrics
@@ -46,6 +52,7 @@ class SimulationResult:
     topology: Topology
     trace: Optional[TraceRecorder] = None
     node_results: List[Dict[str, object]] = field(default_factory=list)
+    total_rounds: int = 0
 
     def results(self) -> List[Dict[str, object]]:
         """Per-node protocol results (cached at the end of the run)."""
@@ -109,7 +116,17 @@ class SynchronousSimulator:
             else congest_budget_bits(topology.num_nodes)
         )
         self._round = 0
+        # endpoint_table[u][p - 1] == (neighbour, neighbour_port); resolved
+        # once here so the per-message delivery loop is pure indexing.
+        self._endpoints = topology.endpoint_table()
+        # Inboxes are double-buffered: the spare buffer is cleared and
+        # refilled each round instead of allocating n fresh dicts per round.
+        # Consequently an inbox dict handed to ``node.step`` is only valid
+        # for the duration of that call; nodes must copy anything they keep.
         self._inboxes: List[Dict[int, Message]] = [
+            {} for _ in range(topology.num_nodes)
+        ]
+        self._spare_inboxes: List[Dict[int, Message]] = [
             {} for _ in range(topology.num_nodes)
         ]
 
@@ -135,36 +152,51 @@ class SynchronousSimulator:
     def run_round(self) -> None:
         """Execute exactly one synchronous round."""
         round_index = self._round
+        inboxes = self._inboxes
         outboxes: List[Outbox] = []
+        empty: Outbox = {}
         for index, node in enumerate(self.nodes):
             if node.halted:
-                outboxes.append({})
+                outboxes.append(empty)
                 continue
-            outbox = node.step(round_index, self._inboxes[index]) or {}
+            outbox = node.step(round_index, inboxes[index]) or {}
             self._validate_outbox(index, node, outbox)
             outboxes.append(outbox)
 
         # Deliver: messages sent in this round arrive at the start of the
-        # next one.
-        next_inboxes: List[Dict[int, Message]] = [
-            {} for _ in range(self.topology.num_nodes)
-        ]
+        # next one.  The spare buffers from two rounds ago are recycled, and
+        # metrics are accumulated locally and recorded once per round.
+        next_inboxes = self._spare_inboxes
+        for inbox in next_inboxes:
+            inbox.clear()
+        endpoints = self._endpoints
+        congest_budget = self._congest_bits
+        total_count = 0
+        total_bits = 0
         for index, outbox in enumerate(outboxes):
+            if not outbox:
+                continue
+            node_endpoints = endpoints[index]
             for port, message in outbox.items():
-                neighbor, neighbor_port = self.topology.endpoint(index, port)
+                neighbor, neighbor_port = node_endpoints[port - 1]
                 next_inboxes[neighbor][neighbor_port] = message
                 bits = self._message_bits(message)
                 units = getattr(message, "congest_units", None)
                 count = int(units()) if callable(units) else 1
-                self.metrics.record_message(bits=bits, count=max(1, count))
-                if bits > self._congest_bits:
+                total_count += max(1, count)
+                total_bits += bits
+                if bits > congest_budget:
                     self.metrics.record_congest_violation()
                     if self.enforce_congest:
+                        self.metrics.record_message(bits=total_bits, count=total_count)
                         raise CongestViolationError(
                             f"node {index} sent {bits} bits through port {port} "
-                            f"in round {round_index} (budget {self._congest_bits})"
+                            f"in round {round_index} (budget {congest_budget})"
                         )
 
+        if total_count:
+            self.metrics.record_message(bits=total_bits, count=total_count)
+        self._spare_inboxes = inboxes
         self._inboxes = next_inboxes
         self.metrics.record_round()
         self._round += 1
@@ -181,6 +213,11 @@ class SynchronousSimulator:
         ``stop_when`` is evaluated after each round with the simulator as
         argument; it allows drivers to stop revocable protocols (which
         never halt on their own) once an external condition is met.
+
+        The returned :class:`SimulationResult` reports the rounds executed
+        by *this* call in ``rounds_executed`` and the simulator's lifetime
+        counter in ``total_rounds`` (relevant for phase-structured drivers
+        that call ``run`` several times on one simulator).
         """
         if max_rounds < 0:
             raise SimulationError(f"max_rounds must be non-negative, got {max_rounds}")
@@ -200,7 +237,8 @@ class SynchronousSimulator:
         return SimulationResult(
             nodes=self.nodes,
             metrics=self.metrics.snapshot(),
-            rounds_executed=self._round,
+            rounds_executed=executed,
+            total_rounds=self._round,
             all_halted=all_halted,
             topology=self.topology,
             trace=self.trace if isinstance(self.trace, TraceRecorder) else None,

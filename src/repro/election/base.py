@@ -147,7 +147,7 @@ def election_result_from_simulation(
         num_edges=simulation.topology.num_edges,
         outcome=outcome,
         metrics=simulation.metrics,
-        rounds_executed=simulation.rounds_executed,
+        rounds_executed=simulation.total_rounds,
         seed=seed,
         parameters=dict(parameters or {}),
         node_results=list(node_results),

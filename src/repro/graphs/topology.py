@@ -23,6 +23,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 import networkx as nx
 
 from ..core.errors import TopologyError
+from ..core.rng import derive_seed
 
 __all__ = ["Topology"]
 
@@ -64,7 +65,6 @@ class Topology:
         self._n = int(num_nodes)
         self._name = name
 
-        adjacency: List[List[int]] = [[] for _ in range(self._n)]
         seen = set()
         edge_list: List[Edge] = []
         for u, v in edges:
@@ -77,13 +77,9 @@ class Topology:
                 raise TopologyError(f"parallel edge ({u}, {v})")
             seen.add(key)
             edge_list.append(key)
-            adjacency[u].append(v)
-            adjacency[v].append(u)
 
         self._edges: Tuple[Edge, ...] = tuple(sorted(edge_list))
-        self._adjacency: Tuple[Tuple[int, ...], ...] = tuple(
-            tuple(sorted(neighbors)) for neighbors in adjacency
-        )
+        self._adjacency = self._adjacency_from_edges(self._n, self._edges)
 
         if require_connected and not self._is_connected():
             raise TopologyError(
@@ -112,6 +108,16 @@ class Topology:
                     stack.append(v)
         return count == self._n
 
+    @staticmethod
+    def _adjacency_from_edges(
+        num_nodes: int, edges: Iterable[Edge]
+    ) -> Tuple[Tuple[int, ...], ...]:
+        adjacency: List[List[int]] = [[] for _ in range(num_nodes)]
+        for u, v in edges:
+            adjacency[u].append(v)
+            adjacency[v].append(u)
+        return tuple(tuple(sorted(neighbors)) for neighbors in adjacency)
+
     def _build_ports(self, port_seed: Optional[int]) -> None:
         # port_order[u] is the list of neighbours of u in port order:
         # port p of u leads to port_order[u][p - 1].
@@ -124,13 +130,23 @@ class Topology:
                 order = list(neighbors)
                 rng.shuffle(order)
                 port_order.append(order)
+        self._finalize_ports(port_order)
 
+    def _finalize_ports(self, port_order: Iterable[Iterable[int]]) -> None:
+        """Fix the port assignment and derive the lookup tables from it."""
         self._port_order: Tuple[Tuple[int, ...], ...] = tuple(
             tuple(order) for order in port_order
         )
         # reverse map: port_of[u][v] -> port number at u leading to v
         self._port_of: Tuple[Dict[int, int], ...] = tuple(
             {v: p + 1 for p, v in enumerate(order)} for order in self._port_order
+        )
+        # flat endpoint table: endpoint_table()[u][p - 1] == endpoint(u, p).
+        # Precomputed once so the simulator's delivery loop is a pair of
+        # list indexings instead of a method call with validation.
+        self._endpoint_table: Tuple[Tuple[Tuple[int, int], ...], ...] = tuple(
+            tuple((v, self._port_of[v][u]) for v in order)
+            for u, order in enumerate(self._port_order)
         )
 
     @classmethod
@@ -221,8 +237,41 @@ class Topology:
             raise TopologyError(
                 f"node {node} has ports 1..{self.degree(node)}, got {port}"
             )
-        neighbor = self._port_order[node][port - 1]
-        return neighbor, self._port_of[neighbor][node]
+        return self._endpoint_table[node][port - 1]
+
+    def endpoint_table(self) -> Tuple[Tuple[Tuple[int, int], ...], ...]:
+        """The full port map: ``table[u][p - 1] == endpoint(u, p)``.
+
+        The table is precomputed at construction; hot loops (the simulator's
+        delivery phase) index it directly instead of calling
+        :meth:`endpoint` per message.
+        """
+        return self._endpoint_table
+
+    def fingerprint(self) -> str:
+        """A short, process-stable digest of the exact graph structure.
+
+        Display names omit construction details (two
+        ``random_regular(n=64,d=4)`` instances built from different graph
+        seeds share a name), so anything that must identify a topology
+        *instance* — profile caches, parallel-sweep checkpoint keys —
+        hashes the node count, edge list and port assignment instead.
+        Built on :func:`repro.core.rng.derive_seed`: no salted string
+        hashing, so the digest is stable across processes, multiprocessing
+        start methods and Python invocations.  Computed lazily and cached.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is None:
+            digest = derive_seed(
+                0,
+                "topology-fingerprint",
+                self._n,
+                self._edges,
+                self._port_order,
+            )
+            cached = f"{digest:016x}"
+            self._fingerprint = cached
+        return cached
 
     def neighbor_via(self, node: int, port: int) -> int:
         """Return only the neighbour reached through ``port``."""
@@ -295,6 +344,28 @@ class Topology:
     def _check_node(self, node: int) -> None:
         if not (0 <= node < self._n):
             raise TopologyError(f"node index {node} out of range for n={self._n}")
+
+    # ------------------------------------------------------------------ #
+    # pickling
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> Dict[str, object]:
+        # Only the defining data travels (nodes, edges, port assignment);
+        # the derived tables (_adjacency, _port_of, _endpoint_table) are
+        # rebuilt on load.  This keeps the per-task payload small when the
+        # parallel engine ships one topology per (topology, seed) run.
+        return {
+            "n": self._n,
+            "name": self._name,
+            "edges": self._edges,
+            "port_order": self._port_order,
+        }
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self._n = state["n"]
+        self._name = state["name"]
+        self._edges = state["edges"]
+        self._adjacency = self._adjacency_from_edges(self._n, self._edges)
+        self._finalize_ports(state["port_order"])
 
     # ------------------------------------------------------------------ #
     # dunder conveniences

@@ -1,0 +1,46 @@
+"""Parallel experiment engine: sharding, pool execution, checkpointing.
+
+``repro.parallel`` turns the serial experiment driver into a multi-core
+sweep engine without giving up the library's seeded-reproducibility
+contract:
+
+* :mod:`~repro.parallel.sharding` decomposes experiment grids into
+  per-(topology, seed) tasks whose seeds are fixed deterministically in
+  the parent process (optionally derived per cell via
+  :func:`~repro.parallel.sharding.derive_cell_seed`);
+* :mod:`~repro.parallel.runner` executes the tasks on a
+  ``multiprocessing`` pool and reaggregates cells byte-identically to the
+  serial backend (wall-clock readings aside);
+* :mod:`~repro.parallel.checkpoint` persists completed runs to JSON so
+  interrupted sweeps resume instead of restarting.
+
+The engine is wired in as ``run_experiment(..., workers=N,
+checkpoint=...)``, as the ``repro-le sweep`` CLI command, and as the
+backend of ``benchmarks/bench_parallel_sweep.py``; the equivalence and
+determinism guarantees are pinned down by ``tests/test_parallel_runner.py``.
+"""
+
+from .checkpoint import CheckpointStore, result_from_record, result_to_record
+from .runner import run_experiments, run_parallel_experiment
+from .sharding import (
+    RunTask,
+    derive_cell_seed,
+    expand_run_tasks,
+    shard_round_robin,
+    task_key,
+    topology_fingerprint,
+)
+
+__all__ = [
+    "CheckpointStore",
+    "RunTask",
+    "derive_cell_seed",
+    "expand_run_tasks",
+    "result_from_record",
+    "result_to_record",
+    "run_experiments",
+    "run_parallel_experiment",
+    "shard_round_robin",
+    "task_key",
+    "topology_fingerprint",
+]

@@ -1,0 +1,167 @@
+"""JSON checkpointing of completed experiment runs.
+
+Large sweeps die for mundane reasons — a laptop lid, a preempted CI node,
+an out-of-memory kill.  The checkpoint layer makes that cheap: every
+completed (topology, seed) run is recorded in a JSON file keyed by its
+:func:`~repro.parallel.sharding.task_key`, and a restarted sweep loads the
+file and only executes the missing tasks.
+
+The stored record round-trips everything the aggregation layer needs —
+outcome, metrics (including per-phase breakdowns), rounds, seed and
+parameters — so resumed sweeps produce cells identical to uninterrupted
+ones.  Per-node protocol results are stored when they are JSON-encodable
+and dropped otherwise (they are diagnostic payload, not aggregate input).
+
+Writes are atomic (write-to-temp + ``os.replace``), so a sweep killed
+mid-write leaves the previous consistent checkpoint behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from ..core.errors import ConfigurationError
+from ..core.metrics import Metrics, PhaseMetrics
+from ..election.base import ElectionOutcome, LeaderElectionResult
+
+__all__ = ["CheckpointStore", "result_to_record", "result_from_record"]
+
+FORMAT_VERSION = 1
+
+
+def result_to_record(
+    result: LeaderElectionResult, wall_clock_seconds: float
+) -> Dict[str, object]:
+    """Serialise one run to a JSON-encodable checkpoint record."""
+    try:
+        node_results = json.loads(json.dumps(result.node_results))
+    except (TypeError, ValueError):
+        node_results = None
+    return {
+        "wall_clock_seconds": wall_clock_seconds,
+        "algorithm": result.algorithm,
+        "topology_name": result.topology_name,
+        "num_nodes": result.num_nodes,
+        "num_edges": result.num_edges,
+        "rounds_executed": result.rounds_executed,
+        "seed": result.seed,
+        "outcome": result.outcome.as_dict(),
+        "metrics": result.metrics.as_dict(),
+        "parameters": dict(result.parameters),
+        "node_results": node_results,
+    }
+
+
+def result_from_record(
+    record: Dict[str, object],
+) -> Tuple[LeaderElectionResult, float]:
+    """Rebuild a run (and its wall-clock reading) from a checkpoint record."""
+    outcome_dict = dict(record["outcome"])
+    outcome = ElectionOutcome(
+        num_leaders=outcome_dict["num_leaders"],
+        leader_indices=list(outcome_dict["leader_indices"]),
+        candidate_indices=list(outcome_dict["candidate_indices"]),
+        unique_leader=outcome_dict["unique_leader"],
+        agreement=outcome_dict.get("agreement"),
+    )
+    metrics_dict = dict(record["metrics"])
+    metrics = Metrics(
+        rounds=metrics_dict["rounds"],
+        messages=metrics_dict["messages"],
+        bits=metrics_dict["bits"],
+        congest_violations=metrics_dict["congest_violations"],
+        events=dict(metrics_dict.get("events", {})),
+        phases={
+            name: PhaseMetrics(**phase)
+            for name, phase in metrics_dict.get("phases", {}).items()
+        },
+    )
+    result = LeaderElectionResult(
+        algorithm=record["algorithm"],
+        topology_name=record["topology_name"],
+        num_nodes=record["num_nodes"],
+        num_edges=record["num_edges"],
+        outcome=outcome,
+        metrics=metrics,
+        rounds_executed=record["rounds_executed"],
+        seed=record["seed"],
+        parameters=dict(record.get("parameters", {})),
+        node_results=list(record.get("node_results") or []),
+    )
+    return result, float(record["wall_clock_seconds"])
+
+
+class CheckpointStore:
+    """A JSON file of completed run records, keyed by task key.
+
+    Each flush rewrites the whole file (atomically), so flushes are
+    throttled: :meth:`add` writes immediately when the last flush is older
+    than ``flush_interval_seconds`` and otherwise only marks the store
+    dirty.  Callers flush explicitly at the end of a sweep; an interrupt
+    in between loses at most one interval's worth of completed runs
+    instead of paying O(n^2) file I/O over a large grid.
+    """
+
+    def __init__(
+        self, path: Union[str, Path], *, flush_interval_seconds: float = 1.0
+    ) -> None:
+        self.path = Path(path)
+        self.flush_interval_seconds = flush_interval_seconds
+        self._runs: Dict[str, Dict[str, object]] = {}
+        self._loaded = False
+        self._dirty = False
+        self._last_flush = float("-inf")
+
+    def load(self) -> Dict[str, Dict[str, object]]:
+        """Load (once) and return the completed run records."""
+        if not self._loaded:
+            self._loaded = True
+            if self.path.exists():
+                try:
+                    payload = json.loads(self.path.read_text(encoding="utf-8"))
+                except ValueError as error:
+                    raise ConfigurationError(
+                        f"checkpoint {self.path} is not valid JSON ({error}); "
+                        f"delete or move it to start the sweep from scratch"
+                    ) from error
+                version = payload.get("version")
+                if version != FORMAT_VERSION:
+                    raise ConfigurationError(
+                        f"checkpoint {self.path} has format version {version!r}; "
+                        f"this build reads version {FORMAT_VERSION}"
+                    )
+                self._runs = dict(payload.get("runs", {}))
+        return self._runs
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.load()
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        return self.load().get(key)
+
+    def add(self, key: str, record: Dict[str, object]) -> None:
+        """Record a completed run; flush unless one happened very recently."""
+        self.load()
+        self._runs[key] = record
+        self._dirty = True
+        if time.monotonic() - self._last_flush >= self.flush_interval_seconds:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write the store to disk atomically (write-to-temp + replace)."""
+        if not self._dirty and self.path.exists():
+            return
+        payload = {"version": FORMAT_VERSION, "runs": self._runs}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        temp = self.path.with_name(self.path.name + ".tmp")
+        temp.write_text(json.dumps(payload, indent=1, sort_keys=True), encoding="utf-8")
+        os.replace(temp, self.path)
+        self._dirty = False
+        self._last_flush = time.monotonic()
+
+    def __len__(self) -> int:
+        return len(self.load())

@@ -1,0 +1,178 @@
+"""The parallel experiment engine: a pool-backed ``run_experiment``.
+
+Execution model
+---------------
+
+The engine expands every spec into per-(topology, seed) :class:`~repro.parallel.sharding.RunTask`
+units in the parent process (seeds fixed at expansion time), dispatches the
+tasks to a ``multiprocessing`` pool with ``chunksize=1`` for load balance,
+and reassembles :class:`~repro.analysis.experiments.ExperimentCell` records
+in grid order with the exact aggregation function the serial backend uses.
+
+Determinism guarantees
+----------------------
+
+* **Scheduling-independent results.**  Each task's seed is decided before
+  the pool exists, and cells are reassembled by (topology index, seed
+  index), so the aggregates are identical for any worker count, start
+  method, or completion order.  Only wall-clock readings differ from a
+  serial run.
+* **Checkpoint-transparent results.**  Completed runs are persisted via
+  :class:`~repro.parallel.checkpoint.CheckpointStore`; a resumed sweep
+  replays the stored runs and computes the same cells an uninterrupted
+  sweep would (per-node diagnostic payloads may be dropped if they are not
+  JSON-encodable).
+* **Profile consistency.**  Expansion profiles are computed in the parent
+  with the same cache-and-compute-on-demand policy as the serial driver.
+
+Workers receive their tasks by pickling, so spec runners must be
+importable module-level callables (see :mod:`repro.analysis.runners`);
+lambdas and closures only work with the in-process backend.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..analysis.experiments import (
+    ExperimentResult,
+    ExperimentSpec,
+    aggregate_cell,
+    execute_run,
+    resolve_profile,
+)
+from ..core.errors import ConfigurationError
+from ..election.base import LeaderElectionResult
+from ..graphs.properties import ExpansionProfile
+from .checkpoint import CheckpointStore, result_from_record, result_to_record
+from .sharding import RunTask, expand_run_tasks
+
+__all__ = ["run_parallel_experiment", "run_experiments"]
+
+#: key -> (result, wall_clock_seconds)
+_Completed = Dict[str, Tuple[LeaderElectionResult, float]]
+
+
+def _execute_task(task: RunTask) -> Tuple[str, LeaderElectionResult, float]:
+    """Pool worker entry point: run one task and return (key, result, time)."""
+    result, elapsed = execute_run(task.runner, task.topology, task.seed)
+    return task.key, result, elapsed
+
+
+def run_parallel_experiment(
+    spec: ExperimentSpec,
+    *,
+    workers: int = 1,
+    checkpoint: Optional[Union[str, Path]] = None,
+    start_method: Optional[str] = None,
+    profiles: Optional[Dict[str, ExpansionProfile]] = None,
+    keep_results: bool = False,
+    derive_seeds: bool = False,
+    base_seed: Optional[int] = None,
+) -> ExperimentResult:
+    """Parallel drop-in for :func:`repro.analysis.experiments.run_experiment`."""
+    return run_experiments(
+        [spec],
+        workers=workers,
+        checkpoint=checkpoint,
+        start_method=start_method,
+        profiles=profiles,
+        keep_results=keep_results,
+        derive_seeds=derive_seeds,
+        base_seed=base_seed,
+    )[0]
+
+
+def run_experiments(
+    specs: Sequence[ExperimentSpec],
+    *,
+    workers: int = 1,
+    checkpoint: Optional[Union[str, Path]] = None,
+    start_method: Optional[str] = None,
+    profiles: Optional[Dict[str, ExpansionProfile]] = None,
+    keep_results: bool = False,
+    derive_seeds: bool = False,
+    base_seed: Optional[int] = None,
+) -> List[ExperimentResult]:
+    """Run several specs through one worker pool and aggregate per spec.
+
+    Pooling the specs' tasks together keeps workers busy even when one
+    algorithm or topology dominates the cost (the benchmarks' suites are
+    highly skewed).  ``derive_seeds`` switches every cell to an independent
+    deterministic seed derived from ``base_seed`` (see
+    :func:`repro.parallel.sharding.derive_cell_seed`); leave it off for
+    results identical to the serial backend's.
+    """
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    names = [spec.name for spec in specs]
+    if len(set(names)) != len(names):
+        raise ConfigurationError(
+            f"experiment specs must have unique names, got {names}"
+        )
+
+    per_spec_tasks: List[List[RunTask]] = [
+        expand_run_tasks(spec, derive_seeds=derive_seeds, base_seed=base_seed)
+        for spec in specs
+    ]
+    all_tasks: List[RunTask] = [task for tasks in per_spec_tasks for task in tasks]
+
+    store = CheckpointStore(checkpoint) if checkpoint is not None else None
+    completed: _Completed = {}
+    if store is not None:
+        task_keys = {task.key for task in all_tasks}
+        for key, record in store.load().items():
+            if key in task_keys:
+                completed[key] = result_from_record(record)
+
+    pending = [task for task in all_tasks if task.key not in completed]
+    try:
+        if workers > 1 and len(pending) > 1:
+            context = multiprocessing.get_context(start_method)
+            with context.Pool(processes=min(workers, len(pending))) as pool:
+                # imap_unordered: runs are checkpointed the moment they
+                # finish, never queued behind a slow head-of-line task
+                # (cells are reassembled by task key below, so completion
+                # order is irrelevant).
+                for key, result, elapsed in pool.imap_unordered(
+                    _execute_task, pending, chunksize=1
+                ):
+                    completed[key] = (result, elapsed)
+                    if store is not None:
+                        store.add(key, result_to_record(result, elapsed))
+        else:
+            for task in pending:
+                result, elapsed = execute_run(task.runner, task.topology, task.seed)
+                completed[task.key] = (result, elapsed)
+                if store is not None:
+                    store.add(task.key, result_to_record(result, elapsed))
+    finally:
+        if store is not None and pending:
+            store.flush()
+
+    profiles = dict(profiles or {})
+    results: List[ExperimentResult] = []
+    for spec, tasks in zip(specs, per_spec_tasks):
+        experiment = ExperimentResult(name=spec.name)
+        # expand_run_tasks emits tasks in grid order (topologies outer,
+        # seeds inner), so one linear pass buckets them per cell.
+        by_topology: List[List[RunTask]] = [[] for _ in spec.topologies]
+        for task in tasks:
+            by_topology[task.topology_index].append(task)
+        for topology_index, topology in enumerate(spec.topologies):
+            cell_tasks = by_topology[topology_index]
+            runs = [completed[task.key][0] for task in cell_tasks]
+            wall_clock = [completed[task.key][1] for task in cell_tasks]
+            experiment.cells.append(
+                aggregate_cell(
+                    topology,
+                    runs,
+                    wall_clock,
+                    profile=resolve_profile(topology, profiles, spec.collect_profile),
+                    keep_results=keep_results,
+                )
+            )
+        results.append(experiment)
+    return results

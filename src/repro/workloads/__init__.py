@@ -6,6 +6,7 @@ from .suites import (
     poorly_connected_suite,
     scaling_family,
     suite_by_name,
+    sweep_specs,
     tiny_suite,
     well_connected_suite,
 )
@@ -13,6 +14,7 @@ from .suites import (
 __all__ = [
     "SUITES",
     "suite_by_name",
+    "sweep_specs",
     "well_connected_suite",
     "poorly_connected_suite",
     "mixed_suite",

@@ -30,6 +30,7 @@ __all__ = [
     "tiny_suite",
     "SUITES",
     "suite_by_name",
+    "sweep_specs",
 ]
 
 
@@ -125,3 +126,32 @@ def suite_by_name(name: str, **kwargs) -> List[Topology]:
             f"unknown suite {name!r}; available: {sorted(SUITES)}"
         ) from None
     return builder(**kwargs)
+
+
+def sweep_specs(
+    algorithms: Sequence[str],
+    topologies: Sequence[Topology],
+    *,
+    seeds: Sequence[int] = (0, 1, 2),
+    collect_profile: bool = True,
+) -> List["ExperimentSpec"]:
+    """Build one :class:`~repro.analysis.experiments.ExperimentSpec` per algorithm.
+
+    ``algorithms`` are names from :data:`repro.analysis.runners.RUNNERS`,
+    so the resulting specs are picklable and can be handed directly to the
+    parallel engine (``repro.parallel.run_experiments``) or to the CLI's
+    ``sweep`` command.
+    """
+    from ..analysis.experiments import ExperimentSpec
+    from ..analysis.runners import runner_by_name
+
+    return [
+        ExperimentSpec(
+            name=name,
+            runner=runner_by_name(name),
+            topologies=list(topologies),
+            seeds=tuple(seeds),
+            collect_profile=collect_profile,
+        )
+        for name in algorithms
+    ]

@@ -62,6 +62,26 @@ class TestRunExperiment:
         assert cell.profile.diameter == 4
         assert "conductance" in cell.as_dict()
 
+    def test_same_named_topologies_get_their_own_profiles(self):
+        from repro.graphs import random_regular
+
+        a = random_regular(16, 4, seed=1)
+        b = random_regular(16, 4, seed=2)
+        assert a.name == b.name
+        spec = ExperimentSpec(
+            name="flooding",
+            runner=flooding_runner,
+            topologies=[a, b],
+            seeds=(0,),
+            collect_profile=True,
+        )
+        result = run_experiment(spec)
+        from repro.graphs import expansion_profile
+
+        assert result.cells[0].profile == expansion_profile(a)
+        assert result.cells[1].profile == expansion_profile(b)
+        assert result.cells[0].profile != result.cells[1].profile
+
     def test_precomputed_profiles_are_reused(self):
         from repro.graphs import expansion_profile
 

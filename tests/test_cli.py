@@ -104,6 +104,75 @@ class TestCommands:
         assert "comparison on cycle(n=10)" in out
         assert "flooding" in out and "uniform" in out
 
+    def test_sweep_serial(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--suite",
+                "tiny",
+                "--algorithms",
+                "flooding",
+                "--seeds",
+                "2",
+                "--no-profile",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sweep over suite 'tiny'" in out
+        assert "flooding-max-id" in out
+
+    def test_sweep_parallel_with_checkpoint_matches_serial(self, capsys, tmp_path):
+        checkpoint = tmp_path / "sweep.json"
+        args = [
+            "sweep",
+            "--suite",
+            "tiny",
+            "--algorithms",
+            "flooding",
+            "--seeds",
+            "2",
+            "--no-profile",
+        ]
+        assert main(args) == 0
+        serial_out = capsys.readouterr().out
+        assert (
+            main(args + ["--workers", "2", "--checkpoint", str(checkpoint)]) == 0
+        )
+        parallel_out = capsys.readouterr().out
+        assert checkpoint.exists()
+
+        def rows_without_wall_clock(text):
+            return [line.rsplit("|", 1)[0] for line in text.splitlines()[2:]]
+
+        assert rows_without_wall_clock(parallel_out) == rows_without_wall_clock(
+            serial_out
+        )
+
+    def test_sweep_unknown_suite_returns_error_code(self, capsys):
+        code = main(["sweep", "--suite", "nope", "--algorithms", "flooding"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_sweep_derive_seeds(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--suite",
+                "tiny",
+                "--algorithms",
+                "uniform",
+                "--seeds",
+                "2",
+                "--derive-seeds",
+                "--base-seed",
+                "11",
+                "--no-profile",
+            ]
+        )
+        assert code == 0
+        assert "uniform-id" in capsys.readouterr().out
+
     def test_impossibility(self, capsys):
         code = main(["impossibility", "--n", "4", "--witnesses", "2", "--trials", "3"])
         assert code == 0

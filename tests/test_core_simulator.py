@@ -189,6 +189,32 @@ class TestMessageDelivery:
         assert result.rounds_executed == 5
         assert not result.all_halted
 
+    def test_rounds_executed_is_per_run_call(self):
+        # A simulator driven in phases reports, per run() call, only the
+        # rounds that call executed; total_rounds tracks the lifetime.
+        topology = cycle(4)
+        nodes = build_nodes(topology, lambda i, p, r: EchoNode(p, r), seed=0)
+        simulator = SynchronousSimulator(topology, nodes)
+        first = simulator.run(3)
+        second = simulator.run(2)
+        packaging = simulator.run(0)
+        assert first.rounds_executed == 3
+        assert second.rounds_executed == 2
+        assert packaging.rounds_executed == 0
+        assert first.total_rounds == 3
+        assert second.total_rounds == 5
+        assert packaging.total_rounds == 5
+
+    def test_inbox_only_valid_during_step(self):
+        # Inboxes are recycled buffers: contents observed during step are
+        # correct even though the dict objects are reused across rounds.
+        topology = path(3)
+        nodes = build_nodes(topology, lambda i, p, r: EchoNode(p, r), seed=0)
+        SynchronousSimulator(topology, nodes).run(4)
+        middle = nodes[1]
+        assert middle.received[2] == {1: 1, 2: 1}
+        assert middle.received[3] == {1: 2, 2: 2}
+
     def test_require_halt_raises_when_not_done(self):
         topology = cycle(4)
         with pytest.raises(SimulationError):
@@ -199,6 +225,26 @@ class TestMessageDelivery:
                 seed=0,
                 require_halt=True,
             )
+
+
+class OnePortFatSender(ProtocolNode):
+    """Sends one oversized message through port 1 in round 2 only."""
+
+    def step(self, round_index, inbox):
+        if round_index == 2 and self.num_ports >= 1:
+            return {1: FatMessage(blob="x" * 100)}
+        return {}
+
+
+class ForeignMessage:
+    """A message-like object without size_bits/congest_units accessors."""
+
+    payload = "opaque"
+
+
+class ForeignSenderNode(ProtocolNode):
+    def step(self, round_index, inbox):
+        return {port: ForeignMessage() for port in self.ports()}
 
 
 class TestCongestEnforcement:
@@ -212,6 +258,22 @@ class TestCongestEnforcement:
         )
         assert result.metrics.congest_violations == 8
 
+    def test_unenforced_violations_do_not_stop_the_run(self):
+        # With enforce_congest=False the run proceeds to max_rounds and
+        # keeps counting: every round adds all 8 violating messages, and
+        # message/bit totals still include them.
+        topology = cycle(4)
+        result = run_protocol(
+            topology,
+            lambda i, p, r: FatSenderNode(p, r),
+            max_rounds=3,
+            seed=0,
+        )
+        assert result.rounds_executed == 3
+        assert result.metrics.congest_violations == 24
+        assert result.metrics.messages == 24
+        assert result.metrics.bits > 0
+
     def test_enforcement_raises(self):
         topology = cycle(4)
         with pytest.raises(CongestViolationError):
@@ -222,6 +284,37 @@ class TestCongestEnforcement:
                 seed=0,
                 enforce_congest=True,
             )
+
+    def test_enforcement_error_names_round_and_port(self):
+        topology = cycle(4)
+        with pytest.raises(CongestViolationError, match=r"port 1 in round 2"):
+            run_protocol(
+                topology,
+                lambda i, p, r: OnePortFatSender(p, r),
+                max_rounds=5,
+                seed=0,
+                enforce_congest=True,
+            )
+
+    def test_foreign_messages_fall_back_to_one_congest_word(self):
+        # Objects without a size_bits accessor are charged exactly one
+        # CONGEST word each, so they never count as violations.
+        topology = cycle(4)
+        nodes = build_nodes(topology, lambda i, p, r: ForeignSenderNode(p, r), seed=0)
+        simulator = SynchronousSimulator(topology, nodes, enforce_congest=True)
+        simulator.run_round()
+        assert simulator.metrics.messages == 8
+        assert simulator.metrics.bits == 8 * simulator.congest_bits
+        assert simulator.metrics.congest_violations == 0
+
+    def test_count_bits_false_charges_zero_bits(self):
+        topology = cycle(4)
+        nodes = build_nodes(topology, lambda i, p, r: FatSenderNode(p, r), seed=0)
+        simulator = SynchronousSimulator(topology, nodes, count_bits=False)
+        simulator.run_round()
+        assert simulator.metrics.messages == 8
+        assert simulator.metrics.bits == 0
+        assert simulator.metrics.congest_violations == 0
 
     def test_small_messages_do_not_violate(self):
         topology = cycle(4)

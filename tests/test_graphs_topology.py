@@ -153,3 +153,25 @@ class TestNetworkxInterop:
         assert topology.num_edges == 15
         assert topology.name == "petersen"
         assert topology.diameter() == 2
+
+
+class TestPickling:
+    def test_round_trip_preserves_structure_and_ports(self):
+        import pickle
+
+        from repro.graphs import random_regular
+
+        topology = random_regular(16, 4, seed=3).with_port_seed(11)
+        restored = pickle.loads(pickle.dumps(topology))
+        assert restored == topology
+        assert restored.name == topology.name
+        assert restored.endpoint_table() == topology.endpoint_table()
+        for node in range(topology.num_nodes):
+            assert restored.port_order(node) == topology.port_order(node)
+            for port in range(1, topology.degree(node) + 1):
+                assert restored.endpoint(node, port) == topology.endpoint(node, port)
+
+    def test_payload_ships_only_defining_data(self):
+        topology = cycle(12)
+        state = topology.__getstate__()
+        assert set(state) == {"n", "name", "edges", "port_order"}

@@ -1,0 +1,369 @@
+"""Equivalence and determinism tests for the parallel experiment engine.
+
+The contract under test (see :mod:`repro.parallel`):
+
+* parallel results are identical to serial results, cell by cell, for any
+  worker count and multiprocessing start method — only wall-clock readings
+  may differ;
+* per-cell seed derivation is a pure function, stable across processes and
+  start methods (``fork`` and ``spawn``);
+* a checkpointed sweep can be interrupted and resumed without changing the
+  aggregates, and runs already in the checkpoint are not re-executed.
+
+CI runs this module under several worker counts via the
+``REPRO_TEST_WORKERS`` environment variable.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.analysis import ExperimentSpec, run_experiment
+from repro.analysis.runners import flooding_runner, uniform_id_runner
+from repro.core.errors import ConfigurationError
+from repro.graphs import cycle, grid_2d, random_regular, star
+from repro.parallel import (
+    CheckpointStore,
+    derive_cell_seed,
+    expand_run_tasks,
+    result_from_record,
+    result_to_record,
+    run_experiments,
+    run_parallel_experiment,
+    shard_round_robin,
+    task_key,
+    topology_fingerprint,
+)
+
+SEEDS = (0, 1, 2)
+
+#: Worker counts exercised by the equivalence tests; CI adds its matrix
+#: entry on top so two counts are always covered there.
+WORKER_COUNTS = sorted({1, 2, 4} | {int(os.environ.get("REPRO_TEST_WORKERS", 2))})
+
+
+def _spec(name: str = "flooding", collect_profile: bool = False) -> ExperimentSpec:
+    return ExperimentSpec(
+        name=name,
+        runner=flooding_runner,
+        topologies=[cycle(8), star(8), grid_2d(3, 3)],
+        seeds=SEEDS,
+        collect_profile=collect_profile,
+    )
+
+
+def _comparable(cells):
+    """Cell dicts with the timing reading (legitimately nondeterministic)
+    removed; everything else must match exactly."""
+    rows = []
+    for cell in cells:
+        row = cell.as_dict()
+        row.pop("mean_wall_clock_seconds")
+        rows.append(row)
+    return rows
+
+
+def count_file_runner(topology, seed):
+    """A picklable runner that logs every invocation to a file.
+
+    The log path travels through the environment so fork children (and the
+    in-process backend) append to the same file, letting tests count how
+    many runs were actually executed vs. restored from a checkpoint.
+    """
+    with open(os.environ["REPRO_TEST_COUNT_FILE"], "a", encoding="utf-8") as handle:
+        handle.write(f"{topology.name} {seed}\n")
+    return flooding_runner(topology, seed)
+
+
+def _derive_in_child(args):
+    spec_name, topology_name, replicate = args
+    return derive_cell_seed(1234, spec_name, topology_name, replicate)
+
+
+class TestSerialParallelEquivalence:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_cells_identical_across_worker_counts(self, workers):
+        spec = _spec()
+        serial = run_experiment(spec)
+        parallel = run_experiment(spec, workers=workers)
+        assert _comparable(parallel.cells) == _comparable(serial.cells)
+
+    def test_cells_identical_under_spawn(self):
+        spec = _spec()
+        serial = run_experiment(spec)
+        parallel = run_experiment(spec, workers=2, start_method="spawn")
+        assert _comparable(parallel.cells) == _comparable(serial.cells)
+
+    def test_profiles_match_serial(self):
+        spec = _spec(collect_profile=True)
+        serial = run_experiment(spec)
+        parallel = run_experiment(spec, workers=2)
+        for a, b in zip(serial.cells, parallel.cells):
+            assert a.profile == b.profile
+            assert a.profile is not None
+
+    def test_keep_results_returns_individual_runs(self):
+        spec = _spec()
+        parallel = run_experiment(spec, workers=2, keep_results=True)
+        assert all(len(cell.results) == len(SEEDS) for cell in parallel.cells)
+        serial = run_experiment(spec, keep_results=True)
+        for a, b in zip(serial.cells, parallel.cells):
+            assert [r.as_dict() for r in a.results] == [r.as_dict() for r in b.results]
+
+    def test_multi_spec_pool_matches_independent_runs(self):
+        specs = [
+            _spec("flooding"),
+            ExperimentSpec(
+                name="uniform",
+                runner=uniform_id_runner,
+                topologies=[cycle(8), star(8)],
+                seeds=SEEDS,
+                collect_profile=False,
+            ),
+        ]
+        pooled = run_experiments(specs, workers=2)
+        for spec, pooled_result in zip(specs, pooled):
+            assert pooled_result.name == spec.name
+            solo = run_experiment(spec)
+            assert _comparable(pooled_result.cells) == _comparable(solo.cells)
+
+    def test_duplicate_spec_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_experiments([_spec(), _spec()], workers=2)
+
+    def test_nonpositive_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_parallel_experiment(_spec(), workers=0)
+
+
+class TestSeedDerivation:
+    def test_pure_function_of_arguments(self):
+        a = derive_cell_seed(7, "spec", "cycle(n=8)", 0)
+        b = derive_cell_seed(7, "spec", "cycle(n=8)", 0)
+        assert a == b
+        assert derive_cell_seed(7, "spec", "cycle(n=8)", 1) != a
+        assert derive_cell_seed(7, "spec", "star(n=8)", 0) != a
+        assert derive_cell_seed(8, "spec", "cycle(n=8)", 0) != a
+
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    def test_stable_across_start_methods(self, start_method):
+        grid = [("spec-a", "cycle(n=8)", i) for i in range(4)] + [
+            ("spec-b", "star(n=8)", i) for i in range(4)
+        ]
+        expected = [_derive_in_child(args) for args in grid]
+        context = multiprocessing.get_context(start_method)
+        with context.Pool(processes=2) as pool:
+            derived = pool.map(_derive_in_child, grid)
+        assert derived == expected
+
+    def test_expand_run_tasks_with_derived_seeds(self):
+        spec = _spec()
+        tasks = expand_run_tasks(spec, derive_seeds=True, base_seed=99)
+        assert len(tasks) == len(spec.topologies) * len(SEEDS)
+        for task in tasks:
+            assert task.seed == derive_cell_seed(
+                99,
+                spec.name,
+                task.topology.name,
+                task.seed_index,
+                fingerprint=task.fingerprint,
+            )
+        # Expansion is deterministic: same spec, same tasks.
+        again = expand_run_tasks(spec, derive_seeds=True, base_seed=99)
+        assert [t.key for t in again] == [t.key for t in tasks]
+
+    def test_derived_seeds_differ_for_same_named_topologies(self):
+        spec = ExperimentSpec(
+            name="dup-derived",
+            runner=flooding_runner,
+            topologies=[
+                random_regular(16, 4, seed=1),
+                random_regular(16, 4, seed=2),
+            ],
+            seeds=(0,),
+            collect_profile=False,
+        )
+        tasks = expand_run_tasks(spec, derive_seeds=True, base_seed=5)
+        assert tasks[0].seed != tasks[1].seed
+
+    def test_expand_run_tasks_grid_order(self):
+        spec = _spec()
+        tasks = expand_run_tasks(spec)
+        expected = [
+            (t_index, s_index)
+            for t_index in range(len(spec.topologies))
+            for s_index in range(len(SEEDS))
+        ]
+        assert [(t.topology_index, t.seed_index) for t in tasks] == expected
+        assert [t.seed for t in tasks[: len(SEEDS)]] == list(SEEDS)
+
+
+class TestSharding:
+    def test_round_robin_covers_everything_deterministically(self):
+        items = list(range(10))
+        shards = shard_round_robin(items, 3)
+        assert sorted(x for shard in shards for x in shard) == items
+        assert shards == [[0, 3, 6, 9], [1, 4, 7], [2, 5, 8]]
+
+    def test_bad_shard_count_rejected(self):
+        with pytest.raises(ValueError):
+            shard_round_robin([1, 2], 0)
+
+    def test_task_key_is_stable_and_unique_per_grid_point(self):
+        spec = _spec()
+        tasks = expand_run_tasks(spec)
+        keys = [task.key for task in tasks]
+        assert len(set(keys)) == len(keys)
+        assert keys[0] == task_key(
+            spec.name,
+            0,
+            spec.topologies[0].name,
+            topology_fingerprint(spec.topologies[0]),
+            0,
+            SEEDS[0],
+        )
+
+    def test_fingerprint_distinguishes_same_named_topologies(self):
+        a = random_regular(16, 4, seed=1)
+        b = random_regular(16, 4, seed=2)
+        assert a.name == b.name
+        assert topology_fingerprint(a) != topology_fingerprint(b)
+        assert topology_fingerprint(a) == topology_fingerprint(
+            random_regular(16, 4, seed=1)
+        )
+
+    def test_same_named_topologies_keep_distinct_cells(self):
+        # Two distinct graph instances can share a display name (same
+        # family/size, different graph seed); the grid index in the task
+        # key must keep their runs apart.
+        spec = ExperimentSpec(
+            name="dup-names",
+            runner=flooding_runner,
+            topologies=[
+                random_regular(16, 4, seed=1),
+                random_regular(16, 4, seed=2),
+            ],
+            seeds=(0, 1),
+            collect_profile=False,
+        )
+        assert spec.topologies[0].name == spec.topologies[1].name
+        serial = run_experiment(spec)
+        parallel = run_experiment(spec, workers=2)
+        assert _comparable(parallel.cells) == _comparable(serial.cells)
+
+
+class TestCheckpointing:
+    def test_record_round_trip(self):
+        result = flooding_runner(cycle(8), 3)
+        record = result_to_record(result, 0.125)
+        # The record must survive a JSON round trip unchanged.
+        record = json.loads(json.dumps(record))
+        restored, elapsed = result_from_record(record)
+        assert elapsed == 0.125
+        assert restored.as_dict() == result.as_dict()
+        assert restored.metrics.as_dict() == result.metrics.as_dict()
+
+    def test_checkpointed_sweep_matches_uncheckpointed(self, tmp_path):
+        spec = _spec()
+        plain = run_experiment(spec)
+        checkpointed = run_experiment(
+            spec, workers=2, checkpoint=tmp_path / "sweep.json"
+        )
+        assert _comparable(checkpointed.cells) == _comparable(plain.cells)
+        payload = json.loads((tmp_path / "sweep.json").read_text())
+        assert len(payload["runs"]) == len(spec.topologies) * len(SEEDS)
+
+    def test_resume_runs_only_missing_tasks(self, tmp_path, monkeypatch):
+        count_file = tmp_path / "invocations.log"
+        monkeypatch.setenv("REPRO_TEST_COUNT_FILE", str(count_file))
+        checkpoint = tmp_path / "sweep.json"
+
+        def spec_with_seeds(seeds):
+            return ExperimentSpec(
+                name="counted",
+                runner=count_file_runner,
+                topologies=[cycle(8), star(8)],
+                seeds=seeds,
+                collect_profile=False,
+            )
+
+        # First (interrupted) sweep covers a prefix of the seed grid.
+        run_experiment(spec_with_seeds((0, 1)), workers=1, checkpoint=checkpoint)
+        assert len(count_file.read_text().splitlines()) == 4
+
+        # The resumed sweep adds seed 2: only the 2 missing runs execute.
+        resumed = run_experiment(
+            spec_with_seeds((0, 1, 2)), workers=1, checkpoint=checkpoint
+        )
+        assert len(count_file.read_text().splitlines()) == 6
+        assert all(cell.runs == 3 for cell in resumed.cells)
+
+        # A third pass is a pure replay: no new executions, same cells.
+        replayed = run_experiment(
+            spec_with_seeds((0, 1, 2)), workers=1, checkpoint=checkpoint
+        )
+        assert len(count_file.read_text().splitlines()) == 6
+        assert [c.as_dict() for c in replayed.cells] == [
+            c.as_dict() for c in resumed.cells
+        ]
+
+    def test_checkpoint_not_replayed_for_regenerated_topologies(self, tmp_path):
+        # Same spec name, same topology names, but the graphs themselves
+        # were rebuilt from a different seed: the checkpoint must not
+        # replay results measured on the old graphs.
+        checkpoint = tmp_path / "sweep.json"
+
+        def spec_for(graph_seed):
+            return ExperimentSpec(
+                name="regen",
+                runner=flooding_runner,
+                topologies=[random_regular(16, 4, seed=graph_seed)],
+                seeds=(0, 1),
+                collect_profile=False,
+            )
+
+        first = run_experiment(spec_for(1), workers=1, checkpoint=checkpoint)
+        fresh = run_experiment(spec_for(2), workers=1, checkpoint=checkpoint)
+        direct = run_experiment(spec_for(2))
+        assert _comparable(fresh.cells) == _comparable(direct.cells)
+        assert first.cells[0].mean_messages != fresh.cells[0].mean_messages
+
+    def test_unrelated_checkpoint_entries_are_ignored(self, tmp_path):
+        checkpoint = tmp_path / "sweep.json"
+        spec = _spec()
+        run_experiment(spec, workers=1, checkpoint=checkpoint)
+        other = ExperimentSpec(
+            name="other-spec",
+            runner=flooding_runner,
+            topologies=[cycle(8)],
+            seeds=(0,),
+            collect_profile=False,
+        )
+        result = run_experiment(other, workers=1, checkpoint=checkpoint)
+        assert result.cells[0].runs == 1
+        payload = json.loads(checkpoint.read_text())
+        assert len(payload["runs"]) == len(spec.topologies) * len(SEEDS) + 1
+
+    def test_wrong_format_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 999, "runs": {}}))
+        # ConfigurationError, so the CLI reports it as a clean `error:` line.
+        with pytest.raises(ConfigurationError):
+            CheckpointStore(path).load()
+
+    def test_corrupt_checkpoint_rejected(self, tmp_path):
+        path = tmp_path / "corrupt.json"
+        path.write_text('{"version": 1, "runs": {tru')
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            CheckpointStore(path).load()
+
+    def test_atomic_flush_leaves_no_temp_file(self, tmp_path):
+        store = CheckpointStore(tmp_path / "deep" / "ck.json")
+        result = flooding_runner(cycle(8), 0)
+        store.add("k", result_to_record(result, 0.1))
+        assert (tmp_path / "deep" / "ck.json").exists()
+        assert not (tmp_path / "deep" / "ck.json.tmp").exists()
