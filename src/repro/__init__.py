@@ -12,6 +12,9 @@ The package is organised as:
 * :mod:`repro.baselines` — prior-work comparators from Table 1;
 * :mod:`repro.impossibility` — the pumping-wheel construction of Theorem 2;
 * :mod:`repro.analysis` — experiment runner, complexity fitting, reports;
+* :mod:`repro.dynamics` — adversarial network dynamics: fault injection,
+  link churn, and robustness sweeps over the execution model;
+* :mod:`repro.parallel` — multiprocessing sweep engine with checkpoints;
 * :mod:`repro.workloads` — named topology suites used by the benchmarks.
 
 Quickstart::
@@ -25,9 +28,18 @@ Quickstart::
     print(result.messages, result.rounds_executed)
 """
 
-from . import analysis, baselines, core, election, graphs, impossibility, workloads
+from . import (
+    analysis,
+    baselines,
+    core,
+    dynamics,
+    election,
+    graphs,
+    impossibility,
+    workloads,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "core",
@@ -36,6 +48,7 @@ __all__ = [
     "baselines",
     "impossibility",
     "analysis",
+    "dynamics",
     "workloads",
     "__version__",
 ]

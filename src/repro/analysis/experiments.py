@@ -15,12 +15,25 @@ import statistics
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..core.errors import ConfigurationError
 from ..election.base import LeaderElectionResult
 from ..graphs.properties import ExpansionProfile, expansion_profile
 from ..graphs.topology import Topology
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, keeps layering acyclic
+    from ..dynamics.spec import AdversarySpec
 
 __all__ = [
     "ElectionRunner",
@@ -28,6 +41,7 @@ __all__ = [
     "ExperimentCell",
     "ExperimentResult",
     "aggregate_cell",
+    "effective_runner",
     "execute_run",
     "run_experiment",
     "summarize_results",
@@ -39,19 +53,41 @@ ElectionRunner = Callable[[Topology, int], LeaderElectionResult]
 
 @dataclass(frozen=True)
 class ExperimentSpec:
-    """A named sweep of one algorithm over topologies and seeds."""
+    """A named sweep of one algorithm over topologies and seeds.
+
+    ``adversary`` adds the third grid axis: when set (an
+    :class:`~repro.dynamics.spec.AdversarySpec`), every run executes under
+    that fault model — deterministically per run seed — and the adversary's
+    identity becomes part of the checkpoint task keys.
+    """
 
     name: str
     runner: ElectionRunner
     topologies: Sequence[Topology]
     seeds: Sequence[int] = (0, 1, 2)
     collect_profile: bool = True
+    adversary: Optional["AdversarySpec"] = None
 
     def __post_init__(self) -> None:
         if not self.topologies:
             raise ConfigurationError("an experiment needs at least one topology")
         if not self.seeds:
             raise ConfigurationError("an experiment needs at least one seed")
+
+
+def effective_runner(spec: ExperimentSpec) -> ElectionRunner:
+    """The runner actually executed for ``spec``'s runs.
+
+    Wraps ``spec.runner`` in an adversarial fault scope when the spec
+    carries an adversary; both the serial driver and the parallel engine's
+    task expansion funnel through here, so the two backends perturb runs
+    identically.
+    """
+    if spec.adversary is None:
+        return spec.runner
+    from ..dynamics.runners import AdversarialRunner
+
+    return AdversarialRunner(spec.runner, spec.adversary)
 
 
 @dataclass
@@ -69,6 +105,9 @@ class ExperimentCell:
     mean_rounds: float
     stdev_messages: float
     mean_wall_clock_seconds: float
+    #: Fault-injection cost (zero under the reliable execution model).
+    mean_dropped_messages: float = 0.0
+    mean_delayed_messages: float = 0.0
     profile: Optional[ExpansionProfile] = None
     results: List[LeaderElectionResult] = field(default_factory=list)
 
@@ -88,6 +127,10 @@ class ExperimentCell:
             "mean_bits": self.mean_bits,
             "mean_rounds": self.mean_rounds,
             "stdev_messages": self.stdev_messages,
+            "mean_dropped_messages": self.mean_dropped_messages,
+            "mean_delayed_messages": self.mean_delayed_messages,
+            # Last on purpose: the one legitimately nondeterministic column,
+            # which equivalence checks strip positionally.
             "mean_wall_clock_seconds": self.mean_wall_clock_seconds,
         }
         if self.profile is not None:
@@ -129,7 +172,10 @@ class ExperimentResult:
         return sum(cell.successes for cell in self.cells) / runs
 
     def as_rows(self) -> List[Dict[str, object]]:
-        return [cell.as_dict() for cell in self.cells]
+        # The experiment name leads each row: in robustness sweeps several
+        # specs share one algorithm (e.g. "flooding" vs
+        # "flooding@loss(p=0.05)") and the rows must stay tellable apart.
+        return [{"experiment": self.name, **cell.as_dict()} for cell in self.cells]
 
 
 def execute_run(
@@ -173,6 +219,12 @@ def aggregate_cell(
         mean_rounds=statistics.fmean(float(run.rounds_executed) for run in runs),
         stdev_messages=statistics.pstdev(messages) if len(messages) > 1 else 0.0,
         mean_wall_clock_seconds=statistics.fmean(wall_clock),
+        mean_dropped_messages=statistics.fmean(
+            float(run.metrics.dropped_messages) for run in runs
+        ),
+        mean_delayed_messages=statistics.fmean(
+            float(run.metrics.delayed_messages) for run in runs
+        ),
         profile=profile,
         results=list(runs) if keep_results else [],
     )
@@ -209,6 +261,7 @@ def run_experiment(
     keep_results: bool = False,
     workers: Optional[int] = None,
     checkpoint: Optional[Union[str, Path]] = None,
+    checkpoint_compact: bool = False,
     start_method: Optional[str] = None,
 ) -> ExperimentResult:
     """Run every (topology, seed) pair of the spec and aggregate per topology.
@@ -234,17 +287,19 @@ def run_experiment(
             spec,
             workers=workers or 1,
             checkpoint=checkpoint,
+            checkpoint_compact=checkpoint_compact,
             start_method=start_method,
             profiles=profiles,
             keep_results=keep_results,
         )
     result = ExperimentResult(name=spec.name)
     profiles = dict(profiles or {})
+    runner = effective_runner(spec)
     for topology in spec.topologies:
         runs: List[LeaderElectionResult] = []
         wall_clock: List[float] = []
         for seed in spec.seeds:
-            run, elapsed = execute_run(spec.runner, topology, seed)
+            run, elapsed = execute_run(runner, topology, seed)
             runs.append(run)
             wall_clock.append(elapsed)
         result.cells.append(

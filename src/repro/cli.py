@@ -13,6 +13,9 @@ Examples::
     repro-le compare   --topology random_regular:64:4 --seeds 2
     repro-le sweep     --suite mixed --algorithms flooding gilbert \
                        --seeds 3 --workers 4 --checkpoint sweep.json
+    repro-le sweep     --suite mixed --algorithms flooding --seeds 3 \
+                       --adversary loss --adversary-param p=0.05
+    repro-le sweep     --suite tiny --algorithms flooding --scenario lossy
     repro-le impossibility --n 6 --witnesses 4 --trials 10
 
 Topology specifications are ``family:arg[:arg...]`` using the generator
@@ -120,26 +123,81 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .analysis import summarize_results
+    from .election.base import summarize_safety
     from .parallel import run_experiments
-    from .workloads import suite_by_name, sweep_specs
+    from .workloads import dynamic_scenario, suite_by_name, sweep_specs
+
+    if args.workers < 1:
+        raise ReproError(f"--workers must be >= 1, got {args.workers}")
+    if args.adversary and args.scenario:
+        raise ReproError("--adversary and --scenario are mutually exclusive")
+    if args.adversary_param and not args.adversary:
+        raise ReproError("--adversary-param requires --adversary")
+    if args.checkpoint_compact and not args.checkpoint:
+        raise ReproError("--checkpoint-compact requires --checkpoint")
 
     topologies = suite_by_name(args.suite)
-    specs = sweep_specs(
-        args.algorithms,
-        topologies,
-        seeds=tuple(range(args.seeds)),
-        collect_profile=not args.no_profile,
-    )
+    adversarial = bool(args.adversary or args.scenario)
+    if args.scenario:
+        from .dynamics import robustness_specs
+
+        specs = robustness_specs(
+            args.algorithms,
+            topologies,
+            dynamic_scenario(args.scenario),
+            seeds=tuple(range(args.seeds)),
+            collect_profile=not args.no_profile,
+        )
+    else:
+        adversary = None
+        if args.adversary:
+            from .dynamics import AdversarySpec, parse_adversary_params
+
+            adversary = AdversarySpec.create(
+                args.adversary,
+                **parse_adversary_params(args.adversary_param or []),
+            )
+        specs = sweep_specs(
+            args.algorithms,
+            topologies,
+            seeds=tuple(range(args.seeds)),
+            collect_profile=not args.no_profile,
+            adversary=adversary,
+        )
     results = run_experiments(
         specs,
         workers=args.workers,
         checkpoint=args.checkpoint,
+        checkpoint_compact=args.checkpoint_compact,
         start_method=args.start_method,
         derive_seeds=args.derive_seeds,
         base_seed=args.base_seed,
+        keep_results=adversarial,
     )
     rows = summarize_results(results)
     print(render_table(rows, title=f"sweep over suite {args.suite!r}"))
+    if adversarial:
+        # Under fault injection liveness is expected to degrade; the exit
+        # criterion becomes the safety half of Definitions 1-2: no run may
+        # ever report more than one leader.
+        runs = [run for result in results for cell in result.cells for run in cell.results]
+        safety = summarize_safety(runs)
+        print()
+        print(
+            render_kv(
+                {
+                    "runs": safety["runs"],
+                    "safe runs": safety["safe_runs"],
+                    "elected runs": safety["elected_runs"],
+                    "safety rate": safety["safety_rate"],
+                    "success rate": safety["success_rate"],
+                },
+                title="safety under faults",
+            )
+        )
+        for violation in safety["violations"]:
+            print(f"SAFETY VIOLATION: {violation}", file=sys.stderr)
+        return 0 if not safety["violations"] else 1
     # Same criterion as `compare`: every run elected a unique leader.
     return 0 if all(result.overall_success_rate() == 1.0 for result in results) else 1
 
@@ -218,6 +276,31 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="JSON file recording completed runs; an interrupted sweep "
         "rerun with the same checkpoint resumes instead of restarting",
+    )
+    sweep.add_argument(
+        "--checkpoint-compact",
+        action="store_true",
+        help="store checkpoint records without per-node diagnostics so "
+        "resume files of very large grids stay small",
+    )
+    sweep.add_argument(
+        "--adversary",
+        default=None,
+        help="fault model to inject (see repro.dynamics.ADVERSARIES: "
+        "loss, delay, churn, crash); deterministic per run seed",
+    )
+    sweep.add_argument(
+        "--adversary-param",
+        action="append",
+        metavar="K=V",
+        help="adversary parameter, e.g. p=0.05 or max_delay=3 (repeatable)",
+    )
+    sweep.add_argument(
+        "--scenario",
+        default=None,
+        help="named dynamic scenario ladder (see "
+        "repro.workloads.DYNAMIC_SCENARIOS: lossy, laggy, flaky-links, "
+        "crashy); runs every algorithm under each rung",
     )
     sweep.add_argument(
         "--start-method",

@@ -8,6 +8,7 @@ from .errors import (
     SimulationError,
     TopologyError,
 )
+from .faults import DELIVER, DROP, FaultAdversary, active_fault_factory, fault_scope
 from .generator_node import GeneratorNode
 from .messages import Message, bits_for_int, bits_for_value, congest_budget_bits, id_space_bits
 from .metrics import Metrics, MetricsCollector, PhaseMetrics
@@ -31,6 +32,11 @@ __all__ = [
     "Metrics",
     "MetricsCollector",
     "PhaseMetrics",
+    "DELIVER",
+    "DROP",
+    "FaultAdversary",
+    "active_fault_factory",
+    "fault_scope",
     "ProtocolNode",
     "PassiveNode",
     "GeneratorNode",

@@ -1,0 +1,148 @@
+"""Core fault-adversary API: the simulator's delivery hook.
+
+The paper's execution model (Section 2) is static and reliable: every
+message sent in round ``r`` arrives at the start of round ``r+1``.  The
+:mod:`repro.dynamics` subsystem perturbs exactly that step.  This module
+defines the *contract* between the simulator and an adversary — the
+concrete adversary models live in :mod:`repro.dynamics.adversaries` so the
+core keeps no dependency on the higher layers.
+
+An adversary sees every (sender, port, receiver, port, message) delivery
+attempt and rules on it:
+
+* :data:`DELIVER` (``0``) — deliver normally next round;
+* :data:`DROP` (``-1``) — the message is lost;
+* any positive integer ``d`` — the message is delayed by ``d`` extra
+  rounds (it arrives at the start of round ``r + 1 + d``).
+
+It can additionally mark nodes as inactive (crash-stop): an inactive node
+is not stepped and everything addressed to it is droppable by the
+adversary's own :meth:`~FaultAdversary.on_message`.
+
+Determinism contract
+--------------------
+
+Adversaries must be deterministic functions of the run seed they were
+constructed with: the simulator calls the hooks in a fixed order (nodes by
+index, outbox ports in insertion order), so an adversary that draws all
+randomness from a seed-derived private RNG perturbs a run identically in
+every process — which is what keeps adversarial sweeps bit-identical
+between the serial and parallel experiment backends.
+
+The *ambient fault scope* lets experiment drivers attach an adversary to
+protocol entry points that build their own simulators internally
+(``run_flooding_election`` and friends): inside ``fault_scope(factory)``
+every :class:`~repro.core.simulator.SynchronousSimulator` constructed
+without an explicit ``adversary`` asks ``factory()`` for one.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterator, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..graphs.topology import Topology
+    from .messages import Message
+    from .metrics import MetricsCollector
+    from .tracing import TraceRecorder
+
+__all__ = [
+    "DELIVER",
+    "DROP",
+    "FaultAdversary",
+    "fault_scope",
+    "active_fault_factory",
+]
+
+#: Verdicts of :meth:`FaultAdversary.on_message`.
+DELIVER = 0
+DROP = -1
+
+
+class FaultAdversary:
+    """Base class (and null object) for delivery-step adversaries.
+
+    Subclasses override the hooks they need; the defaults perturb nothing,
+    so the base class doubles as a no-op adversary in tests.
+    """
+
+    #: Registry / reporting name of the model.
+    name: str = "null"
+
+    def __init__(self) -> None:
+        self.topology: Optional["Topology"] = None
+        self.metrics: Optional["MetricsCollector"] = None
+        self.trace: Optional["TraceRecorder"] = None
+
+    def attach(
+        self,
+        topology: "Topology",
+        metrics: "MetricsCollector",
+        trace: "TraceRecorder",
+    ) -> None:
+        """Bind the adversary to one simulator instance.
+
+        Called by :class:`~repro.core.simulator.SynchronousSimulator` at
+        construction.  Adversaries may use ``metrics.record_event`` and
+        ``trace.record`` for model-specific fault accounting (the simulator
+        itself counts dropped/delayed messages); overrides must call
+        ``super().attach(...)``.
+        """
+        self.topology = topology
+        self.metrics = metrics
+        self.trace = trace
+
+    # ------------------------------------------------------------------ #
+    # hooks, called by the simulator
+    # ------------------------------------------------------------------ #
+    def begin_round(self, round_index: int) -> None:
+        """Called once at the start of every round, before nodes step."""
+
+    def node_active(self, round_index: int, node: int) -> bool:
+        """Whether ``node`` participates in ``round_index`` (crash-stop)."""
+        return True
+
+    def on_message(
+        self,
+        round_index: int,
+        sender: int,
+        sender_port: int,
+        receiver: int,
+        receiver_port: int,
+        message: "Message",
+    ) -> int:
+        """Rule on one delivery attempt: :data:`DELIVER`, :data:`DROP`, or a delay."""
+        return DELIVER
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    def describe(self) -> Dict[str, Any]:
+        """Model name + parameters, for run records and reports."""
+        return {"name": self.name}
+
+
+#: Zero-arg factories producing a fresh adversary per simulator; a stack so
+#: scopes nest (the innermost wins).
+_AMBIENT_FACTORIES: List[Callable[[], FaultAdversary]] = []
+
+
+def active_fault_factory() -> Optional[Callable[[], FaultAdversary]]:
+    """The innermost ambient adversary factory, or ``None``."""
+    return _AMBIENT_FACTORIES[-1] if _AMBIENT_FACTORIES else None
+
+
+@contextmanager
+def fault_scope(factory: Callable[[], FaultAdversary]) -> Iterator[None]:
+    """Attach ``factory`` to every simulator constructed inside the scope.
+
+    Each simulator calls ``factory()`` once, so phase-structured protocols
+    that build several simulators per run get a fresh adversary instance
+    (with the same seed-derived schedule) per phase.
+    """
+    _AMBIENT_FACTORIES.append(factory)
+    try:
+        yield
+    finally:
+        _AMBIENT_FACTORIES.pop()

@@ -36,12 +36,21 @@ class PhaseMetrics:
 
 @dataclass
 class Metrics:
-    """Immutable-ish snapshot of a finished (or in-progress) execution."""
+    """Immutable-ish snapshot of a finished (or in-progress) execution.
+
+    ``dropped_messages`` and ``delayed_messages`` count faults injected by
+    a :class:`~repro.core.faults.FaultAdversary`; both stay zero for runs
+    under the paper's reliable execution model.  Dropped and delayed
+    messages are still counted in ``messages``/``bits`` — the sender paid
+    for them — the fault counters record what the network then did.
+    """
 
     rounds: int = 0
     messages: int = 0
     bits: int = 0
     congest_violations: int = 0
+    dropped_messages: int = 0
+    delayed_messages: int = 0
     events: Dict[str, int] = field(default_factory=dict)
     phases: Dict[str, PhaseMetrics] = field(default_factory=dict)
 
@@ -51,6 +60,8 @@ class Metrics:
             "messages": self.messages,
             "bits": self.bits,
             "congest_violations": self.congest_violations,
+            "dropped_messages": self.dropped_messages,
+            "delayed_messages": self.delayed_messages,
             "events": dict(self.events),
             "phases": {name: phase.as_dict() for name, phase in self.phases.items()},
         }
@@ -76,6 +87,8 @@ class MetricsCollector:
         self._phases: Dict[str, PhaseMetrics] = {}
         self._events: Dict[str, int] = {}
         self._congest_violations = 0
+        self._dropped_messages = 0
+        self._delayed_messages = 0
         self._current_phase: Optional[str] = None
 
     # ------------------------------------------------------------------ #
@@ -124,6 +137,18 @@ class MetricsCollector:
         """Record a message that exceeded the configured CONGEST bit budget."""
         self._congest_violations += count
 
+    def record_dropped(self, count: int = 1) -> None:
+        """Record ``count`` messages lost to fault injection."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        self._dropped_messages += count
+
+    def record_delayed(self, count: int = 1) -> None:
+        """Record ``count`` messages delayed by fault injection."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        self._delayed_messages += count
+
     def record_event(self, name: str, count: int = 1) -> None:
         """Record a free-form named event (e.g. ``"walk-collision"``)."""
         self._events[name] = self._events.get(name, 0) + count
@@ -147,6 +172,14 @@ class MetricsCollector:
     def congest_violations(self) -> int:
         return self._congest_violations
 
+    @property
+    def dropped_messages(self) -> int:
+        return self._dropped_messages
+
+    @property
+    def delayed_messages(self) -> int:
+        return self._delayed_messages
+
     def event_count(self, name: str) -> int:
         return self._events.get(name, 0)
 
@@ -163,6 +196,8 @@ class MetricsCollector:
             messages=self._total.messages,
             bits=self._total.bits,
             congest_violations=self._congest_violations,
+            dropped_messages=self._dropped_messages,
+            delayed_messages=self._delayed_messages,
             events=dict(self._events),
             phases={
                 name: PhaseMetrics(p.rounds, p.messages, p.bits)
@@ -181,6 +216,8 @@ class MetricsCollector:
         self._total.messages += snap.messages
         self._total.bits += snap.bits
         self._congest_violations += snap.congest_violations
+        self._dropped_messages += snap.dropped_messages
+        self._delayed_messages += snap.delayed_messages
         for name, count in snap.events.items():
             self._events[name] = self._events.get(name, 0) + count
         for name, phase in snap.phases.items():

@@ -19,10 +19,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..graphs.topology import Topology
 from .errors import CongestViolationError, SimulationError
+from .faults import DELIVER, FaultAdversary, active_fault_factory
 from .messages import Message, congest_budget_bits
 from .metrics import Metrics, MetricsCollector
 from .node import Outbox, ProtocolNode
@@ -93,6 +94,7 @@ class SynchronousSimulator:
         enforce_congest: bool = False,
         congest_bits: Optional[int] = None,
         count_bits: bool = True,
+        adversary: Optional[FaultAdversary] = None,
     ) -> None:
         if len(nodes) != topology.num_nodes:
             raise SimulationError(
@@ -129,6 +131,20 @@ class SynchronousSimulator:
         self._spare_inboxes: List[Dict[int, Message]] = [
             {} for _ in range(topology.num_nodes)
         ]
+        # Fault injection (repro.dynamics): an explicit adversary wins;
+        # otherwise the ambient fault scope supplies one, so experiment
+        # drivers can perturb protocol entry points that construct their
+        # own simulators.  ``None`` keeps the delivery loop on the
+        # unperturbed hot path.
+        if adversary is None:
+            factory = active_fault_factory()
+            if factory is not None:
+                adversary = factory()
+        self._adversary = adversary
+        #: arrival round -> [(receiver, receiver_port, message), ...]
+        self._delayed: Dict[int, List[Tuple[int, int, Message]]] = {}
+        if adversary is not None:
+            adversary.attach(self.topology, self.metrics, self.trace)
 
     # ------------------------------------------------------------------ #
     # inspection
@@ -143,6 +159,11 @@ class SynchronousSimulator:
         """Per-message bit budget used for CONGEST validation."""
         return self._congest_bits
 
+    @property
+    def adversary(self) -> Optional[FaultAdversary]:
+        """The fault adversary perturbing deliveries, if any."""
+        return self._adversary
+
     def all_halted(self) -> bool:
         return all(node.halted for node in self.nodes)
 
@@ -152,11 +173,17 @@ class SynchronousSimulator:
     def run_round(self) -> None:
         """Execute exactly one synchronous round."""
         round_index = self._round
+        adversary = self._adversary
+        if adversary is not None:
+            adversary.begin_round(round_index)
         inboxes = self._inboxes
         outboxes: List[Outbox] = []
         empty: Outbox = {}
         for index, node in enumerate(self.nodes):
-            if node.halted:
+            if node.halted or (
+                adversary is not None
+                and not adversary.node_active(round_index, index)
+            ):
                 outboxes.append(empty)
                 continue
             outbox = node.step(round_index, inboxes[index]) or {}
@@ -169,17 +196,72 @@ class SynchronousSimulator:
         next_inboxes = self._spare_inboxes
         for inbox in next_inboxes:
             inbox.clear()
+        if adversary is not None:
+            # Adversary-mediated delivery does its own metrics accounting.
+            self._deliver_with_adversary(round_index, outboxes, next_inboxes)
+        else:
+            # Unperturbed hot path: kept free of per-message branches.
+            endpoints = self._endpoints
+            congest_budget = self._congest_bits
+            total_count = 0
+            total_bits = 0
+            for index, outbox in enumerate(outboxes):
+                if not outbox:
+                    continue
+                node_endpoints = endpoints[index]
+                for port, message in outbox.items():
+                    neighbor, neighbor_port = node_endpoints[port - 1]
+                    next_inboxes[neighbor][neighbor_port] = message
+                    bits = self._message_bits(message)
+                    units = getattr(message, "congest_units", None)
+                    count = int(units()) if callable(units) else 1
+                    total_count += max(1, count)
+                    total_bits += bits
+                    if bits > congest_budget:
+                        self.metrics.record_congest_violation()
+                        if self.enforce_congest:
+                            self.metrics.record_message(bits=total_bits, count=total_count)
+                            raise CongestViolationError(
+                                f"node {index} sent {bits} bits through port {port} "
+                                f"in round {round_index} (budget {congest_budget})"
+                            )
+            if total_count:
+                self.metrics.record_message(bits=total_bits, count=total_count)
+
+        self._spare_inboxes = inboxes
+        self._inboxes = next_inboxes
+        self.metrics.record_round()
+        self._round += 1
+
+    def _deliver_with_adversary(
+        self,
+        round_index: int,
+        outboxes: Sequence[Outbox],
+        next_inboxes: List[Dict[int, Message]],
+    ) -> None:
+        """Adversary-mediated delivery of this round's outboxes.
+
+        Every sent message is counted in the metrics (the sender paid for
+        it) and then ruled on by the adversary: delivered, dropped, or
+        queued for a later round.  Delayed messages land after the fresh
+        traffic of their arrival round; if the target port is occupied the
+        delayed copy is dropped (the port carries one message per round —
+        CONGEST holds on the receiving side too) and counted as such.
+        """
+        adversary = self._adversary
         endpoints = self._endpoints
         congest_budget = self._congest_bits
+        trace = self.trace
         total_count = 0
         total_bits = 0
+        dropped = 0
+        delayed = 0
         for index, outbox in enumerate(outboxes):
             if not outbox:
                 continue
             node_endpoints = endpoints[index]
             for port, message in outbox.items():
                 neighbor, neighbor_port = node_endpoints[port - 1]
-                next_inboxes[neighbor][neighbor_port] = message
                 bits = self._message_bits(message)
                 units = getattr(message, "congest_units", None)
                 count = int(units()) if callable(units) else 1
@@ -193,13 +275,55 @@ class SynchronousSimulator:
                             f"node {index} sent {bits} bits through port {port} "
                             f"in round {round_index} (budget {congest_budget})"
                         )
+                verdict = adversary.on_message(
+                    round_index, index, port, neighbor, neighbor_port, message
+                )
+                if verdict == DELIVER:
+                    next_inboxes[neighbor][neighbor_port] = message
+                elif verdict < 0:
+                    dropped += 1
+                    trace.record(
+                        round_index,
+                        "message-dropped",
+                        node=index,
+                        port=port,
+                        receiver=neighbor,
+                    )
+                else:
+                    delayed += 1
+                    self._delayed.setdefault(round_index + 1 + verdict, []).append(
+                        (neighbor, neighbor_port, message)
+                    )
+                    trace.record(
+                        round_index,
+                        "message-delayed",
+                        node=index,
+                        port=port,
+                        receiver=neighbor,
+                        delay=verdict,
+                    )
+
+        # Delayed messages due now (scheduled for the start of round
+        # ``round_index + 1``, like the fresh traffic above).
+        for neighbor, neighbor_port, message in self._delayed.pop(round_index + 1, ()):
+            if neighbor_port in next_inboxes[neighbor]:
+                dropped += 1
+                trace.record(
+                    round_index,
+                    "message-dropped",
+                    node=neighbor,
+                    port=neighbor_port,
+                    reason="delay-collision",
+                )
+            else:
+                next_inboxes[neighbor][neighbor_port] = message
 
         if total_count:
             self.metrics.record_message(bits=total_bits, count=total_count)
-        self._spare_inboxes = inboxes
-        self._inboxes = next_inboxes
-        self.metrics.record_round()
-        self._round += 1
+        if dropped:
+            self.metrics.record_dropped(dropped)
+        if delayed:
+            self.metrics.record_delayed(delayed)
 
     def run(
         self,
@@ -277,6 +401,7 @@ def run_protocol(
     enforce_congest: bool = False,
     stop_when: Optional[Callable[[SynchronousSimulator], bool]] = None,
     require_halt: bool = False,
+    adversary: Optional[FaultAdversary] = None,
 ) -> SimulationResult:
     """Convenience wrapper: build nodes, run, and return the result."""
     nodes = build_nodes(topology, factory, seed=seed)
@@ -286,6 +411,7 @@ def run_protocol(
         metrics=metrics,
         trace=trace,
         enforce_congest=enforce_congest,
+        adversary=adversary,
     )
     return simulator.run(
         max_rounds,

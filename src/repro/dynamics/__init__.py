@@ -1,0 +1,59 @@
+"""Adversarial network dynamics: fault injection, churn, robustness sweeps.
+
+The paper assumes a static, reliable, round-synchronous network; its
+central quantities — mixing time, conductance, the isoperimetric number —
+are exactly what degrades when that assumption slips.  ``repro.dynamics``
+turns the repo from a reproduction of one execution model into a
+robustness-analysis system over a family of them:
+
+* :mod:`~repro.dynamics.adversaries` — concrete fault models (message
+  loss, bounded delay, link churn, crash-stop), all deterministic
+  functions of the run seed;
+* :mod:`~repro.dynamics.spec` — picklable :class:`AdversarySpec` grid
+  values plus the :data:`ADVERSARIES` registry behind
+  ``repro-le sweep --adversary``;
+* :mod:`~repro.dynamics.runners` — :class:`AdversarialRunner`, wrapping
+  any election runner in a fault scope;
+* :mod:`~repro.dynamics.sweeps` — (algorithm × adversary) robustness
+  grids as ordinary experiment specs.
+
+The simulator-side hook lives in :mod:`repro.core.faults`; dropped and
+delayed messages surface as first-class
+:class:`~repro.core.metrics.Metrics` counters and as trace events, and
+adversarial runs flow through the parallel engine and its checkpoints
+bit-identically to serial execution (``tests/test_dynamics.py``).
+"""
+
+from .adversaries import (
+    CrashStopAdversary,
+    LinkChurnAdversary,
+    MessageDelayAdversary,
+    MessageLossAdversary,
+    SeededAdversary,
+)
+from .runners import AdversarialRunner, run_with_adversary
+from .spec import (
+    ADVERSARIES,
+    AdversarySpec,
+    adversary_factory,
+    make_adversary,
+    parse_adversary_params,
+)
+from .sweeps import adversary_grid, robustness_specs
+
+__all__ = [
+    "ADVERSARIES",
+    "AdversarySpec",
+    "AdversarialRunner",
+    "CrashStopAdversary",
+    "LinkChurnAdversary",
+    "MessageDelayAdversary",
+    "MessageLossAdversary",
+    "SeededAdversary",
+    "adversary_factory",
+    "adversary_grid",
+    "make_adversary",
+    "parse_adversary_params",
+    "robustness_specs",
+    "run_with_adversary",
+]

@@ -1,0 +1,331 @@
+"""Concrete fault-adversary models.
+
+Four perturbations of the paper's reliable round-synchronous delivery
+step, all deterministic functions of the run seed they are constructed
+with (every random draw comes from a private RNG derived via
+:func:`repro.core.rng.derive_seed`, so a run perturbs identically in any
+process, worker count, or multiprocessing start method):
+
+* :class:`MessageLossAdversary` — i.i.d. per-message loss;
+* :class:`MessageDelayAdversary` — i.i.d. per-message bounded delay;
+* :class:`LinkChurnAdversary` — per-link up/down Markov churn with an
+  effective-topology connectivity account;
+* :class:`CrashStopAdversary` — seeded crash-stop node failures.
+
+The models deliberately stress the quantities the paper's analysis leans
+on: loss and churn thin the communication graph (conductance and the
+isoperimetric number drop, mixing slows), delay breaks round-synchrony of
+information spread, and crash-stop removes candidates outright.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Set
+
+from ..core.errors import ConfigurationError
+from ..core.faults import DELIVER, DROP, FaultAdversary
+from ..core.messages import Message
+from ..core.metrics import MetricsCollector
+from ..core.rng import derive_seed
+from ..core.tracing import TraceRecorder
+from ..graphs.dynamic import EffectiveTopologyView, normalize_edge
+from ..graphs.topology import Topology
+
+__all__ = [
+    "SeededAdversary",
+    "MessageLossAdversary",
+    "MessageDelayAdversary",
+    "LinkChurnAdversary",
+    "CrashStopAdversary",
+]
+
+
+def _check_probability(name: str, value: float) -> float:
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+    return float(value)
+
+
+class SeededAdversary(FaultAdversary):
+    """Base class for adversaries whose schedule derives from the run seed.
+
+    The RNG is (re)derived at :meth:`attach` time from ``(seed, "dynamics",
+    name, topology fingerprint)``, so each simulator built during one run —
+    phase-structured protocols build several — perturbs its execution from
+    the same deterministic stream, independent of process or scheduling.
+    The topology fingerprint is part of the derivation so that a sweep
+    reusing one seed across many topologies draws an independent fault
+    stream per cell instead of replaying one schedule prefix everywhere.
+    """
+
+    def __init__(self, *, seed: Optional[int] = None) -> None:
+        super().__init__()
+        self.seed = seed
+        self._rng = random.Random()
+
+    def attach(
+        self,
+        topology: Topology,
+        metrics: MetricsCollector,
+        trace: TraceRecorder,
+    ) -> None:
+        super().attach(topology, metrics, trace)
+        self._rng = random.Random(
+            derive_seed(self.seed, "dynamics", self.name, topology.fingerprint())
+        )
+
+    def describe(self) -> Dict[str, Any]:
+        return {"name": self.name, "seed": self.seed}
+
+
+class MessageLossAdversary(SeededAdversary):
+    """Drops each message independently with probability ``p``.
+
+    The benign end of the spectrum: the network is still fair (every
+    message has positive delivery probability) but protocols relying on
+    "every neighbour heard me" invariants start to see divergent local
+    views.
+    """
+
+    name = "loss"
+
+    def __init__(self, p: float = 0.05, *, seed: Optional[int] = None) -> None:
+        super().__init__(seed=seed)
+        self.p = _check_probability("p", p)
+
+    def on_message(
+        self,
+        round_index: int,
+        sender: int,
+        sender_port: int,
+        receiver: int,
+        receiver_port: int,
+        message: Message,
+    ) -> int:
+        return DROP if self._rng.random() < self.p else DELIVER
+
+    def describe(self) -> Dict[str, Any]:
+        return {"name": self.name, "p": self.p, "seed": self.seed}
+
+
+class MessageDelayAdversary(SeededAdversary):
+    """Delays each message independently with probability ``p``.
+
+    A delayed message arrives ``1..max_delay`` rounds late (uniform).  If
+    its port is carrying a fresh message in the arrival round, the stale
+    copy is dropped — each port delivers at most one message per round, so
+    delay degrades gracefully into loss under congestion.
+    """
+
+    name = "delay"
+
+    def __init__(
+        self,
+        p: float = 0.1,
+        max_delay: int = 3,
+        *,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(seed=seed)
+        self.p = _check_probability("p", p)
+        if int(max_delay) < 1:
+            raise ConfigurationError(f"max_delay must be >= 1, got {max_delay}")
+        self.max_delay = int(max_delay)
+
+    def on_message(
+        self,
+        round_index: int,
+        sender: int,
+        sender_port: int,
+        receiver: int,
+        receiver_port: int,
+        message: Message,
+    ) -> int:
+        if self._rng.random() < self.p:
+            return self._rng.randint(1, self.max_delay)
+        return DELIVER
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "p": self.p,
+            "max_delay": self.max_delay,
+            "seed": self.seed,
+        }
+
+
+class LinkChurnAdversary(SeededAdversary):
+    """Per-link up/down churn driven by a seeded two-state Markov schedule.
+
+    At the start of every round each link flips independently: an up link
+    goes down with probability ``p_down``, a down link recovers with
+    probability ``p_up``.  Messages traversing a down link are lost.  The
+    expected steady-state fraction of down links is
+    ``p_down / (p_down + p_up)``.
+
+    The adversary keeps an :class:`~repro.graphs.dynamic.EffectiveTopologyView`
+    of the current round and accounts connectivity into the run metrics:
+
+    * ``fault.link-down-rounds`` — sum over rounds of down links;
+    * ``fault.disconnected-rounds`` — rounds whose effective topology was
+      disconnected (the regime in which no election algorithm can
+      guarantee progress).
+    """
+
+    name = "churn"
+
+    def __init__(
+        self,
+        p_down: float = 0.05,
+        p_up: float = 0.5,
+        *,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(seed=seed)
+        self.p_down = _check_probability("p_down", p_down)
+        self.p_up = _check_probability("p_up", p_up)
+        self._down: Set[tuple] = set()
+        self._view: Optional[EffectiveTopologyView] = None
+
+    def attach(
+        self,
+        topology: Topology,
+        metrics: MetricsCollector,
+        trace: TraceRecorder,
+    ) -> None:
+        super().attach(topology, metrics, trace)
+        self._down = set()
+        self._view = EffectiveTopologyView(topology)
+
+    def begin_round(self, round_index: int) -> None:
+        rng = self._rng
+        down = self._down
+        # topology.edges() iterates the sorted edge tuple, so the flip
+        # order — and with it the RNG stream — is deterministic.
+        for edge in self.topology.edges():
+            if edge in down:
+                if rng.random() < self.p_up:
+                    down.discard(edge)
+                    self.trace.record(round_index, "link-up", edge=edge)
+            elif rng.random() < self.p_down:
+                down.add(edge)
+                self.trace.record(round_index, "link-down", edge=edge)
+        self._view = EffectiveTopologyView(self.topology, down)
+        if down:
+            self.metrics.record_event("fault.link-down-rounds", len(down))
+            if not self._view.is_connected():
+                self.metrics.record_event("fault.disconnected-rounds")
+
+    def effective_view(self) -> EffectiveTopologyView:
+        """The effective topology of the current round."""
+        if self._view is None:
+            raise ConfigurationError("adversary is not attached to a simulator")
+        return self._view
+
+    def on_message(
+        self,
+        round_index: int,
+        sender: int,
+        sender_port: int,
+        receiver: int,
+        receiver_port: int,
+        message: Message,
+    ) -> int:
+        if normalize_edge(sender, receiver) in self._down:
+            return DROP
+        return DELIVER
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "p_down": self.p_down,
+            "p_up": self.p_up,
+            "seed": self.seed,
+        }
+
+
+class CrashStopAdversary(SeededAdversary):
+    """Crash-stop node failures on a seeded schedule.
+
+    At attach time each node independently crashes with probability ``p``,
+    at a round drawn uniformly from ``1..horizon``.  A crashed node is
+    never stepped again and everything addressed to it is dropped; its
+    pre-crash protocol state still appears in the per-node results, so a
+    node that crashed mid-candidacy shows up as a candidate that never
+    became leader.
+
+    Crashes start at round 1 so that a run always has a first round of
+    full participation (crashing a node "before the protocol exists" is a
+    smaller-``n`` experiment, not a fault-tolerance one).
+    """
+
+    name = "crash"
+
+    def __init__(
+        self,
+        p: float = 0.05,
+        horizon: int = 64,
+        *,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(seed=seed)
+        self.p = _check_probability("p", p)
+        if int(horizon) < 1:
+            raise ConfigurationError(f"horizon must be >= 1, got {horizon}")
+        self.horizon = int(horizon)
+        self._crash_round: List[Optional[int]] = []
+
+    def attach(
+        self,
+        topology: Topology,
+        metrics: MetricsCollector,
+        trace: TraceRecorder,
+    ) -> None:
+        super().attach(topology, metrics, trace)
+        rng = self._rng
+        self._crash_round = [
+            rng.randint(1, self.horizon) if rng.random() < self.p else None
+            for _ in range(topology.num_nodes)
+        ]
+
+    def begin_round(self, round_index: int) -> None:
+        for node, crash_round in enumerate(self._crash_round):
+            if crash_round == round_index:
+                self.metrics.record_event("fault.node-crash")
+                self.trace.record(round_index, "node-crash", node=node)
+
+    def node_active(self, round_index: int, node: int) -> bool:
+        crash_round = self._crash_round[node]
+        return crash_round is None or round_index < crash_round
+
+    def on_message(
+        self,
+        round_index: int,
+        sender: int,
+        sender_port: int,
+        receiver: int,
+        receiver_port: int,
+        message: Message,
+    ) -> int:
+        # The message would arrive at the start of round ``round_index + 1``;
+        # drop it if the receiver is down by then.
+        if not self.node_active(round_index + 1, receiver):
+            return DROP
+        return DELIVER
+
+    def crashed_nodes(self, round_index: int) -> List[int]:
+        """Indices of nodes that have crashed by ``round_index``."""
+        return [
+            node
+            for node, crash_round in enumerate(self._crash_round)
+            if crash_round is not None and round_index >= crash_round
+        ]
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "p": self.p,
+            "horizon": self.horizon,
+            "seed": self.seed,
+        }

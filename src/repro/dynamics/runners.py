@@ -1,0 +1,58 @@
+"""Adversarial election runners: fault injection around protocol entry points.
+
+The experiment layer drives algorithms through ``runner(topology, seed)``
+callables.  :class:`AdversarialRunner` wraps such a runner so that every
+simulator the protocol builds during the run — the paper's protocols build
+several, one per phase — is constructed inside a
+:func:`repro.core.faults.fault_scope` and therefore gets a fresh adversary
+instance bound to the run seed.
+
+Instances are picklable (a dataclass of a module-level base runner and a
+frozen :class:`~repro.dynamics.spec.AdversarySpec`), so adversarial specs
+flow through the parallel engine's worker pool unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.faults import fault_scope
+from ..election.base import LeaderElectionResult
+from ..graphs.topology import Topology
+from .spec import AdversarySpec, adversary_factory
+
+__all__ = ["AdversarialRunner", "run_with_adversary"]
+
+#: Same shape as :data:`repro.analysis.experiments.ElectionRunner` (typed
+#: structurally here so ``dynamics`` stays below ``analysis`` in the layering).
+Runner = Callable[[Topology, int], LeaderElectionResult]
+
+
+@dataclass(frozen=True)
+class AdversarialRunner:
+    """``base`` executed under the fault model described by ``spec``."""
+
+    base: Runner
+    spec: AdversarySpec
+
+    def __call__(self, topology: Topology, seed: int) -> LeaderElectionResult:
+        return run_with_adversary(self.base, topology, seed, self.spec)
+
+
+def run_with_adversary(
+    runner: Runner,
+    topology: Topology,
+    seed: int,
+    spec: AdversarySpec,
+) -> LeaderElectionResult:
+    """Run one election under ``spec``'s fault model.
+
+    The adversary is recorded in the result's ``parameters`` (and hence in
+    checkpoint records and reports), so a stored run always says which
+    execution model produced it.
+    """
+    with fault_scope(adversary_factory(spec, seed)):
+        result = runner(topology, seed)
+    result.parameters = {**result.parameters, "adversary": spec.as_dict()}
+    return result

@@ -1,0 +1,131 @@
+"""Declarative, picklable adversary specifications.
+
+An :class:`AdversarySpec` is the value that travels through experiment
+grids: a model name from :data:`ADVERSARIES` plus a frozen parameter
+mapping.  It is hashable and picklable (so the parallel engine can ship it
+to workers inside an :class:`~repro.analysis.experiments.ExperimentSpec`)
+and renders a stable :meth:`~AdversarySpec.token` that becomes part of
+checkpoint task keys — a sweep resumed with a different adversary re-runs
+instead of replaying results measured under different dynamics.
+
+Instantiation (:func:`make_adversary`) binds a spec to a concrete run
+seed; the resulting adversary perturbs that run deterministically (see
+:mod:`repro.core.faults`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple, Type
+
+from ..core.errors import ConfigurationError
+from ..core.faults import FaultAdversary
+from .adversaries import (
+    CrashStopAdversary,
+    LinkChurnAdversary,
+    MessageDelayAdversary,
+    MessageLossAdversary,
+)
+
+__all__ = [
+    "ADVERSARIES",
+    "AdversarySpec",
+    "adversary_factory",
+    "make_adversary",
+    "parse_adversary_params",
+]
+
+#: CLI/registry name -> adversary class.  Constructor keyword names double
+#: as the ``--adversary-param`` keys.
+ADVERSARIES: Dict[str, Type[FaultAdversary]] = {
+    MessageLossAdversary.name: MessageLossAdversary,
+    MessageDelayAdversary.name: MessageDelayAdversary,
+    LinkChurnAdversary.name: LinkChurnAdversary,
+    CrashStopAdversary.name: CrashStopAdversary,
+}
+
+
+@dataclass(frozen=True)
+class AdversarySpec:
+    """A named adversary model plus its parameters, grid-ready.
+
+    ``params`` is stored as a sorted tuple of ``(key, value)`` pairs so
+    that equal specs hash equal and the :meth:`token` is stable no matter
+    the keyword order the spec was built with.
+    """
+
+    name: str
+    params: Tuple[Tuple[str, float], ...] = ()
+
+    @classmethod
+    def create(cls, name: str, **params: float) -> "AdversarySpec":
+        """Build a validated spec: unknown models and bad params fail now.
+
+        Validation instantiates the model once (with a throwaway seed), so
+        a typo'd parameter name or an out-of-range probability surfaces at
+        grid-construction time, not inside a worker process mid-sweep.
+        """
+        if name not in ADVERSARIES:
+            raise ConfigurationError(
+                f"unknown adversary {name!r}; available: {sorted(ADVERSARIES)}"
+            )
+        spec = cls(name=name, params=tuple(sorted(params.items())))
+        make_adversary(spec, seed=0)
+        return spec
+
+    def token(self) -> str:
+        """Stable identity string, e.g. ``"loss(p=0.05)"`` (used in task keys)."""
+        inner = ",".join(f"{key}={value!r}" for key, value in self.params)
+        return f"{self.name}({inner})"
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "params": dict(self.params)}
+
+
+def make_adversary(spec: AdversarySpec, seed: Optional[int]) -> FaultAdversary:
+    """Instantiate ``spec`` bound to one run seed."""
+    try:
+        model = ADVERSARIES[spec.name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown adversary {spec.name!r}; available: {sorted(ADVERSARIES)}"
+        ) from None
+    try:
+        return model(seed=seed, **dict(spec.params))
+    except TypeError as error:
+        raise ConfigurationError(
+            f"bad parameters for adversary {spec.name!r}: {error}"
+        ) from error
+
+
+def adversary_factory(
+    spec: AdversarySpec, seed: Optional[int]
+) -> Callable[[], FaultAdversary]:
+    """A zero-arg factory for :func:`repro.core.faults.fault_scope`."""
+    return lambda: make_adversary(spec, seed)
+
+
+def parse_adversary_params(items: Sequence[str]) -> Dict[str, float]:
+    """Parse ``k=v`` strings (CLI ``--adversary-param``) into numbers.
+
+    Values parse as int when possible, float otherwise; anything else is a
+    configuration error with the offending item named.
+    """
+    parsed: Dict[str, float] = {}
+    for item in items:
+        key, sep, raw = item.partition("=")
+        if not sep or not key:
+            raise ConfigurationError(
+                f"bad --adversary-param {item!r}; expected key=value"
+            )
+        try:
+            value: float = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                raise ConfigurationError(
+                    f"bad --adversary-param {item!r}; value must be numeric"
+                ) from None
+        parsed[key] = value
+    return parsed

@@ -5,6 +5,8 @@ from .base import (
     LeaderElectionResult,
     election_result_from_simulation,
     outcome_from_results,
+    safety_violations,
+    summarize_safety,
 )
 from .cautious_broadcast import (
     ActivateMessage,
@@ -75,6 +77,8 @@ __all__ = [
     "LeaderElectionResult",
     "outcome_from_results",
     "election_result_from_simulation",
+    "safety_violations",
+    "summarize_safety",
     # identities
     "ID_SPACE_EXPONENT",
     "IdentityDraw",

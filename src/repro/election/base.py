@@ -14,7 +14,7 @@ helpers here turn the per-node results of a simulation into an
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..core.metrics import Metrics
 from ..core.simulator import SimulationResult
@@ -24,6 +24,8 @@ __all__ = [
     "LeaderElectionResult",
     "outcome_from_results",
     "election_result_from_simulation",
+    "safety_violations",
+    "summarize_safety",
 ]
 
 
@@ -43,6 +45,16 @@ class ElectionOutcome:
     def elected(self) -> bool:
         """True when exactly one leader was elected."""
         return self.unique_leader
+
+    @property
+    def safe(self) -> bool:
+        """Safety half of Definitions 1 and 2: *never more than one* leader.
+
+        Under fault injection (:mod:`repro.dynamics`) liveness may be lost
+        — the election can fail to elect anybody — but an algorithm whose
+        runs stay ``safe`` never splits the network between two leaders.
+        """
+        return self.num_leaders <= 1
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -127,6 +139,45 @@ def outcome_from_results(
         unique_leader=len(leaders) == 1,
         agreement=agreement,
     )
+
+
+def safety_violations(
+    results: Iterable[LeaderElectionResult],
+) -> List[LeaderElectionResult]:
+    """The runs that violated safety (more than one leader raised its flag).
+
+    The robustness sweeps use this as their headline verdict: dialling a
+    fault model up typically costs liveness (success rate drops) long
+    before it costs safety, and a non-empty return value pinpoints the
+    exact (topology, seed, adversary) runs where an algorithm split the
+    network.
+    """
+    return [result for result in results if not result.outcome.safe]
+
+
+def summarize_safety(
+    results: Sequence[LeaderElectionResult],
+) -> Dict[str, object]:
+    """Aggregate safety/liveness verdicts over a batch of runs."""
+    violations = safety_violations(results)
+    elected = sum(1 for result in results if result.outcome.unique_leader)
+    return {
+        "runs": len(results),
+        "safe_runs": len(results) - len(violations),
+        "elected_runs": elected,
+        "safety_rate": 1.0 if not results else 1 - len(violations) / len(results),
+        "success_rate": 0.0 if not results else elected / len(results),
+        "violations": [
+            {
+                "algorithm": result.algorithm,
+                "topology": result.topology_name,
+                "seed": result.seed,
+                "num_leaders": result.outcome.num_leaders,
+                "adversary": result.parameters.get("adversary"),
+            }
+            for result in violations
+        ],
+    }
 
 
 def election_result_from_simulation(

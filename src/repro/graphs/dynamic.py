@@ -1,0 +1,140 @@
+"""Effective-topology views of a port-numbered graph under link churn.
+
+A churn adversary (:mod:`repro.dynamics.adversaries`) takes links up and
+down round by round.  The underlying :class:`~repro.graphs.topology.Topology`
+cannot change — port numbers ``1..deg(v)`` are fixed by the model and the
+protocol nodes were built against them — so the *effective* network in a
+round is the base topology minus the currently-down edges.
+
+:class:`EffectiveTopologyView` is that subgraph as a cheap overlay: it
+answers degree/neighbour/connectivity questions without copying the base
+graph, and can materialise a real :class:`Topology` (with fresh canonical
+ports) when a round's snapshot needs full analysis — e.g. feeding a
+disconnection-era subgraph to :func:`repro.graphs.properties.expansion_profile`.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Iterator, List, Set, Tuple
+
+from ..core.errors import TopologyError
+from .topology import Edge, Topology
+
+__all__ = ["EffectiveTopologyView", "normalize_edge"]
+
+
+def normalize_edge(u: int, v: int) -> Edge:
+    """Canonical undirected form of an edge, ``(min, max)``."""
+    return (u, v) if u <= v else (v, u)
+
+
+class EffectiveTopologyView:
+    """The subgraph of ``base`` with ``down_edges`` removed.
+
+    The view is immutable: churn produces one view per round (cheap — the
+    base graph is shared, only the down-set is stored).  Edges not present
+    in the base topology are rejected so a typo in an adversary schedule
+    fails loudly instead of silently perturbing nothing.
+    """
+
+    def __init__(self, base: Topology, down_edges: Iterable[Edge] = ()) -> None:
+        self.base = base
+        down: Set[Edge] = set()
+        for u, v in down_edges:
+            edge = normalize_edge(u, v)
+            if not base.has_edge(*edge):
+                raise TopologyError(
+                    f"down edge {edge} is not an edge of topology '{base.name}'"
+                )
+            down.add(edge)
+        self.down_edges: FrozenSet[Edge] = frozenset(down)
+
+    # ------------------------------------------------------------------ #
+    # subgraph accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes(self) -> int:
+        return self.base.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """Edges currently up."""
+        return self.base.num_edges - len(self.down_edges)
+
+    def is_up(self, u: int, v: int) -> bool:
+        """Whether the base edge ``(u, v)`` is currently up."""
+        return (
+            self.base.has_edge(u, v)
+            and normalize_edge(u, v) not in self.down_edges
+        )
+
+    def edges(self) -> Iterator[Edge]:
+        """The edges currently up, in the base topology's sorted order."""
+        down = self.down_edges
+        return (edge for edge in self.base.edges() if edge not in down)
+
+    def neighbors(self, node: int) -> Tuple[int, ...]:
+        """Neighbours of ``node`` reachable over up links."""
+        down = self.down_edges
+        return tuple(
+            v
+            for v in self.base.neighbors(node)
+            if normalize_edge(node, v) not in down
+        )
+
+    def degree(self, node: int) -> int:
+        return len(self.neighbors(node))
+
+    # ------------------------------------------------------------------ #
+    # connectivity
+    # ------------------------------------------------------------------ #
+    def connected_components(self) -> List[List[int]]:
+        """Connected components of the effective graph, sorted by first node."""
+        n = self.base.num_nodes
+        seen = [False] * n
+        components: List[List[int]] = []
+        for start in range(n):
+            if seen[start]:
+                continue
+            seen[start] = True
+            component = [start]
+            stack = [start]
+            while stack:
+                u = stack.pop()
+                for v in self.neighbors(u):
+                    if not seen[v]:
+                        seen[v] = True
+                        component.append(v)
+                        stack.append(v)
+            components.append(sorted(component))
+        return components
+
+    def is_connected(self) -> bool:
+        # No shortcut for an empty down-set: the base topology may itself
+        # be disconnected (Topology allows require_connected=False, and
+        # as_topology() snapshots are built that way).
+        return len(self.connected_components()) == 1
+
+    # ------------------------------------------------------------------ #
+    # materialisation
+    # ------------------------------------------------------------------ #
+    def as_topology(self, *, name: str = "") -> Topology:
+        """Materialise the effective subgraph as a real :class:`Topology`.
+
+        The result gets fresh canonical port numbers (the base assignment
+        has holes where down edges were), so it is an *analysis* artefact —
+        expansion profiles, mixing times — not a drop-in for a running
+        simulation.  Disconnected snapshots are allowed.
+        """
+        return Topology(
+            self.base.num_nodes,
+            list(self.edges()),
+            name=name or f"{self.base.name}-effective",
+            require_connected=False,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EffectiveTopologyView(base={self.base.name!r}, "
+            f"down={len(self.down_edges)}/{self.base.num_edges})"
+        )

@@ -20,8 +20,13 @@ backend of ``benchmarks/bench_parallel_sweep.py``; the equivalence and
 determinism guarantees are pinned down by ``tests/test_parallel_runner.py``.
 """
 
-from .checkpoint import CheckpointStore, result_from_record, result_to_record
-from .runner import run_experiments, run_parallel_experiment
+from .checkpoint import (
+    CheckpointStore,
+    compact_record,
+    result_from_record,
+    result_to_record,
+)
+from .runner import TaskExecutionError, run_experiments, run_parallel_experiment
 from .sharding import (
     RunTask,
     derive_cell_seed,
@@ -34,6 +39,8 @@ from .sharding import (
 __all__ = [
     "CheckpointStore",
     "RunTask",
+    "TaskExecutionError",
+    "compact_record",
     "derive_cell_seed",
     "expand_run_tasks",
     "result_from_record",

@@ -12,6 +12,13 @@ parameters — so resumed sweeps produce cells identical to uninterrupted
 ones.  Per-node protocol results are stored when they are JSON-encodable
 and dropped otherwise (they are diagnostic payload, not aggregate input).
 
+For very large grids the per-node payloads dominate the file:
+*compaction* (:func:`compact_record`, ``CheckpointStore(compact=True)``,
+:meth:`CheckpointStore.compact`) strips them and switches the file to
+compact JSON, keeping resume files proportional to the number of runs
+rather than to ``runs × nodes``.  Compacted records restore to the same
+aggregates as full ones — only per-node diagnostics are gone.
+
 Writes are atomic (write-to-temp + ``os.replace``), so a sweep killed
 mid-write leaves the previous consistent checkpoint behind.
 """
@@ -28,7 +35,12 @@ from ..core.errors import ConfigurationError
 from ..core.metrics import Metrics, PhaseMetrics
 from ..election.base import ElectionOutcome, LeaderElectionResult
 
-__all__ = ["CheckpointStore", "result_to_record", "result_from_record"]
+__all__ = [
+    "CheckpointStore",
+    "compact_record",
+    "result_to_record",
+    "result_from_record",
+]
 
 FORMAT_VERSION = 1
 
@@ -56,6 +68,19 @@ def result_to_record(
     }
 
 
+def compact_record(record: Dict[str, object]) -> Dict[str, object]:
+    """Strip a record down to what aggregation needs.
+
+    Drops the per-node diagnostic payload (the only unbounded part of a
+    record — everything else is O(1) per run).  Restoring a compacted
+    record yields a run whose aggregates — outcome, metrics, rounds —
+    are identical to the original's.
+    """
+    compacted = dict(record)
+    compacted.pop("node_results", None)
+    return compacted
+
+
 def result_from_record(
     record: Dict[str, object],
 ) -> Tuple[LeaderElectionResult, float]:
@@ -74,6 +99,8 @@ def result_from_record(
         messages=metrics_dict["messages"],
         bits=metrics_dict["bits"],
         congest_violations=metrics_dict["congest_violations"],
+        dropped_messages=metrics_dict.get("dropped_messages", 0),
+        delayed_messages=metrics_dict.get("delayed_messages", 0),
         events=dict(metrics_dict.get("events", {})),
         phases={
             name: PhaseMetrics(**phase)
@@ -104,13 +131,23 @@ class CheckpointStore:
     dirty.  Callers flush explicitly at the end of a sweep; an interrupt
     in between loses at most one interval's worth of completed runs
     instead of paying O(n^2) file I/O over a large grid.
+
+    With ``compact=True`` every record is compacted on the way in (see
+    :func:`compact_record`) — including records loaded from an existing
+    full checkpoint — and the file is written as compact JSON, so very
+    large grids keep resume files small.
     """
 
     def __init__(
-        self, path: Union[str, Path], *, flush_interval_seconds: float = 1.0
+        self,
+        path: Union[str, Path],
+        *,
+        flush_interval_seconds: float = 1.0,
+        compact: bool = False,
     ) -> None:
         self.path = Path(path)
         self.flush_interval_seconds = flush_interval_seconds
+        self.compact_records = compact
         self._runs: Dict[str, Dict[str, object]] = {}
         self._loaded = False
         self._dirty = False
@@ -135,6 +172,8 @@ class CheckpointStore:
                         f"this build reads version {FORMAT_VERSION}"
                     )
                 self._runs = dict(payload.get("runs", {}))
+                if self.compact_records:
+                    self.compact()
         return self._runs
 
     def __contains__(self, key: str) -> bool:
@@ -146,10 +185,29 @@ class CheckpointStore:
     def add(self, key: str, record: Dict[str, object]) -> None:
         """Record a completed run; flush unless one happened very recently."""
         self.load()
+        if self.compact_records:
+            record = compact_record(record)
         self._runs[key] = record
         self._dirty = True
         if time.monotonic() - self._last_flush >= self.flush_interval_seconds:
             self.flush()
+
+    def compact(self) -> int:
+        """Compact every stored record in place; returns how many shrank.
+
+        Useful for shrinking the checkpoint of an interrupted large sweep
+        before archiving or resuming it; the next :meth:`flush` persists
+        the compact form.
+        """
+        compacted = 0
+        for key, record in self.load().items():
+            slim = compact_record(record)
+            if slim != record:
+                self._runs[key] = slim
+                compacted += 1
+        if compacted:
+            self._dirty = True
+        return compacted
 
     def flush(self) -> None:
         """Write the store to disk atomically (write-to-temp + replace)."""
@@ -158,7 +216,11 @@ class CheckpointStore:
         payload = {"version": FORMAT_VERSION, "runs": self._runs}
         self.path.parent.mkdir(parents=True, exist_ok=True)
         temp = self.path.with_name(self.path.name + ".tmp")
-        temp.write_text(json.dumps(payload, indent=1, sort_keys=True), encoding="utf-8")
+        if self.compact_records:
+            text = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+        else:
+            text = json.dumps(payload, indent=1, sort_keys=True)
+        temp.write_text(text, encoding="utf-8")
         os.replace(temp, self.path)
         self._dirty = False
         self._last_flush = time.monotonic()

@@ -33,6 +33,7 @@ lambdas and closures only work with the in-process backend.
 from __future__ import annotations
 
 import multiprocessing
+import traceback
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -43,21 +44,41 @@ from ..analysis.experiments import (
     execute_run,
     resolve_profile,
 )
-from ..core.errors import ConfigurationError
+from ..core.errors import ConfigurationError, ReproError
 from ..election.base import LeaderElectionResult
 from ..graphs.properties import ExpansionProfile
 from .checkpoint import CheckpointStore, result_from_record, result_to_record
 from .sharding import RunTask, expand_run_tasks
 
-__all__ = ["run_parallel_experiment", "run_experiments"]
+__all__ = ["TaskExecutionError", "run_parallel_experiment", "run_experiments"]
 
 #: key -> (result, wall_clock_seconds)
 _Completed = Dict[str, Tuple[LeaderElectionResult, float]]
 
 
+class TaskExecutionError(ReproError):
+    """One run of an experiment grid failed.
+
+    Raised in place of the bare exception that killed the run, with the
+    failing (spec, topology, seed) grid coordinates in the message — a
+    multiprocessing traceback alone does not say which of ten thousand
+    runs died.  The original traceback is appended (exception chaining
+    does not survive the worker-to-parent pickle hop).
+    """
+
+
 def _execute_task(task: RunTask) -> Tuple[str, LeaderElectionResult, float]:
     """Pool worker entry point: run one task and return (key, result, time)."""
-    result, elapsed = execute_run(task.runner, task.topology, task.seed)
+    try:
+        result, elapsed = execute_run(task.runner, task.topology, task.seed)
+    except Exception as error:
+        adversary = f" under adversary {task.adversary}" if task.adversary else ""
+        raise TaskExecutionError(
+            f"run failed in spec {task.spec_name!r} on topology "
+            f"{task.topology.name!r} (grid index {task.topology_index}, "
+            f"seed {task.seed}){adversary}: {type(error).__name__}: {error}\n"
+            f"{traceback.format_exc()}"
+        ) from error
     return task.key, result, elapsed
 
 
@@ -66,6 +87,7 @@ def run_parallel_experiment(
     *,
     workers: int = 1,
     checkpoint: Optional[Union[str, Path]] = None,
+    checkpoint_compact: bool = False,
     start_method: Optional[str] = None,
     profiles: Optional[Dict[str, ExpansionProfile]] = None,
     keep_results: bool = False,
@@ -77,6 +99,7 @@ def run_parallel_experiment(
         [spec],
         workers=workers,
         checkpoint=checkpoint,
+        checkpoint_compact=checkpoint_compact,
         start_method=start_method,
         profiles=profiles,
         keep_results=keep_results,
@@ -90,6 +113,7 @@ def run_experiments(
     *,
     workers: int = 1,
     checkpoint: Optional[Union[str, Path]] = None,
+    checkpoint_compact: bool = False,
     start_method: Optional[str] = None,
     profiles: Optional[Dict[str, ExpansionProfile]] = None,
     keep_results: bool = False,
@@ -103,7 +127,9 @@ def run_experiments(
     highly skewed).  ``derive_seeds`` switches every cell to an independent
     deterministic seed derived from ``base_seed`` (see
     :func:`repro.parallel.sharding.derive_cell_seed`); leave it off for
-    results identical to the serial backend's.
+    results identical to the serial backend's.  ``checkpoint_compact``
+    stores checkpoint records without per-node diagnostic payloads (and as
+    compact JSON) so resume files of very large grids stay small.
     """
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
@@ -119,7 +145,11 @@ def run_experiments(
     ]
     all_tasks: List[RunTask] = [task for tasks in per_spec_tasks for task in tasks]
 
-    store = CheckpointStore(checkpoint) if checkpoint is not None else None
+    store = (
+        CheckpointStore(checkpoint, compact=checkpoint_compact)
+        if checkpoint is not None
+        else None
+    )
     completed: _Completed = {}
     if store is not None:
         task_keys = {task.key for task in all_tasks}
@@ -144,10 +174,12 @@ def run_experiments(
                         store.add(key, result_to_record(result, elapsed))
         else:
             for task in pending:
-                result, elapsed = execute_run(task.runner, task.topology, task.seed)
-                completed[task.key] = (result, elapsed)
+                # Same entry point as the pool workers, so failures carry
+                # the same grid-coordinate context either way.
+                key, result, elapsed = _execute_task(task)
+                completed[key] = (result, elapsed)
                 if store is not None:
-                    store.add(task.key, result_to_record(result, elapsed))
+                    store.add(key, result_to_record(result, elapsed))
     finally:
         if store is not None and pending:
             store.flush()

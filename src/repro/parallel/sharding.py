@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, TypeVar
 
-from ..analysis.experiments import ElectionRunner, ExperimentSpec
+from ..analysis.experiments import ElectionRunner, ExperimentSpec, effective_runner
 from ..core.rng import derive_seed
 from ..graphs.topology import Topology
 
@@ -57,6 +57,9 @@ class RunTask:
     #: structure digest of ``topology``, computed once at expansion time
     #: (hashing the edge/port lists per key access would be quadratic).
     fingerprint: str
+    #: stable token of the spec's adversary model ("" without one); part of
+    #: the task identity so checkpoints never mix execution models.
+    adversary: str = ""
 
     @property
     def key(self) -> str:
@@ -67,6 +70,7 @@ class RunTask:
             self.fingerprint,
             self.seed_index,
             self.seed,
+            self.adversary,
         )
 
 
@@ -87,6 +91,7 @@ def task_key(
     fingerprint: str,
     seed_index: int,
     seed: int,
+    adversary: str = "",
 ) -> str:
     """Stable checkpoint identity of one run inside an experiment grid.
 
@@ -95,10 +100,15 @@ def task_key(
     instances sharing a display name, and a checkpoint resumed against a
     regenerated suite (different graph seed, same names) must re-run
     rather than silently replay results measured on different graphs.
+
+    ``adversary`` (the spec's adversary token, "" for the reliable model)
+    keys the execution model the run was measured under, for the same
+    reason: a robustness sweep resumed with a different fault model must
+    re-run, not replay.
     """
     return (
         f"{spec_name}|{topology_index}|{topology_name}|{fingerprint}"
-        f"|{seed_index}|{seed}"
+        f"|{seed_index}|{seed}|{adversary}"
     )
 
 
@@ -142,6 +152,8 @@ def expand_run_tasks(
     cell of the grid an independent deterministic seed.
     """
     tasks: List[RunTask] = []
+    runner = effective_runner(spec)
+    adversary = spec.adversary.token() if spec.adversary is not None else ""
     for topology_index, topology in enumerate(spec.topologies):
         fingerprint = topology_fingerprint(topology)
         for seed_index, seed in enumerate(spec.seeds):
@@ -156,12 +168,13 @@ def expand_run_tasks(
             tasks.append(
                 RunTask(
                     spec_name=spec.name,
-                    runner=spec.runner,
+                    runner=runner,
                     topology=topology,
                     topology_index=topology_index,
                     seed=seed,
                     seed_index=seed_index,
                     fingerprint=fingerprint,
+                    adversary=adversary,
                 )
             )
     return tasks

@@ -1,7 +1,9 @@
 """Named topology suites used by the benchmarks and examples."""
 
 from .suites import (
+    DYNAMIC_SCENARIOS,
     SUITES,
+    dynamic_scenario,
     mixed_suite,
     poorly_connected_suite,
     scaling_family,
@@ -12,7 +14,9 @@ from .suites import (
 )
 
 __all__ = [
+    "DYNAMIC_SCENARIOS",
     "SUITES",
+    "dynamic_scenario",
     "suite_by_name",
     "sweep_specs",
     "well_connected_suite",

@@ -16,11 +16,14 @@ so a suite is fully reproducible.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 from ..core.errors import ConfigurationError
 from ..graphs import generators
 from ..graphs.topology import Topology
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..dynamics.spec import AdversarySpec
 
 __all__ = [
     "well_connected_suite",
@@ -31,6 +34,8 @@ __all__ = [
     "SUITES",
     "suite_by_name",
     "sweep_specs",
+    "DYNAMIC_SCENARIOS",
+    "dynamic_scenario",
 ]
 
 
@@ -134,24 +139,106 @@ def sweep_specs(
     *,
     seeds: Sequence[int] = (0, 1, 2),
     collect_profile: bool = True,
+    adversary: Optional["AdversarySpec"] = None,
 ) -> List["ExperimentSpec"]:
     """Build one :class:`~repro.analysis.experiments.ExperimentSpec` per algorithm.
 
     ``algorithms`` are names from :data:`repro.analysis.runners.RUNNERS`,
     so the resulting specs are picklable and can be handed directly to the
     parallel engine (``repro.parallel.run_experiments``) or to the CLI's
-    ``sweep`` command.
+    ``sweep`` command.  ``adversary`` attaches one fault model
+    (:class:`~repro.dynamics.spec.AdversarySpec`) to every spec; use
+    :func:`repro.dynamics.robustness_specs` for full (algorithm ×
+    adversary) grids.
     """
     from ..analysis.experiments import ExperimentSpec
     from ..analysis.runners import runner_by_name
 
     return [
         ExperimentSpec(
-            name=name,
+            name=name if adversary is None else f"{name}@{adversary.token()}",
             runner=runner_by_name(name),
             topologies=list(topologies),
             seeds=tuple(seeds),
             collect_profile=collect_profile,
+            adversary=adversary,
         )
         for name in algorithms
     ]
+
+
+# --------------------------------------------------------------------------- #
+# dynamic (adversarial) scenario suites
+# --------------------------------------------------------------------------- #
+
+
+def lossy_scenario() -> List[Optional["AdversarySpec"]]:
+    """Benign-to-harsh i.i.d. message loss, baseline first."""
+    from ..dynamics.spec import AdversarySpec
+
+    return [None] + [
+        AdversarySpec.create("loss", p=p) for p in (0.01, 0.05, 0.1)
+    ]
+
+
+def laggy_scenario() -> List[Optional["AdversarySpec"]]:
+    """Bounded message delay at increasing rates and bounds."""
+    from ..dynamics.spec import AdversarySpec
+
+    return [
+        None,
+        AdversarySpec.create("delay", p=0.1, max_delay=2),
+        AdversarySpec.create("delay", p=0.3, max_delay=5),
+    ]
+
+
+def flaky_links_scenario() -> List[Optional["AdversarySpec"]]:
+    """Link churn from occasional blips to sustained instability."""
+    from ..dynamics.spec import AdversarySpec
+
+    return [
+        None,
+        AdversarySpec.create("churn", p_down=0.02, p_up=0.5),
+        AdversarySpec.create("churn", p_down=0.1, p_up=0.25),
+    ]
+
+
+def crashy_scenario() -> List[Optional["AdversarySpec"]]:
+    """Crash-stop failures early in the execution.
+
+    The horizon is short on purpose: crash rounds are uniform over
+    ``1..horizon``, and a crash only matters if it lands before the
+    protocol finishes — flooding completes in ``diameter + 2`` rounds, a
+    handful on the small suites.
+    """
+    from ..dynamics.spec import AdversarySpec
+
+    return [
+        None,
+        AdversarySpec.create("crash", p=0.1, horizon=3),
+        AdversarySpec.create("crash", p=0.3, horizon=3),
+    ]
+
+
+#: Named adversary ladders for robustness sweeps.  Each scenario starts
+#: with ``None`` (the paper's reliable execution model) so every sweep
+#: carries its own calibration cells; feed one to
+#: :func:`repro.dynamics.robustness_specs` together with a topology suite.
+DYNAMIC_SCENARIOS: Dict[str, Callable[[], List[Optional["AdversarySpec"]]]] = {
+    "lossy": lossy_scenario,
+    "laggy": laggy_scenario,
+    "flaky-links": flaky_links_scenario,
+    "crashy": crashy_scenario,
+}
+
+
+def dynamic_scenario(name: str) -> List[Optional["AdversarySpec"]]:
+    """Look up a named dynamic scenario (a ladder of adversary specs)."""
+    try:
+        builder = DYNAMIC_SCENARIOS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown dynamic scenario {name!r}; available: "
+            f"{sorted(DYNAMIC_SCENARIOS)}"
+        ) from None
+    return builder()

@@ -178,3 +178,84 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "pumping-wheel demonstration" in out
+
+
+class TestSweepDynamics:
+    BASE = ["sweep", "--suite", "tiny", "--algorithms", "flooding", "--seeds", "2", "--no-profile"]
+
+    def test_sweep_with_adversary_reports_safety(self, capsys):
+        code = main(self.BASE + ["--adversary", "loss", "--adversary-param", "p=0.02"])
+        out = capsys.readouterr().out
+        assert "safety under faults" in out
+        assert "mean_dropped_messages" in out
+        assert code in (0, 1)  # 1 only on a safety violation
+
+    def test_sweep_adversary_deterministic_across_workers(self, capsys):
+        args = self.BASE + ["--adversary", "loss", "--adversary-param", "p=0.05"]
+        main(args)
+        serial_out = capsys.readouterr().out
+        main(args + ["--workers", "2"])
+        parallel_out = capsys.readouterr().out
+
+        def rows_without_wall_clock(text):
+            return [line.rsplit("|", 1)[0] for line in text.splitlines()[2:]]
+
+        assert rows_without_wall_clock(parallel_out) == rows_without_wall_clock(
+            serial_out
+        )
+
+    def test_sweep_scenario(self, capsys):
+        code = main(self.BASE + ["--scenario", "lossy"])
+        out = capsys.readouterr().out
+        assert "flooding@loss(p=0.01)" in out
+        assert "safety under faults" in out
+        assert code in (0, 1)
+
+    def test_sweep_rejects_bad_workers(self, capsys):
+        code = main(self.BASE + ["--workers", "0"])
+        assert code == 2
+        assert "--workers must be >= 1" in capsys.readouterr().err
+
+    def test_sweep_rejects_unknown_adversary(self, capsys):
+        code = main(self.BASE + ["--adversary", "gremlin"])
+        assert code == 2
+        assert "unknown adversary" in capsys.readouterr().err
+
+    def test_sweep_rejects_bad_adversary_param(self, capsys):
+        code = main(
+            self.BASE + ["--adversary", "loss", "--adversary-param", "p=lots"]
+        )
+        assert code == 2
+        assert "adversary-param" in capsys.readouterr().err
+
+    def test_sweep_rejects_param_without_adversary(self, capsys):
+        code = main(self.BASE + ["--adversary-param", "p=0.1"])
+        assert code == 2
+        assert "requires --adversary" in capsys.readouterr().err
+
+    def test_sweep_rejects_compact_without_checkpoint(self, capsys):
+        code = main(self.BASE + ["--checkpoint-compact"])
+        assert code == 2
+        assert "requires --checkpoint" in capsys.readouterr().err
+
+    def test_sweep_rejects_adversary_and_scenario_together(self, capsys):
+        code = main(
+            self.BASE + ["--adversary", "loss", "--scenario", "lossy"]
+        )
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_sweep_checkpoint_compact(self, capsys, tmp_path):
+        import json
+
+        checkpoint = tmp_path / "ck.json"
+        code = main(
+            self.BASE + ["--checkpoint", str(checkpoint), "--checkpoint-compact"]
+        )
+        assert code == 0
+        payload = json.loads(checkpoint.read_text())
+        assert payload["runs"]
+        assert all(
+            "node_results" not in record for record in payload["runs"].values()
+        )
+        capsys.readouterr()

@@ -1,0 +1,616 @@
+"""Tests for the adversarial network dynamics subsystem (``repro.dynamics``).
+
+The contract under test:
+
+* every adversary model is a deterministic function of the run seed — the
+  same (topology, seed, adversary) run is bit-identical wherever and
+  however often it executes, and adversarial sweeps are identical between
+  the serial and parallel experiment backends for any worker count;
+* fault injection is observable: dropped/delayed counters in
+  :class:`~repro.core.metrics.Metrics`, fault events in the trace, the
+  adversary description in the run's parameters and checkpoint record;
+* the adversary is part of a run's checkpoint identity, so resuming a
+  sweep under a different fault model re-runs instead of replaying;
+* safety under benign faults: the paper's irrevocable protocol never
+  reports more than one leader under mild message loss (and the safety
+  verification helpers catch algorithms that do split).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import random
+
+import pytest
+
+from repro.analysis import ExperimentSpec, effective_runner, run_experiment
+from repro.analysis.runners import flooding_runner, irrevocable_runner
+from repro.core import (
+    DELIVER,
+    DROP,
+    FaultAdversary,
+    Metrics,
+    MetricsCollector,
+    ProtocolNode,
+    SynchronousSimulator,
+    TraceRecorder,
+    active_fault_factory,
+    build_nodes,
+    fault_scope,
+)
+from repro.core.errors import ConfigurationError
+from repro.core.messages import Message
+from repro.dynamics import (
+    ADVERSARIES,
+    AdversarySpec,
+    CrashStopAdversary,
+    LinkChurnAdversary,
+    MessageDelayAdversary,
+    MessageLossAdversary,
+    adversary_grid,
+    make_adversary,
+    parse_adversary_params,
+    robustness_specs,
+    run_with_adversary,
+)
+from repro.election.base import safety_violations, summarize_safety
+from repro.graphs import (
+    EffectiveTopologyView,
+    complete,
+    cycle,
+    grid_2d,
+    hypercube,
+    path,
+    star,
+    torus_2d,
+)
+from repro.parallel import expand_run_tasks
+from repro.workloads import DYNAMIC_SCENARIOS, dynamic_scenario
+
+WORKER_COUNTS = sorted({2, 4} | {int(os.environ.get("REPRO_TEST_WORKERS", 2))})
+
+
+class Ping(Message):
+    pass
+
+
+class ChatterNode(ProtocolNode):
+    """Sends one message through every port each round; counts receptions."""
+
+    def __init__(self, num_ports: int, rng: random.Random) -> None:
+        super().__init__(num_ports, rng)
+        self.received = 0
+        self.stepped = 0
+
+    def step(self, round_index, inbox):
+        self.stepped += 1
+        self.received += len(inbox)
+        return {port: Ping() for port in self.ports()}
+
+    def result(self):
+        return {"received": self.received, "stepped": self.stepped}
+
+
+def _chatter_simulator(topology, adversary=None, trace=None):
+    nodes = build_nodes(topology, lambda i, p, rng: ChatterNode(p, rng), seed=0)
+    return SynchronousSimulator(topology, nodes, adversary=adversary, trace=trace)
+
+
+def _comparable(cells):
+    rows = []
+    for cell in cells:
+        row = cell.as_dict()
+        row.pop("mean_wall_clock_seconds")
+        rows.append(row)
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# core hook
+# --------------------------------------------------------------------------- #
+
+
+class TestFaultHook:
+    def test_null_adversary_changes_nothing(self):
+        plain = _chatter_simulator(cycle(8)).run(10)
+        nulled = _chatter_simulator(cycle(8), adversary=FaultAdversary()).run(10)
+        assert [n.result() for n in nulled.nodes] == [n.result() for n in plain.nodes]
+        assert nulled.metrics.as_dict() == plain.metrics.as_dict()
+        assert nulled.metrics.dropped_messages == 0
+
+    def test_drop_everything(self):
+        class DropAll(FaultAdversary):
+            def on_message(self, *args):
+                return DROP
+
+        result = _chatter_simulator(cycle(8), adversary=DropAll()).run(5)
+        assert all(node.received == 0 for node in result.nodes)
+        # Senders still paid for every message (2 per node per round).
+        assert result.metrics.messages == 8 * 2 * 5
+        assert result.metrics.dropped_messages == 8 * 2 * 5
+
+    def test_delay_shifts_arrival(self):
+        class DelayTwo(FaultAdversary):
+            def on_message(self, *args):
+                return 2
+
+        plain = _chatter_simulator(cycle(8)).run(10)
+        delayed = _chatter_simulator(cycle(8), adversary=DelayTwo()).run(10)
+        assert delayed.metrics.delayed_messages == plain.metrics.messages
+        # Two rounds of traffic are still in flight at the end.
+        received = sum(node.received for node in delayed.nodes)
+        assert received == sum(node.received for node in plain.nodes) - 2 * 16
+
+    def test_inactive_nodes_are_not_stepped(self):
+        class FreezeNodeZero(FaultAdversary):
+            def node_active(self, round_index, node):
+                return node != 0
+
+        result = _chatter_simulator(cycle(8), adversary=FreezeNodeZero()).run(5)
+        assert result.nodes[0].stepped == 0
+        assert all(node.stepped == 5 for node in result.nodes[1:])
+
+    def test_fault_scope_installs_ambient_factory(self):
+        assert active_fault_factory() is None
+        adversary = FaultAdversary()
+        with fault_scope(lambda: adversary):
+            assert active_fault_factory() is not None
+            simulator = _chatter_simulator(cycle(4))
+            assert simulator.adversary is adversary
+        assert active_fault_factory() is None
+        assert _chatter_simulator(cycle(4)).adversary is None
+
+    def test_explicit_adversary_wins_over_ambient(self):
+        explicit = FaultAdversary()
+        with fault_scope(FaultAdversary):
+            simulator = _chatter_simulator(cycle(4), adversary=explicit)
+        assert simulator.adversary is explicit
+
+
+# --------------------------------------------------------------------------- #
+# concrete models
+# --------------------------------------------------------------------------- #
+
+
+class TestMessageLoss:
+    def test_deterministic_per_seed(self):
+        results = [
+            _chatter_simulator(
+                torus_2d(4, 4), adversary=MessageLossAdversary(p=0.2, seed=7)
+            ).run(10)
+            for _ in range(2)
+        ]
+        assert results[0].metrics.as_dict() == results[1].metrics.as_dict()
+        assert results[0].metrics.dropped_messages > 0
+
+    def test_different_seeds_differ(self):
+        a = _chatter_simulator(
+            torus_2d(4, 4), adversary=MessageLossAdversary(p=0.2, seed=1)
+        ).run(10)
+        b = _chatter_simulator(
+            torus_2d(4, 4), adversary=MessageLossAdversary(p=0.2, seed=2)
+        ).run(10)
+        assert [n.received for n in a.nodes] != [n.received for n in b.nodes]
+
+    def test_p_zero_is_baseline(self):
+        plain = _chatter_simulator(cycle(8)).run(10)
+        lossless = _chatter_simulator(
+            cycle(8), adversary=MessageLossAdversary(p=0.0, seed=3)
+        ).run(10)
+        assert [n.received for n in lossless.nodes] == [
+            n.received for n in plain.nodes
+        ]
+        assert lossless.metrics.dropped_messages == 0
+
+    def test_p_one_drops_all(self):
+        result = _chatter_simulator(
+            cycle(8), adversary=MessageLossAdversary(p=1.0, seed=3)
+        ).run(5)
+        assert all(node.received == 0 for node in result.nodes)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MessageLossAdversary(p=1.5)
+
+
+class TestMessageDelay:
+    def test_delayed_messages_arrive_late_not_never(self):
+        adversary = MessageDelayAdversary(p=0.5, max_delay=3, seed=11)
+        result = _chatter_simulator(complete(5), adversary=adversary).run(30)
+        metrics = result.metrics
+        assert metrics.delayed_messages > 0
+        received = sum(node.received for node in result.nodes)
+        # Everything sent is either delivered, still in flight at the end
+        # (bounded by max_delay rounds of traffic), or was dropped in a
+        # delay collision.
+        assert received + metrics.dropped_messages <= metrics.messages
+        assert metrics.messages - received - metrics.dropped_messages <= 3 * 20
+
+    def test_collisions_count_as_dropped(self):
+        # Chatter keeps every port busy every round, so a delayed message
+        # always lands on an occupied port and must be dropped.
+        adversary = MessageDelayAdversary(p=0.3, max_delay=2, seed=5)
+        result = _chatter_simulator(cycle(6), adversary=adversary).run(20)
+        assert result.metrics.dropped_messages > 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            MessageDelayAdversary(p=0.1, max_delay=0)
+
+
+class TestLinkChurn:
+    def test_deterministic_schedule(self):
+        runs = [
+            _chatter_simulator(
+                torus_2d(4, 4),
+                adversary=LinkChurnAdversary(p_down=0.2, p_up=0.5, seed=9),
+            ).run(15)
+            for _ in range(2)
+        ]
+        assert runs[0].metrics.as_dict() == runs[1].metrics.as_dict()
+        assert runs[0].metrics.events.get("fault.link-down-rounds", 0) > 0
+
+    def test_down_links_drop_messages(self):
+        adversary = LinkChurnAdversary(p_down=1.0, p_up=0.0, seed=1)
+        result = _chatter_simulator(cycle(8), adversary=adversary).run(5)
+        # Every link goes down in round 0 and never recovers.
+        assert all(node.received == 0 for node in result.nodes)
+        assert result.metrics.events["fault.disconnected-rounds"] == 5
+
+    def test_effective_view_tracks_down_edges(self):
+        adversary = LinkChurnAdversary(p_down=0.3, p_up=0.3, seed=2)
+        simulator = _chatter_simulator(cycle(8), adversary=adversary)
+        simulator.run(5)
+        view = adversary.effective_view()
+        assert isinstance(view, EffectiveTopologyView)
+        assert view.num_edges == 8 - len(view.down_edges)
+        for edge in view.down_edges:
+            assert not view.is_up(*edge)
+
+    def test_no_churn_is_baseline(self):
+        plain = _chatter_simulator(cycle(8)).run(10)
+        stable = _chatter_simulator(
+            cycle(8), adversary=LinkChurnAdversary(p_down=0.0, p_up=1.0, seed=4)
+        ).run(10)
+        assert [n.received for n in stable.nodes] == [n.received for n in plain.nodes]
+
+
+class TestCrashStop:
+    def test_crash_schedule_is_deterministic(self):
+        schedules = []
+        for _ in range(2):
+            adversary = CrashStopAdversary(p=0.5, horizon=10, seed=21)
+            _chatter_simulator(cycle(8), adversary=adversary).run(1)
+            schedules.append(adversary._crash_round)
+        assert schedules[0] == schedules[1]
+        assert any(r is not None for r in schedules[0])
+
+    def test_crashed_nodes_stop_stepping_and_receiving(self):
+        adversary = CrashStopAdversary(p=1.0, horizon=1, seed=3)
+        result = _chatter_simulator(cycle(8), adversary=adversary).run(5)
+        # Everyone crashes at round 1: exactly one round of participation.
+        assert all(node.stepped == 1 for node in result.nodes)
+        assert result.metrics.events["fault.node-crash"] == 8
+        assert adversary.crashed_nodes(5) == list(range(8))
+
+    def test_messages_to_crashed_nodes_dropped(self):
+        adversary = CrashStopAdversary(p=1.0, horizon=1, seed=3)
+        result = _chatter_simulator(cycle(8), adversary=adversary).run(5)
+        # Round 0 traffic would arrive in round 1, when every node is down.
+        assert all(node.received == 0 for node in result.nodes)
+        assert result.metrics.dropped_messages == 16
+
+    def test_p_zero_crashes_nobody(self):
+        adversary = CrashStopAdversary(p=0.0, horizon=8, seed=3)
+        result = _chatter_simulator(cycle(8), adversary=adversary).run(5)
+        assert all(node.stepped == 5 for node in result.nodes)
+        assert adversary.crashed_nodes(100) == []
+
+
+# --------------------------------------------------------------------------- #
+# specs, registry, grids
+# --------------------------------------------------------------------------- #
+
+
+class TestAdversarySpec:
+    def test_registry_covers_all_models(self):
+        assert {"loss", "delay", "churn", "crash"} <= set(ADVERSARIES)
+
+    def test_create_validates_name_and_params(self):
+        with pytest.raises(ConfigurationError):
+            AdversarySpec.create("gremlin", p=0.5)
+        with pytest.raises(ConfigurationError):
+            AdversarySpec.create("loss", probability=0.5)  # bad kwarg
+        with pytest.raises(ConfigurationError):
+            AdversarySpec.create("loss", p=2.0)  # out of range
+
+    def test_token_is_stable_and_order_insensitive(self):
+        a = AdversarySpec.create("delay", p=0.1, max_delay=3)
+        b = AdversarySpec.create("delay", max_delay=3, p=0.1)
+        assert a == b
+        assert a.token() == b.token() == "delay(max_delay=3,p=0.1)"
+
+    def test_spec_is_picklable_and_hashable(self):
+        spec = AdversarySpec.create("churn", p_down=0.1, p_up=0.5)
+        assert pickle.loads(pickle.dumps(spec)) == spec
+        assert spec in {spec}
+
+    def test_make_adversary_binds_seed(self):
+        spec = AdversarySpec.create("loss", p=0.25)
+        adversary = make_adversary(spec, seed=42)
+        assert isinstance(adversary, MessageLossAdversary)
+        assert adversary.p == 0.25
+        assert adversary.seed == 42
+
+    def test_parse_adversary_params(self):
+        parsed = parse_adversary_params(["p=0.05", "max_delay=3"])
+        assert parsed == {"p": 0.05, "max_delay": 3}
+        assert isinstance(parsed["max_delay"], int)
+        with pytest.raises(ConfigurationError):
+            parse_adversary_params(["p"])
+        with pytest.raises(ConfigurationError):
+            parse_adversary_params(["p=high"])
+
+    def test_adversary_grid(self):
+        specs = adversary_grid("loss", "p", [0.01, 0.05, 0.1])
+        assert [dict(spec.params)["p"] for spec in specs] == [0.01, 0.05, 0.1]
+
+    def test_dynamic_scenarios_are_well_formed(self):
+        for name in DYNAMIC_SCENARIOS:
+            ladder = dynamic_scenario(name)
+            assert ladder[0] is None  # baseline rung first
+            assert all(
+                rung is None or rung.name in ADVERSARIES for rung in ladder
+            )
+        with pytest.raises(ConfigurationError):
+            dynamic_scenario("sunny-day")
+
+    def test_robustness_specs_names_are_unique(self):
+        specs = robustness_specs(
+            ["flooding", "uniform"],
+            [cycle(8)],
+            dynamic_scenario("lossy"),
+            seeds=(0,),
+        )
+        names = [spec.name for spec in specs]
+        assert len(set(names)) == len(names)
+        assert "flooding" in names
+        assert any(name.startswith("flooding@loss(") for name in names)
+
+
+# --------------------------------------------------------------------------- #
+# determinism through the experiment engine
+# --------------------------------------------------------------------------- #
+
+ADVERSARY_GRID = [
+    AdversarySpec.create("loss", p=0.1),
+    AdversarySpec.create("delay", p=0.2, max_delay=3),
+    AdversarySpec.create("churn", p_down=0.1, p_up=0.5),
+    AdversarySpec.create("crash", p=0.2, horizon=4),
+]
+
+
+def _adversarial_spec(adversary, name="flooding-under-faults"):
+    return ExperimentSpec(
+        name=name,
+        runner=flooding_runner,
+        topologies=[cycle(8), star(8), grid_2d(3, 3)],
+        seeds=(0, 1, 2),
+        collect_profile=False,
+        adversary=adversary,
+    )
+
+
+class TestAdversarialSweepEquivalence:
+    @pytest.mark.parametrize("adversary", ADVERSARY_GRID, ids=lambda s: s.name)
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_serial_and_parallel_identical(self, adversary, workers):
+        spec = _adversarial_spec(adversary)
+        serial = run_experiment(spec)
+        parallel = run_experiment(spec, workers=workers)
+        assert _comparable(parallel.cells) == _comparable(serial.cells)
+
+    def test_adversarial_runs_are_repeatable(self):
+        spec = AdversarySpec.create("loss", p=0.2)
+        a = run_with_adversary(flooding_runner, torus_2d(4, 4), 3, spec)
+        b = run_with_adversary(flooding_runner, torus_2d(4, 4), 3, spec)
+        assert a.as_dict() == b.as_dict()
+        assert a.parameters["adversary"] == spec.as_dict()
+
+    def test_effective_runner_is_picklable(self):
+        runner = effective_runner(_adversarial_spec(ADVERSARY_GRID[0]))
+        clone = pickle.loads(pickle.dumps(runner))
+        assert clone(cycle(8), 0).as_dict() == runner(cycle(8), 0).as_dict()
+
+    def test_adversary_changes_results(self):
+        baseline = run_experiment(_adversarial_spec(None, name="plain"))
+        perturbed = run_experiment(_adversarial_spec(ADVERSARY_GRID[0]))
+        assert _comparable(perturbed.cells) != _comparable(baseline.cells)
+        assert all(cell.mean_dropped_messages > 0 for cell in perturbed.cells)
+
+    def test_task_keys_include_adversary(self):
+        plain_keys = {t.key for t in expand_run_tasks(_adversarial_spec(None))}
+        loss_keys = {
+            t.key for t in expand_run_tasks(_adversarial_spec(ADVERSARY_GRID[0]))
+        }
+        assert plain_keys.isdisjoint(loss_keys)
+        assert all("loss(p=0.1)" in key for key in loss_keys)
+
+    def test_checkpointed_adversarial_sweep_matches(self, tmp_path):
+        spec = _adversarial_spec(ADVERSARY_GRID[0])
+        plain = run_experiment(spec)
+        checkpointed = run_experiment(
+            spec, workers=2, checkpoint=tmp_path / "sweep.json"
+        )
+        assert _comparable(checkpointed.cells) == _comparable(plain.cells)
+        # Replaying from the checkpoint reproduces the same cells, fault
+        # counters included.
+        replayed = run_experiment(spec, checkpoint=tmp_path / "sweep.json")
+        assert _comparable(replayed.cells) == _comparable(plain.cells)
+
+    def test_checkpoint_not_replayed_across_adversaries(self, tmp_path):
+        checkpoint = tmp_path / "sweep.json"
+        run_experiment(_adversarial_spec(ADVERSARY_GRID[0]), checkpoint=checkpoint)
+        direct = run_experiment(_adversarial_spec(ADVERSARY_GRID[1]))
+        resumed = run_experiment(
+            _adversarial_spec(ADVERSARY_GRID[1]), checkpoint=checkpoint
+        )
+        assert _comparable(resumed.cells) == _comparable(direct.cells)
+
+
+# --------------------------------------------------------------------------- #
+# safety under faults
+# --------------------------------------------------------------------------- #
+
+SAFETY_TOPOLOGIES = [
+    cycle(8),
+    star(8),
+    grid_2d(3, 3),
+    complete(6),
+    hypercube(3),
+    torus_2d(4, 4),
+]
+
+
+class TestSafetyUnderFaults:
+    @pytest.mark.parametrize("p", [0.01, 0.02, 0.05])
+    def test_irrevocable_never_elects_two_leaders_under_benign_loss(self, p):
+        spec = AdversarySpec.create("loss", p=p)
+        runs = [
+            run_with_adversary(irrevocable_runner, topology, seed, spec)
+            for topology in SAFETY_TOPOLOGIES
+            for seed in range(5)
+        ]
+        assert safety_violations(runs) == []
+        summary = summarize_safety(runs)
+        assert summary["safety_rate"] == 1.0
+        assert summary["runs"] == len(SAFETY_TOPOLOGIES) * 5
+
+    def test_safety_helpers_catch_split_elections(self):
+        # Flooding max-ID is *not* safe under loss: with the pinned seed
+        # below the largest candidate's announcements die and a second
+        # candidate also keeps its flag up.  The helpers must report it.
+        spec = AdversarySpec.create("loss", p=0.05)
+        run = run_with_adversary(flooding_runner, path(8), 3, spec)
+        assert run.outcome.num_leaders == 2
+        assert not run.outcome.safe
+        summary = summarize_safety([run])
+        assert summary["safe_runs"] == 0
+        assert summary["violations"][0]["num_leaders"] == 2
+        assert summary["violations"][0]["adversary"] == spec.as_dict()
+
+    def test_safe_flag_on_outcomes(self):
+        run = flooding_runner(cycle(8), 0)
+        assert run.outcome.safe
+        assert summarize_safety([run])["safety_rate"] == 1.0
+
+
+# --------------------------------------------------------------------------- #
+# fault observability: metrics counters and trace events
+# --------------------------------------------------------------------------- #
+
+
+class TestFaultObservability:
+    def test_dropped_and_delayed_in_metrics_dict(self):
+        collector = MetricsCollector()
+        collector.record_dropped(3)
+        collector.record_delayed(2)
+        snap = collector.snapshot()
+        assert snap.dropped_messages == 3
+        assert snap.delayed_messages == 2
+        assert snap.as_dict()["dropped_messages"] == 3
+        assert snap.as_dict()["delayed_messages"] == 2
+        with pytest.raises(ValueError):
+            collector.record_dropped(-1)
+
+    def test_fault_counters_merge(self):
+        a = MetricsCollector()
+        a.record_dropped(1)
+        b = MetricsCollector()
+        b.record_dropped(2)
+        b.record_delayed(5)
+        a.merge(b)
+        assert a.dropped_messages == 3
+        assert a.delayed_messages == 5
+
+    def test_metrics_roundtrip_defaults(self):
+        # Records written before the fault counters existed load as zero.
+        assert Metrics(rounds=1, messages=2, bits=3).dropped_messages == 0
+
+    def test_drop_events_traced(self):
+        trace = TraceRecorder()
+        simulator = _chatter_simulator(
+            cycle(8), adversary=MessageLossAdversary(p=0.5, seed=1), trace=trace
+        )
+        result = simulator.run(5)
+        dropped = trace.of_kind("message-dropped")
+        assert len(dropped) == result.metrics.dropped_messages
+        assert all("receiver" in event.detail for event in dropped)
+
+    def test_delay_events_traced(self):
+        trace = TraceRecorder()
+        simulator = _chatter_simulator(
+            cycle(8), adversary=MessageDelayAdversary(p=0.5, max_delay=2, seed=1),
+            trace=trace,
+        )
+        result = simulator.run(5)
+        delayed = trace.of_kind("message-delayed")
+        assert len(delayed) == result.metrics.delayed_messages
+        assert all(event.detail["delay"] >= 1 for event in delayed)
+
+    def test_churn_and_crash_events_traced(self):
+        trace = TraceRecorder()
+        _chatter_simulator(
+            cycle(8),
+            adversary=LinkChurnAdversary(p_down=0.5, p_up=0.5, seed=1),
+            trace=trace,
+        ).run(5)
+        assert trace.of_kind("link-down")
+
+        trace = TraceRecorder()
+        _chatter_simulator(
+            cycle(8), adversary=CrashStopAdversary(p=1.0, horizon=2, seed=1),
+            trace=trace,
+        ).run(5)
+        assert len(trace.of_kind("node-crash")) == 8
+
+
+# --------------------------------------------------------------------------- #
+# effective topology views
+# --------------------------------------------------------------------------- #
+
+
+class TestEffectiveTopologyView:
+    def test_full_view_matches_base(self):
+        topology = torus_2d(4, 4)
+        view = EffectiveTopologyView(topology)
+        assert view.num_edges == topology.num_edges
+        assert view.is_connected()
+        assert view.neighbors(0) == topology.neighbors(0)
+
+    def test_removing_edges_updates_degrees_and_connectivity(self):
+        topology = cycle(6)
+        view = EffectiveTopologyView(topology, [(0, 1), (3, 4)])
+        assert view.num_edges == 4
+        assert view.degree(0) == 1
+        assert not view.is_connected()
+        components = sorted(view.connected_components())
+        assert components == [[0, 4, 5], [1, 2, 3]]
+
+    def test_unknown_down_edge_rejected(self):
+        from repro.core.errors import TopologyError
+
+        with pytest.raises(TopologyError):
+            EffectiveTopologyView(cycle(6), [(0, 3)])
+
+    def test_as_topology_materialises_subgraph(self):
+        view = EffectiveTopologyView(cycle(6), [(0, 1)])
+        materialised = view.as_topology()
+        assert materialised.num_edges == 5
+        assert materialised.num_nodes == 6
+        assert not materialised.has_edge(0, 1)
+
+    def test_disconnected_base_reported_even_with_no_down_edges(self):
+        snapshot = EffectiveTopologyView(cycle(6), [(0, 1), (3, 4)]).as_topology()
+        assert not EffectiveTopologyView(snapshot).is_connected()

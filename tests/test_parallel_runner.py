@@ -28,6 +28,8 @@ from repro.core.errors import ConfigurationError
 from repro.graphs import cycle, grid_2d, random_regular, star
 from repro.parallel import (
     CheckpointStore,
+    TaskExecutionError,
+    compact_record,
     derive_cell_seed,
     expand_run_tasks,
     result_from_record,
@@ -367,3 +369,123 @@ class TestCheckpointing:
         store.add("k", result_to_record(result, 0.1))
         assert (tmp_path / "deep" / "ck.json").exists()
         assert not (tmp_path / "deep" / "ck.json.tmp").exists()
+
+
+class TestCheckpointCompaction:
+    def test_compact_record_round_trips_aggregates(self):
+        result = flooding_runner(cycle(8), 3)
+        record = compact_record(result_to_record(result, 0.25))
+        record = json.loads(json.dumps(record))  # must survive JSON
+        restored, elapsed = result_from_record(record)
+        assert elapsed == 0.25
+        # Everything the aggregation layer reads is identical; only the
+        # per-node diagnostic payload is gone.
+        assert restored.node_results == []
+        assert restored.outcome.as_dict() == result.outcome.as_dict()
+        assert restored.metrics.as_dict() == result.metrics.as_dict()
+        full = result.as_dict()
+        slim = restored.as_dict()
+        assert slim == full  # as_dict never includes node_results
+
+    def test_compacted_sweep_matches_uncompacted(self, tmp_path):
+        spec = _spec()
+        plain = run_experiment(spec)
+        compacted = run_experiment(
+            spec,
+            workers=2,
+            checkpoint=tmp_path / "sweep.json",
+            checkpoint_compact=True,
+        )
+        assert _comparable(compacted.cells) == _comparable(plain.cells)
+        payload = json.loads((tmp_path / "sweep.json").read_text())
+        assert all(
+            "node_results" not in record for record in payload["runs"].values()
+        )
+        # A resume from the compacted checkpoint replays the same cells.
+        resumed = run_experiment(
+            spec, checkpoint=tmp_path / "sweep.json", checkpoint_compact=True
+        )
+        assert _comparable(resumed.cells) == _comparable(plain.cells)
+
+    def test_compaction_shrinks_resume_files(self, tmp_path):
+        spec = _spec()
+        run_experiment(spec, checkpoint=tmp_path / "full.json")
+        run_experiment(
+            spec, checkpoint=tmp_path / "slim.json", checkpoint_compact=True
+        )
+        full = (tmp_path / "full.json").stat().st_size
+        slim = (tmp_path / "slim.json").stat().st_size
+        assert slim < full / 2
+
+    def test_in_place_compaction_of_existing_checkpoint(self, tmp_path):
+        spec = _spec()
+        plain = run_experiment(spec, checkpoint=tmp_path / "ck.json")
+        store = CheckpointStore(tmp_path / "ck.json")
+        compacted = store.compact()
+        store.flush()
+        assert compacted == len(spec.topologies) * len(SEEDS)
+        assert store.compact() == 0  # idempotent
+        resumed = run_experiment(spec, checkpoint=tmp_path / "ck.json")
+        assert _comparable(resumed.cells) == _comparable(plain.cells)
+
+    def test_compact_store_compacts_loaded_full_records(self, tmp_path):
+        spec = _spec()
+        run_experiment(spec, checkpoint=tmp_path / "ck.json")
+        resumed = run_experiment(
+            spec, checkpoint=tmp_path / "ck.json", checkpoint_compact=True
+        )
+        assert _comparable(resumed.cells) == _comparable(run_experiment(spec).cells)
+
+
+def failing_runner(topology, seed):
+    """A picklable runner that dies on one specific grid point."""
+    if topology.name.startswith("star") and seed == 1:
+        raise ValueError("boom at the appointed run")
+    return flooding_runner(topology, seed)
+
+
+class TestWorkerErrorContext:
+    def _failing_spec(self):
+        return ExperimentSpec(
+            name="fragile",
+            runner=failing_runner,
+            topologies=[cycle(8), star(8)],
+            seeds=SEEDS,
+            collect_profile=False,
+        )
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_failures_carry_grid_coordinates(self, workers):
+        # The in-process (workers=1) and pool backends funnel through the
+        # same task entry point, so both report grid coordinates.
+        with pytest.raises(TaskExecutionError) as excinfo:
+            run_parallel_experiment(self._failing_spec(), workers=workers)
+        message = str(excinfo.value)
+        assert "'fragile'" in message
+        assert "star" in message
+        assert "seed 1" in message
+        assert "ValueError" in message
+        assert "boom at the appointed run" in message
+
+    def test_parallel_failure_names_adversary(self):
+        from repro.dynamics import AdversarySpec
+
+        spec = ExperimentSpec(
+            name="fragile-adv",
+            runner=failing_runner,
+            topologies=[star(8)],
+            seeds=(1,),
+            collect_profile=False,
+            adversary=AdversarySpec.create("loss", p=0.0),
+        )
+        with pytest.raises(TaskExecutionError, match=r"loss\(p=0\.0\)"):
+            run_experiment(spec, workers=2, checkpoint=None)
+
+    def test_completed_runs_checkpointed_before_failure(self, tmp_path):
+        checkpoint = tmp_path / "ck.json"
+        with pytest.raises(TaskExecutionError):
+            run_experiment(self._failing_spec(), workers=1, checkpoint=checkpoint)
+        payload = json.loads(checkpoint.read_text())
+        # The serial backend completed everything scheduled before the
+        # failing run; the checkpoint holds those, so a fixed rerun resumes.
+        assert len(payload["runs"]) >= 1
