@@ -26,10 +26,13 @@ id so they never clobber the committed perf trajectory.
 from __future__ import annotations
 
 import os
+import resource
 import time
+import tracemalloc
 
 import pytest
 
+from repro.graphs import cycle
 from repro.parallel import run_experiments
 from repro.workloads import mixed_suite, sweep_specs, tiny_suite
 
@@ -134,3 +137,90 @@ def test_parallel_sweep(benchmark):
             f"only {cpu_count} usable core(s): speedup threshold not "
             f"enforced (measured {speedup:.2f}x)"
         )
+
+
+# --------------------------------------------------------------------------- #
+# streaming-aggregation memory benchmark
+# --------------------------------------------------------------------------- #
+
+MEMORY_EXPERIMENT_ID = "bench-sweep-memory" + ("-smoke" if SMOKE else "")
+MEMORY_TOPOLOGY_SIZE = 32 if SMOKE else 64
+MEMORY_RUNS_SMALL = 8 if SMOKE else 32
+#: The growth factor between the two grids; sublinearity is asserted
+#: against it (4x the runs must cost far less than 4x the peak).
+MEMORY_SCALE = 4
+
+
+def _aggregate_sweep(num_seeds: int, *, keep_results: bool = False) -> int:
+    """Run a one-topology flooding grid of ``num_seeds`` runs; return the
+    peak traced allocation in bytes."""
+    specs = sweep_specs(
+        ("flooding",),
+        [cycle(MEMORY_TOPOLOGY_SIZE)],
+        seeds=tuple(range(num_seeds)),
+        collect_profile=False,
+    )
+    tracemalloc.start()
+    try:
+        run_experiments(specs, workers=1, keep_results=keep_results)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak
+
+
+@pytest.mark.benchmark(group=MEMORY_EXPERIMENT_ID)
+def test_streaming_memory(benchmark):
+    """The streaming result path keeps aggregate-only sweeps at O(cells) memory.
+
+    Peak allocation is measured (via ``tracemalloc``, which is
+    deterministic, unlike RSS) for the same single-cell grid at 1x and 4x
+    the run count: with per-run streaming the 4x grid must cost well under
+    2x the peak — the old engine retained every
+    ``LeaderElectionResult`` (O(runs × nodes)) and scaled linearly.  The
+    opt-in ``keep_results`` sink is measured alongside as the contrast,
+    and the process-level peak RSS lands in the BENCH JSON so the memory
+    trajectory is tracked over time.
+    """
+    runs_large = MEMORY_RUNS_SMALL * MEMORY_SCALE
+    peak_small, peak_large, peak_keep = benchmark.pedantic(
+        lambda: (
+            _aggregate_sweep(MEMORY_RUNS_SMALL),
+            _aggregate_sweep(runs_large),
+            _aggregate_sweep(runs_large, keep_results=True),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    growth = peak_large / peak_small
+    peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+    record_bench_json(
+        MEMORY_EXPERIMENT_ID,
+        {
+            "topology_nodes": MEMORY_TOPOLOGY_SIZE,
+            "runs_small": MEMORY_RUNS_SMALL,
+            "runs_large": runs_large,
+            "peak_bytes_small": peak_small,
+            "peak_bytes_large": peak_large,
+            "peak_bytes_keep_results": peak_keep,
+            "aggregate_peak_growth": growth,
+            "peak_rss_kb": peak_rss_kb,
+            "smoke": SMOKE,
+        },
+    )
+
+    # 4x the runs, well under 2x the peak: aggregate-only memory is
+    # sublinear in the number of runs (it is dominated by a single run's
+    # transient state, not by the grid size).
+    assert growth < 2.0, (
+        f"aggregate-only peak grew {growth:.2f}x for {MEMORY_SCALE}x runs "
+        f"({peak_small} -> {peak_large} bytes): the streaming pipeline is "
+        f"retaining per-run state"
+    )
+    # The opt-in retention sink is the contrast: keeping every result of
+    # the large grid must cost visibly more than streaming it.
+    assert peak_keep > peak_large, (
+        f"keep_results peak ({peak_keep}) not above streaming peak "
+        f"({peak_large}); the retention sink is not retaining"
+    )

@@ -7,11 +7,17 @@ and the grid of topologies/seeds to run it on; :func:`run_experiment`
 executes the grid and aggregates per-cell statistics (success rate, message
 and round means) into :class:`ExperimentCell` records that the reporting
 layer turns into Table 1-style tables or scaling series.
+
+The result path is *streaming* (see :mod:`repro.analysis.streaming`):
+each run is folded into its cell's exact accumulators the moment it
+completes and then released, so neither the serial driver here nor the
+parallel engine (:mod:`repro.parallel`) retains the full run list.
+``keep_results=True`` opts back into retention via a composing
+:class:`~repro.analysis.streaming.CollectingSink`.
 """
 
 from __future__ import annotations
 
-import statistics
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -28,9 +34,10 @@ from typing import (
 )
 
 from ..core.errors import ConfigurationError
-from ..election.base import LeaderElectionResult
+from ..election.base import LeaderElectionResult, SafetyTally
 from ..graphs.properties import ExpansionProfile, expansion_profile
 from ..graphs.topology import Topology
+from .streaming import CellAggregate, CellAggregatingSink, CollectingSink, ResultSink
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, keeps layering acyclic
     from ..dynamics.spec import AdversarySpec
@@ -41,6 +48,7 @@ __all__ = [
     "ExperimentCell",
     "ExperimentResult",
     "aggregate_cell",
+    "cell_from_aggregate",
     "effective_runner",
     "execute_run",
     "run_experiment",
@@ -108,6 +116,15 @@ class ExperimentCell:
     #: Fault-injection cost (zero under the reliable execution model).
     mean_dropped_messages: float = 0.0
     mean_delayed_messages: float = 0.0
+    #: Per-cell extremes (tail behaviour is what the paper's high-probability
+    #: bounds are about; the mean alone hides it).
+    min_messages: int = 0
+    max_messages: int = 0
+    min_rounds: int = 0
+    max_rounds: int = 0
+    #: Streaming safety verdicts of the cell's runs (never ``None`` for
+    #: cells built by the drivers; kept optional for hand-built cells).
+    safety: Optional[SafetyTally] = None
     profile: Optional[ExpansionProfile] = None
     results: List[LeaderElectionResult] = field(default_factory=list)
 
@@ -127,6 +144,10 @@ class ExperimentCell:
             "mean_bits": self.mean_bits,
             "mean_rounds": self.mean_rounds,
             "stdev_messages": self.stdev_messages,
+            "min_messages": self.min_messages,
+            "max_messages": self.max_messages,
+            "min_rounds": self.min_rounds,
+            "max_rounds": self.max_rounds,
             "mean_dropped_messages": self.mean_dropped_messages,
             "mean_delayed_messages": self.mean_delayed_messages,
             # Last on purpose: the one legitimately nondeterministic column,
@@ -192,6 +213,48 @@ def execute_run(
     return result, time.perf_counter() - started
 
 
+def cell_from_aggregate(
+    topology: Topology,
+    aggregate: CellAggregate,
+    *,
+    profile: Optional[ExpansionProfile] = None,
+    results: Optional[List[LeaderElectionResult]] = None,
+) -> ExperimentCell:
+    """Assemble an :class:`ExperimentCell` from a streamed cell aggregate.
+
+    Every backend — serial, parallel, sharded — funnels through this
+    function, and :class:`~repro.analysis.streaming.CellAggregate` keeps
+    exact accumulators, so cell statistics are bit-identical regardless
+    of how (or in what order) the runs were scheduled.
+    """
+    if aggregate.count == 0:
+        raise ConfigurationError(
+            f"cannot assemble a cell for {topology.name!r} from zero runs"
+        )
+    return ExperimentCell(
+        algorithm=aggregate.algorithm,
+        topology_name=topology.name,
+        num_nodes=topology.num_nodes,
+        num_edges=topology.num_edges,
+        runs=aggregate.count,
+        successes=aggregate.successes,
+        mean_messages=aggregate.mean_messages,
+        mean_bits=aggregate.mean_bits,
+        mean_rounds=aggregate.mean_rounds,
+        stdev_messages=aggregate.stdev_messages,
+        mean_wall_clock_seconds=aggregate.mean_wall_clock_seconds,
+        mean_dropped_messages=aggregate.mean_dropped_messages,
+        mean_delayed_messages=aggregate.mean_delayed_messages,
+        min_messages=aggregate.min_messages,
+        max_messages=aggregate.max_messages,
+        min_rounds=aggregate.min_rounds,
+        max_rounds=aggregate.max_rounds,
+        safety=aggregate.safety,
+        profile=profile,
+        results=list(results) if results is not None else [],
+    )
+
+
 def aggregate_cell(
     topology: Topology,
     runs: Sequence[LeaderElectionResult],
@@ -202,31 +265,18 @@ def aggregate_cell(
 ) -> ExperimentCell:
     """Aggregate the per-seed runs of one (algorithm, topology) cell.
 
-    Both the serial and the parallel experiment backends funnel through
-    this function, so cell statistics are computed identically regardless
-    of how the runs were scheduled.
+    Compatibility wrapper over the streaming aggregation path for callers
+    that already hold a run list; the drivers themselves fold runs into
+    :class:`~repro.analysis.streaming.CellAggregate` as they complete.
     """
-    messages = [float(run.messages) for run in runs]
-    return ExperimentCell(
-        algorithm=runs[0].algorithm,
-        topology_name=topology.name,
-        num_nodes=topology.num_nodes,
-        num_edges=topology.num_edges,
-        runs=len(runs),
-        successes=sum(run.success for run in runs),
-        mean_messages=statistics.fmean(messages),
-        mean_bits=statistics.fmean(float(run.bits) for run in runs),
-        mean_rounds=statistics.fmean(float(run.rounds_executed) for run in runs),
-        stdev_messages=statistics.pstdev(messages) if len(messages) > 1 else 0.0,
-        mean_wall_clock_seconds=statistics.fmean(wall_clock),
-        mean_dropped_messages=statistics.fmean(
-            float(run.metrics.dropped_messages) for run in runs
-        ),
-        mean_delayed_messages=statistics.fmean(
-            float(run.metrics.delayed_messages) for run in runs
-        ),
+    aggregate = CellAggregate()
+    for run, elapsed in zip(runs, wall_clock):
+        aggregate.add(run, elapsed)
+    return cell_from_aggregate(
+        topology,
+        aggregate,
         profile=profile,
-        results=list(runs) if keep_results else [],
+        results=list(runs) if keep_results else None,
     )
 
 
@@ -263,6 +313,7 @@ def run_experiment(
     checkpoint: Optional[Union[str, Path]] = None,
     checkpoint_compact: bool = False,
     start_method: Optional[str] = None,
+    sinks: Sequence[ResultSink] = (),
 ) -> ExperimentResult:
     """Run every (topology, seed) pair of the spec and aggregate per topology.
 
@@ -279,6 +330,13 @@ def run_experiment(
     restarting; passing it routes execution through the parallel engine
     even when ``workers`` is 1.  ``start_method`` picks the multiprocessing
     start method (``"fork"``, ``"spawn"``, ...; platform default if ``None``).
+
+    Runs are streamed: each result is folded into its cell's aggregate
+    (and forwarded to any caller-supplied ``sinks``) as it completes, then
+    released.  ``keep_results=True`` composes a
+    :class:`~repro.analysis.streaming.CollectingSink` to retain the full
+    per-run results on the cells — opt-in, since that is the one path
+    whose memory grows with ``runs × nodes``.
     """
     if (workers is not None and workers > 1) or checkpoint is not None:
         from ..parallel.runner import run_parallel_experiment
@@ -291,26 +349,39 @@ def run_experiment(
             start_method=start_method,
             profiles=profiles,
             keep_results=keep_results,
+            sinks=sinks,
         )
+    aggregates = CellAggregatingSink()
+    collector = CollectingSink() if keep_results else None
+    all_sinks: List[ResultSink] = [aggregates]
+    if collector is not None:
+        all_sinks.append(collector)
+    all_sinks.extend(sinks)
+
     result = ExperimentResult(name=spec.name)
     profiles = dict(profiles or {})
     runner = effective_runner(spec)
-    for topology in spec.topologies:
-        runs: List[LeaderElectionResult] = []
-        wall_clock: List[float] = []
-        for seed in spec.seeds:
+    for topology_index, topology in enumerate(spec.topologies):
+        for seed_index, seed in enumerate(spec.seeds):
             run, elapsed = execute_run(runner, topology, seed)
-            runs.append(run)
-            wall_clock.append(elapsed)
+            for sink in all_sinks:
+                sink.emit(spec.name, topology_index, seed_index, run, elapsed)
+            del run  # nothing below retains it: the sink fold is the pipeline
+        aggregate = aggregates.aggregate_for(spec.name, topology_index)
         result.cells.append(
-            aggregate_cell(
+            cell_from_aggregate(
                 topology,
-                runs,
-                wall_clock,
+                aggregate,
                 profile=resolve_profile(topology, profiles, spec.collect_profile),
-                keep_results=keep_results,
+                results=(
+                    collector.results_for(spec.name, topology_index)
+                    if collector is not None
+                    else None
+                ),
             )
         )
+    for sink in all_sinks:
+        sink.close()
     return result
 
 

@@ -24,6 +24,10 @@ __all__ = [
 
 def format_value(value: object, *, precision: int = 3) -> str:
     """Human-friendly formatting for table cells."""
+    if value is None:
+        # Absent measurements (e.g. a sharded sweep's untouched cells or a
+        # merge summary's empty fields) render as a dash, not "None".
+        return "-"
     if isinstance(value, bool):
         return "yes" if value else "no"
     if isinstance(value, int):

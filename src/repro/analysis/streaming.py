@@ -1,0 +1,266 @@
+"""Streaming result aggregation: sinks fold runs into per-cell statistics.
+
+The experiment engine used to hold every
+:class:`~repro.election.base.LeaderElectionResult` in memory until cells
+were assembled — O(runs × nodes) resident for large grids.  This module
+replaces that with a streaming pipeline: every completed run is *emitted*
+into one or more :class:`ResultSink` objects the moment it finishes and
+then released, so the only state that grows with the sweep is a fixed set
+of per-cell accumulators.
+
+Order independence
+------------------
+
+:class:`CellAggregate` keeps **exact** accumulators — integer/rational
+sums and sums of squares, min/max, counts — and converts to floats only
+once, when a cell is assembled.  Exact addition is associative and
+commutative, so the aggregates are bit-identical no matter how the runs
+were interleaved: serial grid order, a pool's completion order, or a
+merge of per-shard checkpoints all produce the same cells.  (Wall-clock
+sums stay plain floats; they are the one legitimately nondeterministic
+measurement and are excluded from every equivalence guarantee.)
+
+Sinks
+-----
+
+* :class:`CellAggregatingSink` — the default pipeline: folds each run
+  into its cell's :class:`CellAggregate`;
+* :class:`CollectingSink` — the opt-in "keep the full results" sink
+  behind ``keep_results=True``; composes with the aggregating sink
+  instead of threading a flag through every layer;
+* any user-supplied object implementing :class:`ResultSink` can be passed
+  to the experiment drivers (``sinks=...``) to observe runs as they
+  complete (progress bars, live dashboards, external writers).
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..election.base import LeaderElectionResult, SafetyTally
+
+__all__ = [
+    "CellAggregate",
+    "CellAggregatingSink",
+    "CollectingSink",
+    "ResultSink",
+]
+
+#: Exact accumulator value: ints stay ints (arbitrary precision), floats
+#: are promoted to :class:`~fractions.Fraction` so sums stay exact and
+#: therefore order-independent.
+Exact = Union[int, Fraction]
+
+
+def _exact(value) -> Exact:
+    return value if isinstance(value, int) else Fraction(value)
+
+
+def _mean(total: Exact, count: int) -> float:
+    return float(Fraction(total) / count)
+
+
+class CellAggregate:
+    """Exact incremental statistics of one (algorithm, topology) cell.
+
+    Everything :class:`~repro.analysis.experiments.ExperimentCell` reports
+    is derivable from these accumulators, so a sweep never needs to retain
+    its runs.  ``merge`` combines two aggregates of the same cell (used
+    when folding shard results); because the accumulators are exact, a
+    merge of partial aggregates equals the aggregate of the union.
+    """
+
+    __slots__ = (
+        "algorithm",
+        "count",
+        "successes",
+        "sum_messages",
+        "sum_sq_messages",
+        "sum_bits",
+        "sum_rounds",
+        "sum_dropped",
+        "sum_delayed",
+        "sum_wall_clock",
+        "min_messages",
+        "max_messages",
+        "min_rounds",
+        "max_rounds",
+        "safety",
+    )
+
+    def __init__(self) -> None:
+        self.algorithm: Optional[str] = None
+        self.count = 0
+        self.successes = 0
+        self.sum_messages: Exact = 0
+        self.sum_sq_messages: Exact = 0
+        self.sum_bits: Exact = 0
+        self.sum_rounds: Exact = 0
+        self.sum_dropped: Exact = 0
+        self.sum_delayed: Exact = 0
+        self.sum_wall_clock = 0.0
+        self.min_messages: Optional[int] = None
+        self.max_messages: Optional[int] = None
+        self.min_rounds: Optional[int] = None
+        self.max_rounds: Optional[int] = None
+        self.safety = SafetyTally()
+
+    def add(self, result: LeaderElectionResult, wall_clock_seconds: float) -> None:
+        """Fold one completed run into the cell."""
+        if self.algorithm is None:
+            self.algorithm = result.algorithm
+        messages = result.messages
+        rounds = result.rounds_executed
+        self.count += 1
+        self.successes += 1 if result.success else 0
+        self.sum_messages += _exact(messages)
+        self.sum_sq_messages += _exact(messages) * _exact(messages)
+        self.sum_bits += _exact(result.bits)
+        self.sum_rounds += _exact(rounds)
+        self.sum_dropped += _exact(result.metrics.dropped_messages)
+        self.sum_delayed += _exact(result.metrics.delayed_messages)
+        self.sum_wall_clock += wall_clock_seconds
+        if self.min_messages is None or messages < self.min_messages:
+            self.min_messages = messages
+        if self.max_messages is None or messages > self.max_messages:
+            self.max_messages = messages
+        if self.min_rounds is None or rounds < self.min_rounds:
+            self.min_rounds = rounds
+        if self.max_rounds is None or rounds > self.max_rounds:
+            self.max_rounds = rounds
+        self.safety.add(result)
+
+    def merge(self, other: "CellAggregate") -> None:
+        """Fold another partial aggregate of the *same* cell into this one."""
+        if self.algorithm is None:
+            self.algorithm = other.algorithm
+        self.count += other.count
+        self.successes += other.successes
+        self.sum_messages += other.sum_messages
+        self.sum_sq_messages += other.sum_sq_messages
+        self.sum_bits += other.sum_bits
+        self.sum_rounds += other.sum_rounds
+        self.sum_dropped += other.sum_dropped
+        self.sum_delayed += other.sum_delayed
+        self.sum_wall_clock += other.sum_wall_clock
+        for field in ("min_messages", "min_rounds"):
+            mine, theirs = getattr(self, field), getattr(other, field)
+            if mine is None or (theirs is not None and theirs < mine):
+                setattr(self, field, theirs)
+        for field in ("max_messages", "max_rounds"):
+            mine, theirs = getattr(self, field), getattr(other, field)
+            if mine is None or (theirs is not None and theirs > mine):
+                setattr(self, field, theirs)
+        self.safety.merge(other.safety)
+
+    # ------------------------------------------------------------------ #
+    # derived statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def mean_messages(self) -> float:
+        return _mean(self.sum_messages, self.count)
+
+    @property
+    def mean_bits(self) -> float:
+        return _mean(self.sum_bits, self.count)
+
+    @property
+    def mean_rounds(self) -> float:
+        return _mean(self.sum_rounds, self.count)
+
+    @property
+    def mean_dropped_messages(self) -> float:
+        return _mean(self.sum_dropped, self.count)
+
+    @property
+    def mean_delayed_messages(self) -> float:
+        return _mean(self.sum_delayed, self.count)
+
+    @property
+    def mean_wall_clock_seconds(self) -> float:
+        return self.sum_wall_clock / self.count
+
+    @property
+    def stdev_messages(self) -> float:
+        """Population standard deviation from the exact moments.
+
+        ``n·Σx² − (Σx)²`` is computed in exact arithmetic, so the value
+        is independent of fold order (a float running sum would not be).
+        """
+        if self.count < 2:
+            return 0.0
+        n = self.count
+        variance = Fraction(
+            n * self.sum_sq_messages - self.sum_messages * self.sum_messages,
+            n * n,
+        )
+        return math.sqrt(float(variance))
+
+
+class ResultSink:
+    """Receives each completed run of an experiment grid, in completion order.
+
+    The base class ignores everything, so subclasses override only what
+    they need.  ``emit`` is called from the parent process (never from
+    pool workers) with the run's grid coordinates; ``close`` is called
+    once after the last run of a sweep.
+    """
+
+    def emit(
+        self,
+        spec_name: str,
+        topology_index: int,
+        seed_index: int,
+        result: LeaderElectionResult,
+        wall_clock_seconds: float,
+    ) -> None:
+        """Observe one completed run."""
+
+    def close(self) -> None:
+        """The sweep is over; flush any buffered state."""
+
+
+class CellAggregatingSink(ResultSink):
+    """The default pipeline stage: fold every run into its cell aggregate."""
+
+    def __init__(self) -> None:
+        self._cells: Dict[Tuple[str, int], CellAggregate] = {}
+
+    def emit(self, spec_name, topology_index, seed_index, result, wall_clock_seconds):
+        key = (spec_name, topology_index)
+        aggregate = self._cells.get(key)
+        if aggregate is None:
+            aggregate = self._cells[key] = CellAggregate()
+        aggregate.add(result, wall_clock_seconds)
+
+    def aggregate_for(
+        self, spec_name: str, topology_index: int
+    ) -> Optional[CellAggregate]:
+        """The cell's aggregate, or ``None`` if no run has been emitted
+        (possible for sharded sweeps, which execute a subset of the grid)."""
+        return self._cells.get((spec_name, topology_index))
+
+
+class CollectingSink(ResultSink):
+    """Opt-in retention of the full per-run results (``keep_results``).
+
+    This is the only part of the pipeline whose memory grows with
+    ``runs × nodes``; it exists for callers that genuinely need per-run
+    payloads (debugging, per-run safety forensics) and composes with the
+    aggregating sink instead of changing the aggregation path.
+    """
+
+    def __init__(self) -> None:
+        self._runs: Dict[Tuple[str, int], Dict[int, LeaderElectionResult]] = {}
+
+    def emit(self, spec_name, topology_index, seed_index, result, wall_clock_seconds):
+        self._runs.setdefault((spec_name, topology_index), {})[seed_index] = result
+
+    def results_for(
+        self, spec_name: str, topology_index: int
+    ) -> List[LeaderElectionResult]:
+        """The cell's runs in grid (seed) order, regardless of completion order."""
+        cell = self._runs.get((spec_name, topology_index), {})
+        return [cell[index] for index in sorted(cell)]

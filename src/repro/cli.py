@@ -15,7 +15,13 @@ Examples::
                        --seeds 3 --workers 4 --checkpoint sweep.json
     repro-le sweep     --suite mixed --algorithms flooding --seeds 3 \
                        --adversary loss --adversary-param p=0.05
+    repro-le sweep     --suite mixed --algorithms flooding --seeds 3 \
+                       --adversary composed:loss+delay \
+                       --adversary-param loss.p=0.05 --adversary-param delay.p=0.1
     repro-le sweep     --suite tiny --algorithms flooding --scenario lossy
+    repro-le sweep     --suite mixed --algorithms flooding --seeds 5 \
+                       --checkpoint sweep.json --shard 0/4   # one of 4 jobs
+    repro-le merge     --manifest sweep.manifest.json --output sweep.json
     repro-le impossibility --n 6 --witnesses 4 --trials 10
 
 Topology specifications are ``family:arg[:arg...]`` using the generator
@@ -123,8 +129,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .analysis import summarize_results
-    from .election.base import summarize_safety
-    from .parallel import run_experiments
+    from .election.base import SafetyTally
+    from .parallel import parse_shard, run_experiments
     from .workloads import dynamic_scenario, suite_by_name, sweep_specs
 
     if args.workers < 1:
@@ -135,6 +141,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         raise ReproError("--adversary-param requires --adversary")
     if args.checkpoint_compact and not args.checkpoint:
         raise ReproError("--checkpoint-compact requires --checkpoint")
+    shard = None
+    if args.shard is not None:
+        if not args.checkpoint:
+            raise ReproError(
+                "--shard requires --checkpoint (shard results must be "
+                "persisted so `repro-le merge` can fold them together)"
+            )
+        shard = parse_shard(args.shard)
 
     topologies = suite_by_name(args.suite)
     adversarial = bool(args.adversary or args.scenario)
@@ -151,11 +165,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     else:
         adversary = None
         if args.adversary:
-            from .dynamics import AdversarySpec, parse_adversary_params
+            from .dynamics import parse_adversary_params, spec_from_cli
 
-            adversary = AdversarySpec.create(
+            adversary = spec_from_cli(
                 args.adversary,
-                **parse_adversary_params(args.adversary_param or []),
+                parse_adversary_params(args.adversary_param or []),
             )
         specs = sweep_specs(
             args.algorithms,
@@ -172,16 +186,24 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         start_method=args.start_method,
         derive_seeds=args.derive_seeds,
         base_seed=args.base_seed,
-        keep_results=adversarial,
+        shard=shard,
     )
     rows = summarize_results(results)
-    print(render_table(rows, title=f"sweep over suite {args.suite!r}"))
+    title = f"sweep over suite {args.suite!r}"
+    if shard is not None:
+        title += f" (shard {shard[0]}/{shard[1]}: this job's slice only)"
+    print(render_table(rows, title=title))
     if adversarial:
         # Under fault injection liveness is expected to degrade; the exit
         # criterion becomes the safety half of Definitions 1-2: no run may
-        # ever report more than one leader.
-        runs = [run for result in results for cell in result.cells for run in cell.results]
-        safety = summarize_safety(runs)
+        # ever report more than one leader.  The verdict streams out of
+        # the per-cell tallies — no run list is retained anywhere.
+        tally = SafetyTally()
+        for result in results:
+            for cell in result.cells:
+                if cell.safety is not None:
+                    tally.merge(cell.safety)
+        safety = tally.summary()
         print()
         print(
             render_kv(
@@ -198,8 +220,45 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         for violation in safety["violations"]:
             print(f"SAFETY VIOLATION: {violation}", file=sys.stderr)
         return 0 if not safety["violations"] else 1
-    # Same criterion as `compare`: every run elected a unique leader.
-    return 0 if all(result.overall_success_rate() == 1.0 for result in results) else 1
+    # Same criterion as `compare`: every run elected a unique leader.  A
+    # sharded job whose slice holds no runs for a spec has nothing to
+    # judge — skipping it keeps empty-slice shard jobs exiting 0.
+    return (
+        0
+        if all(
+            result.overall_success_rate() == 1.0
+            for result in results
+            if result.cells
+        )
+        else 1
+    )
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .parallel import merge_shard_checkpoints
+
+    manifest = args.manifest
+    output = args.output
+    if output is None:
+        # sweep.manifest.json -> sweep.json (the base checkpoint the
+        # sharded jobs were pointed at).  Only the file name is rewritten
+        # — a ".manifest" in a directory component must stay untouched.
+        name = Path(manifest).name
+        if ".manifest" not in name:
+            raise ReproError(
+                f"cannot derive an output path from {manifest!r}; pass --output"
+            )
+        output = str(Path(manifest).with_name(name.replace(".manifest", "", 1)))
+    summary = merge_shard_checkpoints(
+        manifest,
+        output,
+        allow_partial=args.allow_partial,
+        compact=args.compact,
+    )
+    print(render_kv(summary, title="shard merge"))
+    return 0
 
 
 def _cmd_impossibility(args: argparse.Namespace) -> int:
@@ -284,10 +343,20 @@ def build_parser() -> argparse.ArgumentParser:
         "resume files of very large grids stay small",
     )
     sweep.add_argument(
+        "--shard",
+        default=None,
+        metavar="I/K",
+        help="run only shard I of a deterministic K-way split of the grid "
+        "(0-based; requires --checkpoint). K independent jobs with "
+        "--shard 0/K .. K-1/K cover the grid; fold their checkpoints "
+        "with `repro-le merge`",
+    )
+    sweep.add_argument(
         "--adversary",
         default=None,
         help="fault model to inject (see repro.dynamics.ADVERSARIES: "
-        "loss, delay, churn, crash); deterministic per run seed",
+        "loss, delay, churn, crash, composed:<m1>+<m2> with dotted "
+        "params like loss.p=0.05); deterministic per run seed",
     )
     sweep.add_argument(
         "--adversary-param",
@@ -321,6 +390,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip expansion-profile computation for the suite",
     )
     sweep.set_defaults(func=_cmd_sweep)
+
+    merge = subparsers.add_parser(
+        "merge",
+        help="fold the per-shard checkpoints of a sharded sweep into one "
+        "checkpoint, validating coverage and conflicts",
+    )
+    merge.add_argument(
+        "--manifest",
+        required=True,
+        help="the shard manifest (<base>.manifest.json) written by the "
+        "sharded sweep jobs",
+    )
+    merge.add_argument(
+        "--output",
+        default=None,
+        help="merged checkpoint path (default: the manifest's base "
+        "checkpoint, e.g. sweep.manifest.json -> sweep.json); rerun the "
+        "sweep with --checkpoint <output> to replay the full results",
+    )
+    merge.add_argument(
+        "--allow-partial",
+        action="store_true",
+        help="merge whatever shards/tasks are present instead of requiring "
+        "full grid coverage",
+    )
+    merge.add_argument(
+        "--compact",
+        action="store_true",
+        help="write the merged checkpoint without per-node diagnostics",
+    )
+    merge.set_defaults(func=_cmd_merge)
 
     impossibility = subparsers.add_parser(
         "impossibility", help="run the Theorem 2 pumping-wheel demonstration"

@@ -25,6 +25,7 @@ bit-identically to serial execution (``tests/test_dynamics.py``).
 """
 
 from .adversaries import (
+    ComposedAdversary,
     CrashStopAdversary,
     LinkChurnAdversary,
     MessageDelayAdversary,
@@ -38,13 +39,15 @@ from .spec import (
     adversary_factory,
     make_adversary,
     parse_adversary_params,
+    spec_from_cli,
 )
-from .sweeps import adversary_grid, robustness_specs
+from .sweeps import adversary_grid, composed_spec, robustness_specs
 
 __all__ = [
     "ADVERSARIES",
     "AdversarySpec",
     "AdversarialRunner",
+    "ComposedAdversary",
     "CrashStopAdversary",
     "LinkChurnAdversary",
     "MessageDelayAdversary",
@@ -52,8 +55,10 @@ __all__ = [
     "SeededAdversary",
     "adversary_factory",
     "adversary_grid",
+    "composed_spec",
     "make_adversary",
     "parse_adversary_params",
     "robustness_specs",
     "run_with_adversary",
+    "spec_from_cli",
 ]

@@ -10,7 +10,9 @@ process, worker count, or multiprocessing start method):
 * :class:`MessageDelayAdversary` — i.i.d. per-message bounded delay;
 * :class:`LinkChurnAdversary` — per-link up/down Markov churn with an
   effective-topology connectivity account;
-* :class:`CrashStopAdversary` — seeded crash-stop node failures.
+* :class:`CrashStopAdversary` — seeded crash-stop node failures;
+* :class:`ComposedAdversary` — several of the above in one run, each
+  drawing from its own seed-derived RNG stream.
 
 The models deliberately stress the quantities the paper's analysis leans
 on: loss and churn thin the communication graph (conductance and the
@@ -38,6 +40,7 @@ __all__ = [
     "MessageDelayAdversary",
     "LinkChurnAdversary",
     "CrashStopAdversary",
+    "ComposedAdversary",
 ]
 
 
@@ -51,17 +54,26 @@ class SeededAdversary(FaultAdversary):
     """Base class for adversaries whose schedule derives from the run seed.
 
     The RNG is (re)derived at :meth:`attach` time from ``(seed, "dynamics",
-    name, topology fingerprint)``, so each simulator built during one run —
-    phase-structured protocols build several — perturbs its execution from
-    the same deterministic stream, independent of process or scheduling.
-    The topology fingerprint is part of the derivation so that a sweep
-    reusing one seed across many topologies draws an independent fault
-    stream per cell instead of replaying one schedule prefix everywhere.
+    stream label, topology fingerprint)``, so each simulator built during
+    one run — phase-structured protocols build several — perturbs its
+    execution from the same deterministic stream, independent of process
+    or scheduling.  The topology fingerprint is part of the derivation so
+    that a sweep reusing one seed across many topologies draws an
+    independent fault stream per cell instead of replaying one schedule
+    prefix everywhere.
+
+    The stream label defaults to the model ``name``; a composition
+    (:class:`ComposedAdversary`) overrides ``rng_label`` per part so every
+    composed model draws from its own stream — two models inside one
+    composed run never share (or replay) each other's randomness.
     """
 
     def __init__(self, *, seed: Optional[int] = None) -> None:
         super().__init__()
         self.seed = seed
+        #: Override to separate this instance's RNG stream from other
+        #: instances of the same model in one run (``None`` -> ``name``).
+        self.rng_label: Optional[str] = None
         self._rng = random.Random()
 
     def attach(
@@ -72,7 +84,12 @@ class SeededAdversary(FaultAdversary):
     ) -> None:
         super().attach(topology, metrics, trace)
         self._rng = random.Random(
-            derive_seed(self.seed, "dynamics", self.name, topology.fingerprint())
+            derive_seed(
+                self.seed,
+                "dynamics",
+                self.rng_label or self.name,
+                topology.fingerprint(),
+            )
         )
 
     def describe(self) -> Dict[str, Any]:
@@ -327,5 +344,128 @@ class CrashStopAdversary(SeededAdversary):
             "name": self.name,
             "p": self.p,
             "horizon": self.horizon,
+            "seed": self.seed,
+        }
+
+
+class ComposedAdversary(FaultAdversary):
+    """Several fault models perturbing one run together.
+
+    Real networks do not fail one mode at a time: links churn *while*
+    messages drop *while* delivery lags.  ``ComposedAdversary`` delegates
+    every hook to an ordered list of sub-models:
+
+    * a round begins for every part (churn flips links, crashes fire);
+    * a node is active only if every part says so;
+    * a delivery is ruled on by the parts in order — the first ``DROP``
+      wins, otherwise the parts' delays add up.
+
+    **RNG stream separation.**  Each part is a normal seeded model bound
+    to the same run seed, but its stream label is prefixed with its
+    position in the composition (``composed[0].loss``), so parts draw
+    from mutually independent deterministic streams: composing models
+    never correlates their schedules, and adding a model to the
+    composition never perturbs the streams of the others.
+
+    Constructed via the registry as ``composed`` with a ``models``
+    parameter naming the parts (``"loss+delay"``) and dotted per-model
+    parameters (``{"loss.p": 0.05, "delay.max_delay": 3}``) — the CLI
+    spelling is ``--adversary composed:loss+delay --adversary-param
+    loss.p=0.05``.  See :func:`repro.dynamics.sweeps.composed_spec` for
+    composing existing :class:`~repro.dynamics.spec.AdversarySpec` values
+    programmatically.
+    """
+
+    name = "composed"
+
+    def __init__(
+        self, models: str = "", *, seed: Optional[int] = None, **params: float
+    ) -> None:
+        super().__init__()
+        from .spec import ADVERSARIES  # deferred: spec.py imports this module
+
+        self.seed = seed
+        self.models = str(models)
+        names = [part for part in self.models.replace("+", ",").split(",") if part]
+        if not names:
+            raise ConfigurationError(
+                "composed adversary needs a models parameter naming its "
+                "parts, e.g. models='loss+delay' "
+                "(CLI: --adversary composed:loss+delay)"
+            )
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                f"composed adversary lists a model twice: {self.models!r} "
+                f"(dotted parameters like loss.p could not tell them apart)"
+            )
+        per_model: Dict[str, Dict[str, float]] = {name: {} for name in names}
+        for key, value in params.items():
+            model, dot, parameter = key.partition(".")
+            if not dot or model not in per_model or not parameter:
+                raise ConfigurationError(
+                    f"bad composed-adversary parameter {key!r}; expected "
+                    f"<model>.<param> with model in {names}, e.g. "
+                    f"{names[0]}.p"
+                )
+            per_model[model][parameter] = value
+        self.parts: List[FaultAdversary] = []
+        for index, model_name in enumerate(names):
+            if model_name == self.name or model_name not in ADVERSARIES:
+                available = sorted(set(ADVERSARIES) - {self.name})
+                raise ConfigurationError(
+                    f"composed adversary cannot include {model_name!r}; "
+                    f"available models: {available}"
+                )
+            model = ADVERSARIES[model_name]
+            try:
+                part = model(seed=seed, **per_model[model_name])
+            except TypeError as error:
+                raise ConfigurationError(
+                    f"bad parameters for composed model {model_name!r}: {error}"
+                ) from error
+            part.rng_label = f"{self.name}[{index}].{model_name}"
+            self.parts.append(part)
+
+    def attach(
+        self,
+        topology: Topology,
+        metrics: MetricsCollector,
+        trace: TraceRecorder,
+    ) -> None:
+        super().attach(topology, metrics, trace)
+        for part in self.parts:
+            part.attach(topology, metrics, trace)
+
+    def begin_round(self, round_index: int) -> None:
+        for part in self.parts:
+            part.begin_round(round_index)
+
+    def node_active(self, round_index: int, node: int) -> bool:
+        return all(part.node_active(round_index, node) for part in self.parts)
+
+    def on_message(
+        self,
+        round_index: int,
+        sender: int,
+        sender_port: int,
+        receiver: int,
+        receiver_port: int,
+        message: Message,
+    ) -> int:
+        delay = 0
+        for part in self.parts:
+            verdict = part.on_message(
+                round_index, sender, sender_port, receiver, receiver_port, message
+            )
+            if verdict == DROP:
+                return DROP
+            delay += verdict
+        return delay  # DELIVER (0) when no part delayed
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "models": self.models,
+            "parts": [part.describe() for part in self.parts],
             "seed": self.seed,
         }

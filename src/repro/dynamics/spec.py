@@ -21,6 +21,7 @@ from typing import Any, Callable, Dict, Optional, Sequence, Tuple, Type
 from ..core.errors import ConfigurationError
 from ..core.faults import FaultAdversary
 from .adversaries import (
+    ComposedAdversary,
     CrashStopAdversary,
     LinkChurnAdversary,
     MessageDelayAdversary,
@@ -33,15 +34,19 @@ __all__ = [
     "adversary_factory",
     "make_adversary",
     "parse_adversary_params",
+    "spec_from_cli",
 ]
 
 #: CLI/registry name -> adversary class.  Constructor keyword names double
-#: as the ``--adversary-param`` keys.
+#: as the ``--adversary-param`` keys.  ``composed`` additionally takes a
+#: ``models`` parameter ("loss+delay") plus dotted per-model parameters
+#: ("loss.p"), spelled ``--adversary composed:loss+delay`` on the CLI.
 ADVERSARIES: Dict[str, Type[FaultAdversary]] = {
     MessageLossAdversary.name: MessageLossAdversary,
     MessageDelayAdversary.name: MessageDelayAdversary,
     LinkChurnAdversary.name: LinkChurnAdversary,
     CrashStopAdversary.name: CrashStopAdversary,
+    ComposedAdversary.name: ComposedAdversary,
 }
 
 
@@ -103,6 +108,24 @@ def adversary_factory(
 ) -> Callable[[], FaultAdversary]:
     """A zero-arg factory for :func:`repro.core.faults.fault_scope`."""
     return lambda: make_adversary(spec, seed)
+
+
+def spec_from_cli(name: str, params: Dict[str, float]) -> AdversarySpec:
+    """Build a validated spec from the CLI spelling of ``--adversary``.
+
+    Plain model names pass through (``loss``); the composed model takes
+    its part list after a colon — ``composed:loss+delay`` with dotted
+    ``--adversary-param`` entries like ``loss.p=0.05``.
+    """
+    base, sep, models = name.partition(":")
+    if sep:
+        if base != ComposedAdversary.name:
+            raise ConfigurationError(
+                f"only the composed adversary takes a ':<models>' suffix, "
+                f"got {name!r}; did you mean composed:{models or base}?"
+            )
+        params = {**params, "models": models}
+    return AdversarySpec.create(base, **params)
 
 
 def parse_adversary_params(items: Sequence[str]) -> Dict[str, float]:

@@ -18,7 +18,7 @@ from .spec import AdversarySpec
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..analysis.experiments import ExperimentSpec
 
-__all__ = ["adversary_grid", "robustness_specs"]
+__all__ = ["adversary_grid", "composed_spec", "robustness_specs"]
 
 
 def adversary_grid(
@@ -32,6 +32,28 @@ def adversary_grid(
     return [
         AdversarySpec.create(name, **{**fixed, param: value}) for value in values
     ]
+
+
+def composed_spec(*parts: AdversarySpec) -> AdversarySpec:
+    """Compose several adversary specs into one ``composed`` model spec.
+
+    ``composed_spec(AdversarySpec.create("loss", p=0.05),
+    AdversarySpec.create("delay", max_delay=3))`` perturbs each run with
+    loss *and* delay simultaneously, every part drawing from its own
+    seed-derived RNG stream (see
+    :class:`~repro.dynamics.adversaries.ComposedAdversary`).  The result
+    is an ordinary grid value: it shards, parallelises and checkpoints
+    like any other adversary, with its own stable token.
+    """
+    from ..core.errors import ConfigurationError
+
+    if not parts:
+        raise ConfigurationError("composed_spec needs at least one adversary spec")
+    params: dict = {"models": "+".join(part.name for part in parts)}
+    for part in parts:
+        for key, value in part.params:
+            params[f"{part.name}.{key}"] = value
+    return AdversarySpec.create("composed", **params)
 
 
 def robustness_specs(

@@ -3,6 +3,7 @@
 from .base import (
     ElectionOutcome,
     LeaderElectionResult,
+    SafetyTally,
     election_result_from_simulation,
     outcome_from_results,
     safety_violations,
@@ -78,6 +79,7 @@ __all__ = [
     "outcome_from_results",
     "election_result_from_simulation",
     "safety_violations",
+    "SafetyTally",
     "summarize_safety",
     # identities
     "ID_SPACE_EXPONENT",

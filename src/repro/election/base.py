@@ -22,6 +22,7 @@ from ..core.simulator import SimulationResult
 __all__ = [
     "ElectionOutcome",
     "LeaderElectionResult",
+    "SafetyTally",
     "outcome_from_results",
     "election_result_from_simulation",
     "safety_violations",
@@ -155,29 +156,81 @@ def safety_violations(
     return [result for result in results if not result.outcome.safe]
 
 
+@dataclass
+class SafetyTally:
+    """Incremental safety/liveness bookkeeping over a stream of runs.
+
+    The experiment pipeline folds every completed run into per-cell
+    tallies instead of retaining the run list (see
+    :mod:`repro.analysis.streaming`), so safety verdicts over arbitrarily
+    large sweeps cost O(violations) memory, not O(runs).  Tallies merge
+    associatively — fold order (serial, pool completion order, shard
+    merge) never changes the summary.
+    """
+
+    runs: int = 0
+    safe_runs: int = 0
+    elected_runs: int = 0
+    violations: List[Dict[str, object]] = field(default_factory=list)
+
+    def add(self, result: LeaderElectionResult) -> None:
+        """Fold one run into the tally."""
+        self.runs += 1
+        if result.outcome.safe:
+            self.safe_runs += 1
+        else:
+            self.violations.append(
+                {
+                    "algorithm": result.algorithm,
+                    "topology": result.topology_name,
+                    "seed": result.seed,
+                    "num_leaders": result.outcome.num_leaders,
+                    "adversary": result.parameters.get("adversary"),
+                }
+            )
+        if result.outcome.unique_leader:
+            self.elected_runs += 1
+
+    def merge(self, other: "SafetyTally") -> None:
+        """Fold another tally (e.g. another cell's or shard's) into this one."""
+        self.runs += other.runs
+        self.safe_runs += other.safe_runs
+        self.elected_runs += other.elected_runs
+        self.violations.extend(other.violations)
+
+    def summary(self) -> Dict[str, object]:
+        """The aggregate verdict dict (the shape ``summarize_safety`` returns).
+
+        Violations are sorted by (algorithm, topology, seed) so the
+        summary is deterministic regardless of the order runs completed
+        in — a parallel pool feeds the tally in scheduling order.
+        """
+        return {
+            "runs": self.runs,
+            "safe_runs": self.safe_runs,
+            "elected_runs": self.elected_runs,
+            "safety_rate": 1.0 if not self.runs else self.safe_runs / self.runs,
+            "success_rate": 0.0 if not self.runs else self.elected_runs / self.runs,
+            "violations": sorted(
+                self.violations,
+                key=lambda v: (
+                    str(v["algorithm"]),
+                    str(v["topology"]),
+                    str(v["seed"]),
+                    str(v["num_leaders"]),
+                ),
+            ),
+        }
+
+
 def summarize_safety(
     results: Sequence[LeaderElectionResult],
 ) -> Dict[str, object]:
     """Aggregate safety/liveness verdicts over a batch of runs."""
-    violations = safety_violations(results)
-    elected = sum(1 for result in results if result.outcome.unique_leader)
-    return {
-        "runs": len(results),
-        "safe_runs": len(results) - len(violations),
-        "elected_runs": elected,
-        "safety_rate": 1.0 if not results else 1 - len(violations) / len(results),
-        "success_rate": 0.0 if not results else elected / len(results),
-        "violations": [
-            {
-                "algorithm": result.algorithm,
-                "topology": result.topology_name,
-                "seed": result.seed,
-                "num_leaders": result.outcome.num_leaders,
-                "adversary": result.parameters.get("adversary"),
-            }
-            for result in violations
-        ],
-    }
+    tally = SafetyTally()
+    for result in results:
+        tally.add(result)
+    return tally.summary()
 
 
 def election_result_from_simulation(

@@ -9,10 +9,15 @@ contract:
   the parent process (optionally derived per cell via
   :func:`~repro.parallel.sharding.derive_cell_seed`);
 * :mod:`~repro.parallel.runner` executes the tasks on a
-  ``multiprocessing`` pool and reaggregates cells byte-identically to the
-  serial backend (wall-clock readings aside);
+  ``multiprocessing`` pool and streams each completed run into exact
+  per-cell aggregates (:mod:`repro.analysis.streaming`), reassembling
+  cells byte-identically to the serial backend (wall-clock readings
+  aside) without ever retaining the full run list;
 * :mod:`~repro.parallel.checkpoint` persists completed runs to JSON so
-  interrupted sweeps resume instead of restarting.
+  interrupted sweeps resume instead of restarting, and — for multi-machine
+  sweeps — splits one grid across per-shard checkpoint files plus a
+  deterministic shard manifest (``--shard i/k``), merged back together by
+  :func:`~repro.parallel.checkpoint.merge_shard_checkpoints`.
 
 The engine is wired in as ``run_experiment(..., workers=N,
 checkpoint=...)``, as the ``repro-le sweep`` CLI command, and as the
@@ -22,32 +27,46 @@ determinism guarantees are pinned down by ``tests/test_parallel_runner.py``.
 
 from .checkpoint import (
     CheckpointStore,
+    ShardManifest,
     compact_record,
+    manifest_path,
+    merge_shard_checkpoints,
     result_from_record,
     result_to_record,
+    shard_checkpoint_path,
 )
 from .runner import TaskExecutionError, run_experiments, run_parallel_experiment
 from .sharding import (
     RunTask,
     derive_cell_seed,
     expand_run_tasks,
+    parse_shard,
+    select_shard,
     shard_round_robin,
     task_key,
     topology_fingerprint,
+    validate_shard,
 )
 
 __all__ = [
     "CheckpointStore",
     "RunTask",
+    "ShardManifest",
     "TaskExecutionError",
     "compact_record",
     "derive_cell_seed",
     "expand_run_tasks",
+    "manifest_path",
+    "merge_shard_checkpoints",
+    "parse_shard",
     "result_from_record",
     "result_to_record",
     "run_experiments",
     "run_parallel_experiment",
+    "select_shard",
+    "shard_checkpoint_path",
     "shard_round_robin",
     "task_key",
     "topology_fingerprint",
+    "validate_shard",
 ]

@@ -1,4 +1,4 @@
-"""The parallel experiment engine: a pool-backed ``run_experiment``.
+"""The parallel experiment engine: a pool-backed, streaming ``run_experiment``.
 
 Execution model
 ---------------
@@ -6,22 +6,29 @@ Execution model
 The engine expands every spec into per-(topology, seed) :class:`~repro.parallel.sharding.RunTask`
 units in the parent process (seeds fixed at expansion time), dispatches the
 tasks to a ``multiprocessing`` pool with ``chunksize=1`` for load balance,
-and reassembles :class:`~repro.analysis.experiments.ExperimentCell` records
-in grid order with the exact aggregation function the serial backend uses.
+and *streams* every completed run into per-cell
+:class:`~repro.analysis.streaming.CellAggregate` accumulators (plus any
+caller-supplied sinks) the moment it arrives — no backend retains the full
+run list, so memory is O(cells), not O(runs × nodes).
 
 Determinism guarantees
 ----------------------
 
 * **Scheduling-independent results.**  Each task's seed is decided before
-  the pool exists, and cells are reassembled by (topology index, seed
-  index), so the aggregates are identical for any worker count, start
-  method, or completion order.  Only wall-clock readings differ from a
-  serial run.
+  the pool exists, and the cell aggregates use exact arithmetic (see
+  :mod:`repro.analysis.streaming`), so the assembled cells are identical
+  for any worker count, start method, or completion order.  Only
+  wall-clock readings differ from a serial run.
 * **Checkpoint-transparent results.**  Completed runs are persisted via
   :class:`~repro.parallel.checkpoint.CheckpointStore`; a resumed sweep
   replays the stored runs and computes the same cells an uninterrupted
   sweep would (per-node diagnostic payloads may be dropped if they are not
   JSON-encodable).
+* **Shard-transparent results.**  ``shard=(i, k)`` restricts execution to
+  a deterministic round-robin slice of the grid and persists it to a
+  per-shard checkpoint plus a shard manifest; merging the k shard
+  checkpoints (:func:`~repro.parallel.checkpoint.merge_shard_checkpoints`)
+  and replaying yields cells bit-identical to an unsharded sweep.
 * **Profile consistency.**  Expansion profiles are computed in the parent
   with the same cache-and-compute-on-demand policy as the serial driver.
 
@@ -40,20 +47,25 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from ..analysis.experiments import (
     ExperimentResult,
     ExperimentSpec,
-    aggregate_cell,
+    cell_from_aggregate,
     execute_run,
     resolve_profile,
 )
+from ..analysis.streaming import CellAggregatingSink, CollectingSink, ResultSink
 from ..core.errors import ConfigurationError, ReproError
 from ..election.base import LeaderElectionResult
 from ..graphs.properties import ExpansionProfile
-from .checkpoint import CheckpointStore, result_from_record, result_to_record
-from .sharding import RunTask, expand_run_tasks
+from .checkpoint import (
+    CheckpointStore,
+    ShardManifest,
+    manifest_path,
+    result_from_record,
+    result_to_record,
+    shard_checkpoint_path,
+)
+from .sharding import RunTask, expand_run_tasks, select_shard, validate_shard
 
 __all__ = ["TaskExecutionError", "run_parallel_experiment", "run_experiments"]
-
-#: key -> (result, wall_clock_seconds)
-_Completed = Dict[str, Tuple[LeaderElectionResult, float]]
 
 
 class TaskExecutionError(ReproError):
@@ -93,6 +105,8 @@ def run_parallel_experiment(
     keep_results: bool = False,
     derive_seeds: bool = False,
     base_seed: Optional[int] = None,
+    shard: Optional[Tuple[int, int]] = None,
+    sinks: Sequence[ResultSink] = (),
 ) -> ExperimentResult:
     """Parallel drop-in for :func:`repro.analysis.experiments.run_experiment`."""
     return run_experiments(
@@ -105,6 +119,8 @@ def run_parallel_experiment(
         keep_results=keep_results,
         derive_seeds=derive_seeds,
         base_seed=base_seed,
+        shard=shard,
+        sinks=sinks,
     )[0]
 
 
@@ -119,8 +135,10 @@ def run_experiments(
     keep_results: bool = False,
     derive_seeds: bool = False,
     base_seed: Optional[int] = None,
+    shard: Optional[Tuple[int, int]] = None,
+    sinks: Sequence[ResultSink] = (),
 ) -> List[ExperimentResult]:
-    """Run several specs through one worker pool and aggregate per spec.
+    """Run several specs through one worker pool and stream per-cell aggregates.
 
     Pooling the specs' tasks together keeps workers busy even when one
     algorithm or topology dominates the cost (the benchmarks' suites are
@@ -130,6 +148,24 @@ def run_experiments(
     results identical to the serial backend's.  ``checkpoint_compact``
     stores checkpoint records without per-node diagnostic payloads (and as
     compact JSON) so resume files of very large grids stay small.
+
+    ``shard=(i, k)`` runs only shard ``i`` of a deterministic ``k``-way
+    round-robin split of the pooled task list.  A sharded run requires a
+    ``checkpoint``: its completed runs persist to the shard's own file
+    (``<base>.shard<i>of<k>.json``) and the job (idempotently) writes the
+    sweep's shard manifest next to it, so ``k`` independent jobs — on as
+    many machines — cover the grid without contending on one file and are
+    folded back together by
+    :func:`repro.parallel.checkpoint.merge_shard_checkpoints`.  The
+    returned results contain only the cells this shard touched (cells
+    with zero local runs are omitted).
+
+    ``keep_results`` composes a
+    :class:`~repro.analysis.streaming.CollectingSink` that retains every
+    run on its cell (the one opt-in path whose memory grows with the
+    grid); ``sinks`` are additional caller-supplied
+    :class:`~repro.analysis.streaming.ResultSink` objects fed each run —
+    fresh or restored from a checkpoint — as it completes.
     """
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
@@ -138,73 +174,120 @@ def run_experiments(
         raise ConfigurationError(
             f"experiment specs must have unique names, got {names}"
         )
+    if shard is not None:
+        shard_index, shard_count = validate_shard(*shard)
+        if checkpoint is None:
+            raise ConfigurationError(
+                "a sharded sweep requires a checkpoint: shard results must "
+                "be persisted to be merged (pass checkpoint=/--checkpoint)"
+            )
 
     per_spec_tasks: List[List[RunTask]] = [
         expand_run_tasks(spec, derive_seeds=derive_seeds, base_seed=base_seed)
         for spec in specs
     ]
     all_tasks: List[RunTask] = [task for tasks in per_spec_tasks for task in tasks]
+    #: task key -> (spec name, topology index, seed index): the routing
+    #: table that folds completed runs into their cells in any order.
+    route: Dict[str, Tuple[str, int, int]] = {
+        task.key: (task.spec_name, task.topology_index, task.seed_index)
+        for task in all_tasks
+    }
+
+    if shard is not None:
+        manifest = ShardManifest.plan(
+            checkpoint, [task.key for task in all_tasks], shard_count
+        )
+        manifest.write(manifest_path(checkpoint))
+        my_tasks = select_shard(all_tasks, shard_index, shard_count)
+        store_path: Optional[Union[str, Path]] = shard_checkpoint_path(
+            checkpoint, shard_index, shard_count
+        )
+    else:
+        my_tasks = all_tasks
+        store_path = checkpoint
 
     store = (
-        CheckpointStore(checkpoint, compact=checkpoint_compact)
-        if checkpoint is not None
+        CheckpointStore(store_path, compact=checkpoint_compact)
+        if store_path is not None
         else None
     )
-    completed: _Completed = {}
+
+    aggregates = CellAggregatingSink()
+    collector = CollectingSink() if keep_results else None
+    all_sinks: List[ResultSink] = [aggregates]
+    if collector is not None:
+        all_sinks.append(collector)
+    all_sinks.extend(sinks)
+
+    def consume(key: str, result: LeaderElectionResult, elapsed: float) -> None:
+        spec_name, topology_index, seed_index = route[key]
+        for sink in all_sinks:
+            sink.emit(spec_name, topology_index, seed_index, result, elapsed)
+
+    completed_keys = set()
     if store is not None:
-        task_keys = {task.key for task in all_tasks}
+        task_keys = {task.key for task in my_tasks}
         for key, record in store.load().items():
             if key in task_keys:
-                completed[key] = result_from_record(record)
+                result, elapsed = result_from_record(record)
+                consume(key, result, elapsed)
+                completed_keys.add(key)
 
-    pending = [task for task in all_tasks if task.key not in completed]
+    pending = [task for task in my_tasks if task.key not in completed_keys]
     try:
         if workers > 1 and len(pending) > 1:
             context = multiprocessing.get_context(start_method)
             with context.Pool(processes=min(workers, len(pending))) as pool:
-                # imap_unordered: runs are checkpointed the moment they
-                # finish, never queued behind a slow head-of-line task
-                # (cells are reassembled by task key below, so completion
-                # order is irrelevant).
+                # imap_unordered: runs are checkpointed and folded into
+                # their cells the moment they finish, never queued behind
+                # a slow head-of-line task (the aggregates are exact, so
+                # completion order is irrelevant to the final cells).
                 for key, result, elapsed in pool.imap_unordered(
                     _execute_task, pending, chunksize=1
                 ):
-                    completed[key] = (result, elapsed)
                     if store is not None:
                         store.add(key, result_to_record(result, elapsed))
+                    consume(key, result, elapsed)
         else:
             for task in pending:
                 # Same entry point as the pool workers, so failures carry
                 # the same grid-coordinate context either way.
                 key, result, elapsed = _execute_task(task)
-                completed[key] = (result, elapsed)
                 if store is not None:
                     store.add(key, result_to_record(result, elapsed))
+                consume(key, result, elapsed)
     finally:
-        if store is not None and pending:
+        # Sharded jobs flush even with nothing pending: a shard whose
+        # round-robin slice is empty (grid smaller than k) must still
+        # leave its (empty) checkpoint file behind, or the merge would
+        # report the fully-executed split as missing a shard.
+        if store is not None and (pending or shard is not None):
             store.flush()
 
     profiles = dict(profiles or {})
     results: List[ExperimentResult] = []
-    for spec, tasks in zip(specs, per_spec_tasks):
+    for spec in specs:
         experiment = ExperimentResult(name=spec.name)
-        # expand_run_tasks emits tasks in grid order (topologies outer,
-        # seeds inner), so one linear pass buckets them per cell.
-        by_topology: List[List[RunTask]] = [[] for _ in spec.topologies]
-        for task in tasks:
-            by_topology[task.topology_index].append(task)
         for topology_index, topology in enumerate(spec.topologies):
-            cell_tasks = by_topology[topology_index]
-            runs = [completed[task.key][0] for task in cell_tasks]
-            wall_clock = [completed[task.key][1] for task in cell_tasks]
+            aggregate = aggregates.aggregate_for(spec.name, topology_index)
+            if aggregate is None:
+                # Possible only under sharding: none of this cell's runs
+                # landed in our shard slice.
+                continue
             experiment.cells.append(
-                aggregate_cell(
+                cell_from_aggregate(
                     topology,
-                    runs,
-                    wall_clock,
+                    aggregate,
                     profile=resolve_profile(topology, profiles, spec.collect_profile),
-                    keep_results=keep_results,
+                    results=(
+                        collector.results_for(spec.name, topology_index)
+                        if collector is not None
+                        else None
+                    ),
                 )
             )
         results.append(experiment)
+    for sink in all_sinks:
+        sink.close()
     return results

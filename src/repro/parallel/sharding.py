@@ -21,9 +21,10 @@ Determinism is anchored here, *before* any process is spawned:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, TypeVar
+from typing import List, Optional, Sequence, Tuple, TypeVar
 
 from ..analysis.experiments import ElectionRunner, ExperimentSpec, effective_runner
+from ..core.errors import ConfigurationError
 from ..core.rng import derive_seed
 from ..graphs.topology import Topology
 
@@ -31,9 +32,12 @@ __all__ = [
     "RunTask",
     "derive_cell_seed",
     "expand_run_tasks",
+    "parse_shard",
+    "select_shard",
     "shard_round_robin",
     "task_key",
     "topology_fingerprint",
+    "validate_shard",
 ]
 
 T = TypeVar("T")
@@ -193,3 +197,54 @@ def shard_round_robin(items: Sequence[T], shards: int) -> List[List[T]]:
     for index, item in enumerate(items):
         buckets[index % shards].append(item)
     return buckets
+
+
+def validate_shard(index: int, count: int) -> Tuple[int, int]:
+    """Validate a (shard index, shard count) pair.
+
+    Raised errors are :class:`~repro.core.errors.ConfigurationError` so
+    the CLI reports a clean ``error:`` line instead of a traceback when a
+    job script passes ``--shard 4/4`` or ``--shard 1/0``.
+    """
+    if count < 1:
+        raise ConfigurationError(f"shard count must be >= 1, got {count}")
+    if not 0 <= index < count:
+        raise ConfigurationError(
+            f"shard index must be in [0, {count}), got {index} "
+            f"(shards are numbered 0..k-1 in an i/k split)"
+        )
+    return index, count
+
+
+def parse_shard(text: str) -> Tuple[int, int]:
+    """Parse a CLI ``i/k`` shard specification into (index, count).
+
+    ``i`` is this job's shard (0-based) and ``k`` the total number of
+    jobs splitting the grid; ``0/2`` and ``1/2`` together cover exactly
+    the tasks of one unsharded sweep.
+    """
+    head, sep, tail = text.partition("/")
+    if not sep:
+        raise ConfigurationError(
+            f"bad shard specification {text!r}; expected i/k, e.g. 0/4"
+        )
+    try:
+        index, count = int(head), int(tail)
+    except ValueError:
+        raise ConfigurationError(
+            f"bad shard specification {text!r}; i and k must be integers"
+        ) from None
+    return validate_shard(index, count)
+
+
+def select_shard(items: Sequence[T], index: int, count: int) -> List[T]:
+    """This shard's round-robin slice of ``items``.
+
+    A pure function of (item order, index, count): every job of an
+    ``i/k`` split computes the same partition independently, with no
+    coordination beyond agreeing on the grid.  Delegates to
+    :func:`shard_round_robin` so slice selection and the shard manifest's
+    coverage bookkeeping can never disagree on the assignment rule.
+    """
+    validate_shard(index, count)
+    return shard_round_robin(items, count)[index]

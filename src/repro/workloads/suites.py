@@ -220,6 +220,31 @@ def crashy_scenario() -> List[Optional["AdversarySpec"]]:
     ]
 
 
+def stormy_scenario() -> List[Optional["AdversarySpec"]]:
+    """Loss, delay and churn *together* in one run, dialled up jointly.
+
+    The single-model ladders isolate one failure mode at a time; real
+    deployments degrade on all of them at once.  Built on the composed
+    adversary, so each rung perturbs every run with all three models,
+    each drawing from its own seed-derived RNG stream.
+    """
+    from ..dynamics.spec import AdversarySpec
+    from ..dynamics.sweeps import composed_spec
+
+    return [
+        None,
+        composed_spec(
+            AdversarySpec.create("loss", p=0.01),
+            AdversarySpec.create("delay", p=0.05, max_delay=2),
+        ),
+        composed_spec(
+            AdversarySpec.create("loss", p=0.05),
+            AdversarySpec.create("delay", p=0.1, max_delay=3),
+            AdversarySpec.create("churn", p_down=0.02, p_up=0.5),
+        ),
+    ]
+
+
 #: Named adversary ladders for robustness sweeps.  Each scenario starts
 #: with ``None`` (the paper's reliable execution model) so every sweep
 #: carries its own calibration cells; feed one to
@@ -229,6 +254,7 @@ DYNAMIC_SCENARIOS: Dict[str, Callable[[], List[Optional["AdversarySpec"]]]] = {
     "laggy": laggy_scenario,
     "flaky-links": flaky_links_scenario,
     "crashy": crashy_scenario,
+    "stormy": stormy_scenario,
 }
 
 

@@ -245,6 +245,28 @@ class TestSweepDynamics:
         assert code == 2
         assert "mutually exclusive" in capsys.readouterr().err
 
+    def test_sweep_composed_adversary(self, capsys):
+        code = main(
+            self.BASE
+            + [
+                "--adversary",
+                "composed:loss+delay",
+                "--adversary-param",
+                "loss.p=0.02",
+                "--adversary-param",
+                "delay.p=0.1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "composed(" in out
+        assert "safety under faults" in out
+        assert code in (0, 1)
+
+    def test_sweep_rejects_composed_suffix_on_plain_adversary(self, capsys):
+        code = main(self.BASE + ["--adversary", "loss:delay"])
+        assert code == 2
+        assert "composed" in capsys.readouterr().err
+
     def test_sweep_checkpoint_compact(self, capsys, tmp_path):
         import json
 
@@ -259,3 +281,111 @@ class TestSweepDynamics:
             "node_results" not in record for record in payload["runs"].values()
         )
         capsys.readouterr()
+
+    def test_sweep_creates_missing_checkpoint_directories(self, capsys, tmp_path):
+        checkpoint = tmp_path / "deeply" / "nested" / "ck.json"
+        assert main(self.BASE + ["--checkpoint", str(checkpoint)]) == 0
+        assert checkpoint.exists()
+        capsys.readouterr()
+
+
+class TestSweepSharding:
+    BASE = [
+        "sweep",
+        "--suite",
+        "tiny",
+        "--algorithms",
+        "flooding",
+        "--seeds",
+        "2",
+        "--no-profile",
+    ]
+
+    def test_shard_requires_checkpoint(self, capsys):
+        code = main(self.BASE + ["--shard", "0/2"])
+        assert code == 2
+        assert "--shard requires --checkpoint" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("shard", ["2/2", "3/2", "-1/2", "1/0", "x/y", "1"])
+    def test_shard_rejects_bad_specs(self, capsys, tmp_path, shard):
+        # --shard=... spelling: argparse would otherwise eat "-1/2" as an option.
+        code = main(
+            self.BASE
+            + ["--checkpoint", str(tmp_path / "ck.json"), f"--shard={shard}"]
+        )
+        assert code == 2
+        assert "shard" in capsys.readouterr().err
+
+    def test_sharded_sweep_merge_replay_matches_unsharded(self, capsys, tmp_path):
+        assert main(self.BASE) == 0
+        unsharded_out = capsys.readouterr().out
+
+        checkpoint = tmp_path / "sweep.json"
+        sharded = self.BASE + ["--checkpoint", str(checkpoint)]
+        assert main(sharded + ["--shard", "0/2"]) == 0
+        shard_out = capsys.readouterr().out
+        assert "shard 0/2" in shard_out
+        assert main(sharded + ["--shard", "1/2"]) == 0
+        capsys.readouterr()
+
+        manifest = tmp_path / "sweep.manifest.json"
+        assert manifest.exists()
+        assert main(["merge", "--manifest", str(manifest)]) == 0
+        merge_out = capsys.readouterr().out
+        assert "shard merge" in merge_out
+        assert "tasks_missing" in merge_out
+
+        # Replaying the merged checkpoint reproduces the unsharded sweep
+        # (wall-clock column aside).
+        assert main(sharded) == 0
+        merged_out = capsys.readouterr().out
+
+        def rows_without_wall_clock(text):
+            return [line.rsplit("|", 1)[0] for line in text.splitlines()[1:]]
+
+        assert rows_without_wall_clock(merged_out) == rows_without_wall_clock(
+            unsharded_out
+        )
+
+    def test_empty_slice_shard_job_exits_zero(self, capsys, tmp_path):
+        # 5 tiny-suite topologies x 1 seed = 5 tasks split 8 ways: shards
+        # 5..7 run nothing — which is success, not failure, for a job
+        # scheduler watching exit codes.
+        base = [
+            "sweep",
+            "--suite",
+            "tiny",
+            "--algorithms",
+            "flooding",
+            "--seeds",
+            "1",
+            "--no-profile",
+            "--checkpoint",
+            str(tmp_path / "ck.json"),
+        ]
+        for index in range(8):
+            assert main(base + ["--shard", f"{index}/8"]) == 0
+        capsys.readouterr()
+        assert main(["merge", "--manifest", str(tmp_path / "ck.manifest.json")]) == 0
+        out = capsys.readouterr().out
+        summary = {
+            key.strip(): value.strip()
+            for key, _, value in (
+                line.partition(":") for line in out.splitlines() if ":" in line
+            )
+        }
+        assert summary["missing_shards"] == "0"
+        assert summary["tasks_missing"] == "0"
+        assert summary["tasks_merged"] == "5"
+
+    def test_merge_missing_manifest_reports_error(self, capsys, tmp_path):
+        code = main(["merge", "--manifest", str(tmp_path / "nope.manifest.json")])
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_merge_requires_derivable_output(self, capsys, tmp_path):
+        path = tmp_path / "index.json"  # no ".manifest" in the name
+        path.write_text("{}")
+        code = main(["merge", "--manifest", str(path)])
+        assert code == 2
+        assert "--output" in capsys.readouterr().err

@@ -388,6 +388,9 @@ ADVERSARY_GRID = [
     AdversarySpec.create("delay", p=0.2, max_delay=3),
     AdversarySpec.create("churn", p_down=0.1, p_up=0.5),
     AdversarySpec.create("crash", p=0.2, horizon=4),
+    AdversarySpec.create(
+        "composed", models="loss+delay", **{"loss.p": 0.1, "delay.p": 0.2}
+    ),
 ]
 
 
@@ -614,3 +617,137 @@ class TestEffectiveTopologyView:
     def test_disconnected_base_reported_even_with_no_down_edges(self):
         snapshot = EffectiveTopologyView(cycle(6), [(0, 1), (3, 4)]).as_topology()
         assert not EffectiveTopologyView(snapshot).is_connected()
+
+
+# --------------------------------------------------------------------------- #
+# composed adversaries: loss + delay + churn (+ crash) in one run
+# --------------------------------------------------------------------------- #
+
+
+class TestComposedAdversary:
+    def test_registered_and_created_via_spec(self):
+        from repro.dynamics import ComposedAdversary
+
+        assert "composed" in ADVERSARIES
+        spec = AdversarySpec.create(
+            "composed", models="loss+delay", **{"loss.p": 0.05}
+        )
+        adversary = make_adversary(spec, seed=3)
+        assert isinstance(adversary, ComposedAdversary)
+        assert [part.name for part in adversary.parts] == ["loss", "delay"]
+        description = adversary.describe()
+        assert description["models"] == "loss+delay"
+        assert description["parts"][0]["p"] == 0.05
+
+    def test_cli_spelling(self):
+        from repro.dynamics import spec_from_cli
+
+        spec = spec_from_cli(
+            "composed:loss+delay", {"loss.p": 0.05, "delay.max_delay": 2}
+        )
+        assert spec.name == "composed"
+        assert dict(spec.params)["models"] == "loss+delay"
+        with pytest.raises(ConfigurationError, match="composed"):
+            spec_from_cli("loss:delay", {})
+        # Plain names still pass through unchanged.
+        assert spec_from_cli("loss", {"p": 0.1}).name == "loss"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="models"):
+            AdversarySpec.create("composed")
+        with pytest.raises(ConfigurationError, match="twice"):
+            AdversarySpec.create("composed", models="loss+loss")
+        with pytest.raises(ConfigurationError, match="cannot include"):
+            AdversarySpec.create("composed", models="composed+loss")
+        with pytest.raises(ConfigurationError, match="cannot include"):
+            AdversarySpec.create("composed", models="gremlin")
+        with pytest.raises(ConfigurationError, match="expected <model>.<param>"):
+            AdversarySpec.create("composed", models="loss+delay", p=0.5)
+        with pytest.raises(ConfigurationError, match="loss"):
+            AdversarySpec.create("composed", models="loss", **{"loss.nope": 1})
+
+    def test_composed_spec_helper(self):
+        from repro.dynamics import composed_spec
+
+        spec = composed_spec(
+            AdversarySpec.create("loss", p=0.1),
+            AdversarySpec.create("delay", p=0.2, max_delay=3),
+        )
+        assert spec == AdversarySpec.create(
+            "composed",
+            models="loss+delay",
+            **{"loss.p": 0.1, "delay.p": 0.2, "delay.max_delay": 3},
+        )
+        with pytest.raises(ConfigurationError):
+            composed_spec()
+
+    def test_noop_parts_change_nothing(self):
+        spec = AdversarySpec.create(
+            "composed", models="loss+delay", **{"loss.p": 0.0, "delay.p": 0.0}
+        )
+        plain = flooding_runner(cycle(8), 3)
+        perturbed = run_with_adversary(flooding_runner, cycle(8), 3, spec)
+        assert perturbed.outcome.as_dict() == plain.outcome.as_dict()
+        assert perturbed.metrics.dropped_messages == 0
+        assert perturbed.metrics.delayed_messages == 0
+
+    def test_all_parts_perturb(self):
+        spec = AdversarySpec.create(
+            "composed",
+            models="loss+delay",
+            **{"loss.p": 0.2, "delay.p": 0.3, "delay.max_delay": 2},
+        )
+        result = run_with_adversary(flooding_runner, torus_2d(4, 4), 1, spec)
+        assert result.metrics.dropped_messages > 0
+        assert result.metrics.delayed_messages > 0
+
+    def test_crash_part_deactivates_nodes(self):
+        from repro.dynamics import make_adversary
+
+        spec = AdversarySpec.create(
+            "composed", models="loss+crash", **{"loss.p": 0.0, "crash.p": 1.0, "crash.horizon": 1}
+        )
+        adversary = make_adversary(spec, seed=0)
+        simulator = _chatter_simulator(cycle(8), adversary=adversary)
+        simulator.run(3)
+        assert all(not adversary.node_active(2, node) for node in range(8))
+
+    def test_rng_streams_are_separated_per_part(self):
+        # The loss part of a composition must not replay the standalone
+        # loss model's stream: otherwise composing adversaries would
+        # correlate their schedules with single-model baselines.
+        loss_alone = run_with_adversary(
+            flooding_runner, torus_2d(4, 4), 7, AdversarySpec.create("loss", p=0.3)
+        )
+        composed = run_with_adversary(
+            flooding_runner,
+            torus_2d(4, 4),
+            7,
+            AdversarySpec.create(
+                "composed", models="loss+delay", **{"loss.p": 0.3, "delay.p": 0.0}
+            ),
+        )
+        assert (
+            composed.metrics.dropped_messages != loss_alone.metrics.dropped_messages
+            or composed.outcome.as_dict() != loss_alone.outcome.as_dict()
+            or composed.metrics.messages != loss_alone.metrics.messages
+        )
+
+    def test_repeatable_and_token_stable(self):
+        spec = AdversarySpec.create(
+            "composed", models="loss+churn", **{"loss.p": 0.1, "churn.p_down": 0.05}
+        )
+        a = run_with_adversary(flooding_runner, grid_2d(3, 3), 5, spec)
+        b = run_with_adversary(flooding_runner, grid_2d(3, 3), 5, spec)
+        assert a.as_dict() == b.as_dict()
+        assert "models='loss+churn'" in spec.token()
+        # Parameter order never changes the token (and thus task keys).
+        assert spec.token() == AdversarySpec.create(
+            "composed", **{"churn.p_down": 0.05, "loss.p": 0.1}, models="loss+churn"
+        ).token()
+
+    def test_stormy_scenario_is_composed(self):
+        ladder = dynamic_scenario("stormy")
+        assert ladder[0] is None
+        assert all(spec.name == "composed" for spec in ladder[1:])
+        assert "stormy" in DYNAMIC_SCENARIOS

@@ -1,0 +1,470 @@
+"""Tests for distributed `--shard i/k` sweeps, shard-checkpoint merge, and
+the streaming result pipeline.
+
+The contract under test:
+
+* an ``i/k`` split covers the grid exactly once, deterministically, with
+  no coordination between the k jobs beyond the grid definition;
+* merging the k shard checkpoints and replaying yields results
+  bit-identical to an unsharded sweep (wall-clock readings aside), with
+  zero re-executed runs;
+* merge validation catches what multi-machine reality produces: missing
+  shard files, partial coverage, conflicting records for one task key,
+  shard files of mixed compactness, and stale records from a re-run
+  under a different adversary token;
+* the streaming aggregation path (exact per-cell accumulators) is
+  order-independent, so pool completion order and shard fold order can
+  never change a cell.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.analysis import CellAggregate, ExperimentSpec, run_experiment
+from repro.analysis.runners import flooding_runner, uniform_id_runner
+from repro.core.errors import ConfigurationError
+from repro.graphs import cycle, grid_2d, star
+from repro.parallel import (
+    CheckpointStore,
+    ShardManifest,
+    compact_record,
+    expand_run_tasks,
+    manifest_path,
+    merge_shard_checkpoints,
+    parse_shard,
+    result_to_record,
+    run_experiments,
+    select_shard,
+    shard_checkpoint_path,
+    validate_shard,
+)
+
+SEEDS = (0, 1, 2)
+WORKERS = int(os.environ.get("REPRO_TEST_WORKERS", 2))
+
+
+def _spec(name: str = "flooding", runner=flooding_runner) -> ExperimentSpec:
+    return ExperimentSpec(
+        name=name,
+        runner=runner,
+        topologies=[cycle(8), star(8), grid_2d(3, 3)],
+        seeds=SEEDS,
+        collect_profile=False,
+    )
+
+
+def _specs():
+    return [_spec("flooding"), _spec("uniform", uniform_id_runner)]
+
+
+def _comparable(cells):
+    rows = []
+    for cell in cells:
+        row = cell.as_dict()
+        row.pop("mean_wall_clock_seconds")
+        rows.append(row)
+    return rows
+
+
+def count_file_runner(topology, seed):
+    """Picklable runner that logs invocations (see test_parallel_runner)."""
+    with open(os.environ["REPRO_TEST_COUNT_FILE"], "a", encoding="utf-8") as handle:
+        handle.write(f"{topology.name} {seed}\n")
+    return flooding_runner(topology, seed)
+
+
+# --------------------------------------------------------------------------- #
+# shard selection and validation
+# --------------------------------------------------------------------------- #
+
+
+class TestShardSelection:
+    def test_parse_shard(self):
+        assert parse_shard("0/2") == (0, 2)
+        assert parse_shard("3/4") == (3, 4)
+
+    @pytest.mark.parametrize(
+        "text", ["2/2", "5/4", "-1/2", "1/0", "1/-3", "x/y", "3", "1/2/3", "/2", "1/"]
+    )
+    def test_bad_shard_specs_rejected(self, text):
+        with pytest.raises(ConfigurationError):
+            parse_shard(text)
+
+    def test_validate_shard_bounds(self):
+        assert validate_shard(0, 1) == (0, 1)
+        with pytest.raises(ConfigurationError):
+            validate_shard(1, 1)
+        with pytest.raises(ConfigurationError):
+            validate_shard(0, 0)
+
+    def test_select_shard_partitions_exactly(self):
+        items = list(range(11))
+        shards = [select_shard(items, index, 3) for index in range(3)]
+        assert sorted(item for shard in shards for item in shard) == items
+        assert shards[0] == [0, 3, 6, 9]
+        # Deterministic: same inputs, same slice.
+        assert select_shard(items, 0, 3) == shards[0]
+
+    def test_shard_requires_checkpoint(self):
+        with pytest.raises(ConfigurationError, match="requires a checkpoint"):
+            run_experiments([_spec()], shard=(0, 2))
+
+    def test_shard_validated_in_runner(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="shard index"):
+            run_experiments(
+                [_spec()], checkpoint=tmp_path / "ck.json", shard=(2, 2)
+            )
+
+
+# --------------------------------------------------------------------------- #
+# the acceptance pin: sharded + merged == unsharded, bit for bit
+# --------------------------------------------------------------------------- #
+
+
+class TestShardedSweepEquivalence:
+    def test_sharded_merge_replay_is_bit_identical(self, tmp_path, monkeypatch):
+        specs = _specs()
+        unsharded = run_experiments(specs, workers=WORKERS)
+
+        base = tmp_path / "sweep.json"
+        for index in range(2):
+            run_experiments(specs, checkpoint=base, shard=(index, 2), workers=WORKERS)
+
+        merged = tmp_path / "merged.json"
+        summary = merge_shard_checkpoints(manifest_path(base), merged)
+        assert summary["tasks_missing"] == 0
+        assert summary["tasks_merged"] == summary["tasks_expected"]
+
+        # The replay must execute nothing: every run comes from the merge.
+        count_file = tmp_path / "invocations.log"
+        monkeypatch.setenv("REPRO_TEST_COUNT_FILE", str(count_file))
+        replay_specs = [
+            ExperimentSpec(
+                name=spec.name,
+                runner=count_file_runner,
+                topologies=spec.topologies,
+                seeds=spec.seeds,
+                collect_profile=False,
+            )
+            for spec in specs
+        ]
+        # NB: replay keys must match, and task keys do not include the
+        # runner identity — only spec/topology/seed/adversary — so the
+        # counting runner replays the stored records.
+        replayed = run_experiments(replay_specs, checkpoint=merged)
+        assert not count_file.exists() or count_file.read_text() == ""
+
+        for a, b in zip(unsharded, replayed):
+            assert _comparable(a.cells) == _comparable(b.cells)
+
+    def test_shard_runs_disjoint_slices(self, tmp_path, monkeypatch):
+        count_file = tmp_path / "invocations.log"
+        monkeypatch.setenv("REPRO_TEST_COUNT_FILE", str(count_file))
+        spec = ExperimentSpec(
+            name="counted",
+            runner=count_file_runner,
+            topologies=[cycle(8), star(8)],
+            seeds=SEEDS,
+            collect_profile=False,
+        )
+        base = tmp_path / "sweep.json"
+        run_experiments([spec], checkpoint=base, shard=(0, 2))
+        run_experiments([spec], checkpoint=base, shard=(1, 2))
+        # Each of the 6 grid runs executed exactly once across both jobs.
+        lines = count_file.read_text().splitlines()
+        assert len(lines) == 6
+        assert len(set(lines)) == 6
+
+    def test_sharded_results_contain_only_local_cells(self, tmp_path):
+        # One topology, two seeds, two shards: each job holds one run of
+        # the only cell; a 3-topology grid sharded 3 ways can drop whole
+        # cells from a shard's partial view.
+        spec = ExperimentSpec(
+            name="narrow",
+            runner=flooding_runner,
+            topologies=[cycle(8), star(8), grid_2d(3, 3)],
+            seeds=(0,),
+            collect_profile=False,
+        )
+        base = tmp_path / "sweep.json"
+        partial = run_experiments([spec], checkpoint=base, shard=(0, 3))[0]
+        assert len(partial.cells) == 1  # tasks 0,3,6,... -> only cycle(8)
+        assert partial.cells[0].topology_name == "cycle(n=8)"
+        assert partial.cells[0].runs == 1
+
+    def test_empty_slice_shards_still_merge(self, tmp_path):
+        # More shards than tasks: the jobs whose round-robin slice is
+        # empty must still write their (empty) shard checkpoints, and the
+        # merge of the fully-executed split must validate as complete.
+        spec = ExperimentSpec(
+            name="small",
+            runner=flooding_runner,
+            topologies=[cycle(8)],
+            seeds=(0, 1),
+            collect_profile=False,
+        )
+        base = tmp_path / "sweep.json"
+        for index in range(4):
+            run_experiments([spec], checkpoint=base, shard=(index, 4))
+            assert shard_checkpoint_path(base, index, 4).exists()
+        summary = merge_shard_checkpoints(manifest_path(base), tmp_path / "m.json")
+        assert summary["missing_shards"] == 0
+        assert summary["tasks_missing"] == 0
+        assert summary["tasks_merged"] == 2
+
+    def test_resumed_shard_skips_completed_runs(self, tmp_path, monkeypatch):
+        count_file = tmp_path / "invocations.log"
+        monkeypatch.setenv("REPRO_TEST_COUNT_FILE", str(count_file))
+        spec = ExperimentSpec(
+            name="counted",
+            runner=count_file_runner,
+            topologies=[cycle(8), star(8)],
+            seeds=SEEDS,
+            collect_profile=False,
+        )
+        base = tmp_path / "sweep.json"
+        run_experiments([spec], checkpoint=base, shard=(0, 2))
+        executed = len(count_file.read_text().splitlines())
+        run_experiments([spec], checkpoint=base, shard=(0, 2))  # resume: replay
+        assert len(count_file.read_text().splitlines()) == executed
+
+
+# --------------------------------------------------------------------------- #
+# the shard manifest
+# --------------------------------------------------------------------------- #
+
+
+class TestShardManifest:
+    def test_every_job_writes_the_same_manifest(self, tmp_path):
+        base = tmp_path / "sweep.json"
+        run_experiments([_spec()], checkpoint=base, shard=(0, 2))
+        first = manifest_path(base).read_text()
+        run_experiments([_spec()], checkpoint=base, shard=(1, 2))
+        assert manifest_path(base).read_text() == first
+
+    def test_manifest_round_trip(self, tmp_path):
+        keys = [f"task-{index}" for index in range(7)]
+        manifest = ShardManifest.plan(tmp_path / "ck.json", keys, 3)
+        manifest.write(manifest_path(tmp_path / "ck.json"))
+        loaded = ShardManifest.load(manifest_path(tmp_path / "ck.json"))
+        assert loaded == manifest
+        assert set(loaded.expected_keys()) == set(keys)
+        assert loaded.expected_keys()["task-4"] == 1  # round-robin: 4 % 3
+
+    def test_conflicting_manifest_rejected(self, tmp_path):
+        # A shard job of a *different* grid (here: a different adversary,
+        # which changes every task key) pointed at the same checkpoint
+        # base must fail loudly instead of corrupting the split.
+        from repro.dynamics import AdversarySpec
+
+        base = tmp_path / "sweep.json"
+        run_experiments([_spec()], checkpoint=base, shard=(0, 2))
+        adversarial = ExperimentSpec(
+            name="flooding",
+            runner=flooding_runner,
+            topologies=[cycle(8), star(8), grid_2d(3, 3)],
+            seeds=SEEDS,
+            collect_profile=False,
+            adversary=AdversarySpec.create("loss", p=0.01),
+        )
+        with pytest.raises(ConfigurationError, match="different sweep"):
+            run_experiments([adversarial], checkpoint=base, shard=(1, 2))
+
+    def test_manifest_rejects_wrong_kind(self, tmp_path):
+        path = tmp_path / "not-manifest.json"
+        path.write_text(json.dumps({"version": 1, "runs": {}}))
+        with pytest.raises(ConfigurationError, match="not a shard manifest"):
+            ShardManifest.load(path)
+
+
+# --------------------------------------------------------------------------- #
+# merge validation
+# --------------------------------------------------------------------------- #
+
+
+def _sharded_run(tmp_path, specs=None, shards=2):
+    base = tmp_path / "sweep.json"
+    specs = specs if specs is not None else [_spec()]
+    for index in range(shards):
+        run_experiments(specs, checkpoint=base, shard=(index, shards))
+    return base
+
+
+class TestMergeValidation:
+    def test_missing_shard_rejected_then_allowed(self, tmp_path):
+        base = _sharded_run(tmp_path)
+        shard_checkpoint_path(base, 1, 2).unlink()
+        with pytest.raises(ConfigurationError, match="missing shard"):
+            merge_shard_checkpoints(manifest_path(base), tmp_path / "m.json")
+        summary = merge_shard_checkpoints(
+            manifest_path(base), tmp_path / "m.json", allow_partial=True
+        )
+        assert summary["missing_shards"] == 1
+        assert 0 < summary["tasks_merged"] < summary["tasks_expected"]
+        assert summary["tasks_missing"] > 0
+
+    def test_overlapping_identical_records_deduplicate(self, tmp_path):
+        base = _sharded_run(tmp_path)
+        # Copy one record of shard 0 into shard 1: an overlap from a
+        # re-run, with identical measurements — legal, deduplicated.
+        store0 = CheckpointStore(shard_checkpoint_path(base, 0, 2))
+        store1 = CheckpointStore(shard_checkpoint_path(base, 1, 2))
+        key, record = next(iter(store0.load().items()))
+        store1.add(key, record)
+        store1.flush()
+        summary = merge_shard_checkpoints(manifest_path(base), tmp_path / "m.json")
+        assert summary["tasks_merged"] == summary["tasks_expected"]
+
+    def test_conflicting_records_rejected(self, tmp_path):
+        base = _sharded_run(tmp_path)
+        store0 = CheckpointStore(shard_checkpoint_path(base, 0, 2))
+        store1 = CheckpointStore(shard_checkpoint_path(base, 1, 2))
+        key, record = next(iter(store0.load().items()))
+        forged = dict(record)
+        forged["metrics"] = dict(forged["metrics"])
+        forged["metrics"]["messages"] = forged["metrics"]["messages"] + 1
+        store1.add(key, forged)
+        store1.flush()
+        with pytest.raises(ConfigurationError, match="conflicting records"):
+            merge_shard_checkpoints(manifest_path(base), tmp_path / "m.json")
+
+    def test_mixed_compact_and_full_shards_merge(self, tmp_path):
+        specs = [_spec()]
+        base = tmp_path / "sweep.json"
+        run_experiments(specs, checkpoint=base, shard=(0, 2))
+        run_experiments(
+            specs, checkpoint=base, shard=(1, 2), checkpoint_compact=True
+        )
+        merged = tmp_path / "merged.json"
+        summary = merge_shard_checkpoints(manifest_path(base), merged)
+        assert summary["tasks_missing"] == 0
+        replayed = run_experiments(specs, checkpoint=merged)
+        plain = run_experiments(specs)
+        for a, b in zip(plain, replayed):
+            assert _comparable(a.cells) == _comparable(b.cells)
+
+    def test_compact_and_full_copies_of_one_record_are_not_a_conflict(self, tmp_path):
+        base = _sharded_run(tmp_path)
+        store0 = CheckpointStore(shard_checkpoint_path(base, 0, 2))
+        store1 = CheckpointStore(shard_checkpoint_path(base, 1, 2))
+        key, record = next(iter(store0.load().items()))
+        store1.add(key, compact_record(record))
+        store1.flush()
+        summary = merge_shard_checkpoints(manifest_path(base), tmp_path / "m.json")
+        assert summary["tasks_merged"] == summary["tasks_expected"]
+        # The fuller record survives the dedupe.
+        merged = CheckpointStore(tmp_path / "m.json").load()
+        assert "node_results" in merged[key]
+
+    def test_stale_records_from_other_adversary_token_dropped(self, tmp_path):
+        # A shard file resumed from an earlier sweep under a different
+        # adversary carries records whose task keys the manifest does not
+        # know: they are dropped from the merge and reported, and
+        # coverage of the *current* grid still validates.
+        from repro.dynamics import AdversarySpec
+
+        adversarial = ExperimentSpec(
+            name="flooding",
+            runner=flooding_runner,
+            topologies=[cycle(8), star(8), grid_2d(3, 3)],
+            seeds=SEEDS,
+            collect_profile=False,
+            adversary=AdversarySpec.create("loss", p=0.01),
+        )
+        base = _sharded_run(tmp_path)
+        stale_keys = [task.key for task in expand_run_tasks(adversarial)]
+        store0 = CheckpointStore(shard_checkpoint_path(base, 0, 2))
+        result = flooding_runner(cycle(8), 0)
+        store0.add(stale_keys[0], result_to_record(result, 0.1))
+        store0.flush()
+        summary = merge_shard_checkpoints(manifest_path(base), tmp_path / "m.json")
+        assert summary["extraneous_records_dropped"] == 1
+        assert summary["tasks_missing"] == 0
+        assert stale_keys[0] not in CheckpointStore(tmp_path / "m.json").load()
+
+
+# --------------------------------------------------------------------------- #
+# streaming aggregation: exact, order-independent folds
+# --------------------------------------------------------------------------- #
+
+
+class TestStreamingAggregates:
+    def _runs(self):
+        return [(flooding_runner(cycle(8), seed), 0.25) for seed in range(5)]
+
+    def test_fold_order_never_changes_the_aggregate(self):
+        runs = self._runs()
+        forward, backward = CellAggregate(), CellAggregate()
+        for run, elapsed in runs:
+            forward.add(run, elapsed)
+        for run, elapsed in reversed(runs):
+            backward.add(run, elapsed)
+        assert forward.mean_messages == backward.mean_messages
+        assert forward.stdev_messages == backward.stdev_messages
+        assert forward.min_messages == backward.min_messages
+        assert forward.max_rounds == backward.max_rounds
+        assert forward.safety.summary() == backward.safety.summary()
+
+    def test_merge_of_partial_aggregates_equals_total(self):
+        runs = self._runs()
+        total = CellAggregate()
+        left, right = CellAggregate(), CellAggregate()
+        for index, (run, elapsed) in enumerate(runs):
+            total.add(run, elapsed)
+            (left if index % 2 == 0 else right).add(run, elapsed)
+        left.merge(right)
+        assert left.count == total.count
+        assert left.mean_messages == total.mean_messages
+        assert left.stdev_messages == total.stdev_messages
+        assert left.min_messages == total.min_messages
+        assert left.max_messages == total.max_messages
+        assert left.safety.summary() == total.safety.summary()
+
+    def test_cell_min_max_fields(self):
+        spec = ExperimentSpec(
+            name="flooding",
+            runner=flooding_runner,
+            topologies=[cycle(8)],
+            seeds=SEEDS,
+            collect_profile=False,
+        )
+        cell = run_experiment(spec).cells[0]
+        messages = [flooding_runner(cycle(8), seed).messages for seed in SEEDS]
+        assert cell.min_messages == min(messages)
+        assert cell.max_messages == max(messages)
+        assert cell.min_rounds <= cell.max_rounds
+        assert cell.safety is not None
+        assert cell.safety.runs == len(SEEDS)
+
+    def test_custom_sink_sees_every_run(self, tmp_path):
+        from repro.analysis import ResultSink
+
+        class Recorder(ResultSink):
+            def __init__(self):
+                self.seen = []
+                self.closed = False
+
+            def emit(self, spec_name, topology_index, seed_index, result, wall):
+                self.seen.append((spec_name, topology_index, seed_index))
+
+            def close(self):
+                self.closed = True
+
+        spec = _spec()
+        serial, parallel = Recorder(), Recorder()
+        run_experiment(spec, sinks=[serial])
+        run_experiment(spec, workers=2, sinks=[parallel])
+        assert sorted(serial.seen) == sorted(parallel.seen)
+        assert len(serial.seen) == len(spec.topologies) * len(SEEDS)
+        assert serial.closed and parallel.closed
+
+    def test_checkpoint_parent_directories_created_at_construction(self, tmp_path):
+        store = CheckpointStore(tmp_path / "a" / "b" / "ck.json")
+        assert (tmp_path / "a" / "b").is_dir()
+        result = flooding_runner(cycle(8), 0)
+        store.add("k", result_to_record(result, 0.1))
+        assert store.path.exists()
