@@ -15,6 +15,9 @@ The package is organised as:
 * :mod:`repro.dynamics` — adversarial network dynamics: fault injection,
   link churn, and robustness sweeps over the execution model;
 * :mod:`repro.parallel` — multiprocessing sweep engine with checkpoints;
+* :mod:`repro.protocols` — first-class protocol configuration: the
+  registry of protocol names, parameter schemas and sweepable
+  :class:`~repro.protocols.spec.ProtocolSpec` values;
 * :mod:`repro.workloads` — named topology suites used by the benchmarks.
 
 Quickstart::
@@ -36,10 +39,11 @@ from . import (
     election,
     graphs,
     impossibility,
+    protocols,
     workloads,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "core",
@@ -49,6 +53,7 @@ __all__ = [
     "impossibility",
     "analysis",
     "dynamics",
+    "protocols",
     "workloads",
     "__version__",
 ]

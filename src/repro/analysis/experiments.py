@@ -37,10 +37,17 @@ from ..core.errors import ConfigurationError
 from ..election.base import LeaderElectionResult, SafetyTally
 from ..graphs.properties import ExpansionProfile, expansion_profile
 from ..graphs.topology import Topology
-from .streaming import CellAggregate, CellAggregatingSink, CollectingSink, ResultSink
+from .streaming import (
+    CellAggregate,
+    CellAggregatingSink,
+    CollectingSink,
+    ResultSink,
+    abort_sinks,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, keeps layering acyclic
     from ..dynamics.spec import AdversarySpec
+    from ..protocols.spec import ProtocolSpec
 
 __all__ = [
     "ElectionRunner",
@@ -63,39 +70,73 @@ ElectionRunner = Callable[[Topology, int], LeaderElectionResult]
 class ExperimentSpec:
     """A named sweep of one algorithm over topologies and seeds.
 
-    ``adversary`` adds the third grid axis: when set (an
+    The algorithm is either a ``runner`` callable (the legacy shape:
+    ``runner(topology, seed) -> LeaderElectionResult``) or a declarative
+    ``protocol`` (a :class:`~repro.protocols.spec.ProtocolSpec`, or its
+    string spelling ``"name:k=v,..."`` which is parsed and validated
+    here).  Exactly one of the two must be set; with ``protocol`` the
+    spec's configuration token becomes part of the checkpoint task keys,
+    so parameter sweeps resume/shard/merge without ever mixing runs
+    measured under different constants.
+
+    ``adversary`` adds the execution-model grid axis: when set (an
     :class:`~repro.dynamics.spec.AdversarySpec`), every run executes under
     that fault model — deterministically per run seed — and the adversary's
     identity becomes part of the checkpoint task keys.
     """
 
     name: str
-    runner: ElectionRunner
-    topologies: Sequence[Topology]
+    runner: Optional[ElectionRunner] = None
+    topologies: Sequence[Topology] = ()
     seeds: Sequence[int] = (0, 1, 2)
     collect_profile: bool = True
     adversary: Optional["AdversarySpec"] = None
+    protocol: Optional["ProtocolSpec"] = None
 
     def __post_init__(self) -> None:
+        if isinstance(self.protocol, str):
+            from ..protocols.spec import ProtocolSpec
+
+            object.__setattr__(self, "protocol", ProtocolSpec.parse(self.protocol))
+        if self.runner is None and self.protocol is None:
+            raise ConfigurationError(
+                "an experiment needs an algorithm: pass runner=... or protocol=..."
+            )
+        if self.runner is not None and self.protocol is not None:
+            raise ConfigurationError(
+                "pass either runner= or protocol=, not both (the protocol "
+                "spec decides the runner)"
+            )
         if not self.topologies:
             raise ConfigurationError("an experiment needs at least one topology")
         if not self.seeds:
             raise ConfigurationError("an experiment needs at least one seed")
 
+    def protocol_token(self) -> str:
+        """The spec's protocol-configuration token ("" for legacy runners)."""
+        return self.protocol.token() if self.protocol is not None else ""
+
 
 def effective_runner(spec: ExperimentSpec) -> ElectionRunner:
     """The runner actually executed for ``spec``'s runs.
 
-    Wraps ``spec.runner`` in an adversarial fault scope when the spec
-    carries an adversary; both the serial driver and the parallel engine's
-    task expansion funnel through here, so the two backends perturb runs
+    Resolves a declarative protocol spec to its
+    :class:`~repro.protocols.runners.ProtocolRunner`, then wraps the base
+    runner in an adversarial fault scope when the spec carries an
+    adversary; both the serial driver and the parallel engine's task
+    expansion funnel through here, so the two backends run cells
     identically.
     """
+    base = spec.runner
+    if base is None:
+        from ..protocols.runners import ProtocolRunner
+
+        base = ProtocolRunner(spec.protocol)
     if spec.adversary is None:
-        return spec.runner
+        return base
     from ..dynamics.runners import AdversarialRunner
 
-    return AdversarialRunner(spec.runner, spec.adversary)
+    return AdversarialRunner(base, spec.adversary)
 
 
 @dataclass
@@ -122,6 +163,10 @@ class ExperimentCell:
     max_messages: int = 0
     min_rounds: int = 0
     max_rounds: int = 0
+    #: The protocol-configuration token of the spec that produced the cell
+    #: ("" for legacy runner-callable specs at default configuration), so
+    #: parameter-sweep cells stay tellable apart in reports and exports.
+    protocol: str = ""
     #: Streaming safety verdicts of the cell's runs (never ``None`` for
     #: cells built by the drivers; kept optional for hand-built cells).
     safety: Optional[SafetyTally] = None
@@ -135,6 +180,7 @@ class ExperimentCell:
     def as_dict(self) -> Dict[str, object]:
         row: Dict[str, object] = {
             "algorithm": self.algorithm,
+            "protocol": self.protocol,
             "topology": self.topology_name,
             "n": self.num_nodes,
             "m": self.num_edges,
@@ -219,6 +265,7 @@ def cell_from_aggregate(
     *,
     profile: Optional[ExpansionProfile] = None,
     results: Optional[List[LeaderElectionResult]] = None,
+    protocol: str = "",
 ) -> ExperimentCell:
     """Assemble an :class:`ExperimentCell` from a streamed cell aggregate.
 
@@ -249,6 +296,7 @@ def cell_from_aggregate(
         max_messages=aggregate.max_messages,
         min_rounds=aggregate.min_rounds,
         max_rounds=aggregate.max_rounds,
+        protocol=protocol,
         safety=aggregate.safety,
         profile=profile,
         results=list(results) if results is not None else [],
@@ -361,25 +409,33 @@ def run_experiment(
     result = ExperimentResult(name=spec.name)
     profiles = dict(profiles or {})
     runner = effective_runner(spec)
-    for topology_index, topology in enumerate(spec.topologies):
-        for seed_index, seed in enumerate(spec.seeds):
-            run, elapsed = execute_run(runner, topology, seed)
-            for sink in all_sinks:
-                sink.emit(spec.name, topology_index, seed_index, run, elapsed)
-            del run  # nothing below retains it: the sink fold is the pipeline
-        aggregate = aggregates.aggregate_for(spec.name, topology_index)
-        result.cells.append(
-            cell_from_aggregate(
-                topology,
-                aggregate,
-                profile=resolve_profile(topology, profiles, spec.collect_profile),
-                results=(
-                    collector.results_for(spec.name, topology_index)
-                    if collector is not None
-                    else None
-                ),
+    try:
+        for topology_index, topology in enumerate(spec.topologies):
+            for seed_index, seed in enumerate(spec.seeds):
+                run, elapsed = execute_run(runner, topology, seed)
+                for sink in all_sinks:
+                    sink.emit(spec.name, topology_index, seed_index, run, elapsed)
+                del run  # nothing below retains it: the sink fold is the pipeline
+            aggregate = aggregates.aggregate_for(spec.name, topology_index)
+            result.cells.append(
+                cell_from_aggregate(
+                    topology,
+                    aggregate,
+                    profile=resolve_profile(topology, profiles, spec.collect_profile),
+                    results=(
+                        collector.results_for(spec.name, topology_index)
+                        if collector is not None
+                        else None
+                    ),
+                    protocol=spec.protocol_token(),
+                )
             )
-        )
+    except BaseException:
+        # A run raised: abort the sinks — an export sink (JsonlSink)
+        # flushes the records of the runs that did complete without
+        # publishing an incomplete sweep.
+        abort_sinks(all_sinks)
+        raise
     for sink in all_sinks:
         sink.close()
     return result

@@ -1,26 +1,29 @@
 """Named, picklable election runners for experiment sweeps.
 
-:class:`~repro.analysis.experiments.ExperimentSpec` carries its algorithm
-as a callable.  The parallel engine (:mod:`repro.parallel`) ships that
-callable to worker processes, which requires it to be picklable — i.e. an
-importable module-level function, not a lambda or closure.  This module
-provides exactly that: one positional ``(topology, seed)`` adapter per
-election algorithm in the library, plus a registry for looking them up by
-the same names the CLI uses.
+:class:`~repro.analysis.experiments.ExperimentSpec` can carry its
+algorithm as a callable.  The parallel engine (:mod:`repro.parallel`)
+ships that callable to worker processes, which requires it to be picklable
+— i.e. an importable module-level function, not a lambda or closure.  This
+module provides exactly that: one positional ``(topology, seed)`` adapter
+per election algorithm, plus a registry for looking them up by the same
+names the CLI uses.
+
+Since the protocol registry (:mod:`repro.protocols`) became the single
+source of truth for entry points, these runners are thin wrappers over
+:func:`repro.protocols.registry.run_protocol` at default configuration —
+kept (rather than replaced by :class:`~repro.protocols.runners.ProtocolRunner`)
+so existing call sites, pickled specs and checkpoint task keys continue to
+work unchanged.  Parameterised variants go through
+:class:`~repro.protocols.spec.ProtocolSpec` instead.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict
 
-from ..baselines import (
-    run_flooding_election,
-    run_gilbert_election,
-    run_uniform_id_election,
-)
-from ..election import run_irrevocable_election, run_revocable_election
 from ..election.base import LeaderElectionResult
 from ..graphs.topology import Topology
+from ..protocols.registry import run_protocol
 
 __all__ = [
     "RUNNERS",
@@ -35,27 +38,27 @@ __all__ = [
 
 def flooding_runner(topology: Topology, seed: int) -> LeaderElectionResult:
     """Flooding (Kutten et al.-style) baseline with default configuration."""
-    return run_flooding_election(topology, seed=seed)
+    return run_protocol("flooding", topology, seed)
 
 
 def gilbert_runner(topology: Topology, seed: int) -> LeaderElectionResult:
     """Gilbert et al. baseline with default configuration."""
-    return run_gilbert_election(topology, seed=seed)
+    return run_protocol("gilbert", topology, seed)
 
 
 def irrevocable_runner(topology: Topology, seed: int) -> LeaderElectionResult:
     """The paper's Theorem 1 (known ``n``) protocol with default config."""
-    return run_irrevocable_election(topology, seed=seed)
+    return run_protocol("irrevocable", topology, seed)
 
 
 def revocable_runner(topology: Topology, seed: int) -> LeaderElectionResult:
     """The paper's revocable (unknown ``n``) protocol with default config."""
-    return run_revocable_election(topology, seed=seed)
+    return run_protocol("revocable", topology, seed)
 
 
 def uniform_id_runner(topology: Topology, seed: int) -> LeaderElectionResult:
     """Every-node-competes flooding election."""
-    return run_uniform_id_election(topology, seed=seed)
+    return run_protocol("uniform", topology, seed)
 
 
 RUNNERS: Dict[str, Callable[[Topology, int], LeaderElectionResult]] = {

@@ -28,6 +28,9 @@ Sinks
 * :class:`CollectingSink` — the opt-in "keep the full results" sink
   behind ``keep_results=True``; composes with the aggregating sink
   instead of threading a flag through every layer;
+* :class:`JsonlSink` — streams one JSON record per run to a ``.jsonl``
+  file (``repro-le sweep --jsonl out.jsonl``), so per-run data reaches
+  offline analysis without retaining anything in memory;
 * any user-supplied object implementing :class:`ResultSink` can be passed
   to the experiment drivers (``sinks=...``) to observe runs as they
   complete (progress bars, live dashboards, external writers).
@@ -35,8 +38,12 @@ Sinks
 
 from __future__ import annotations
 
+import json
 import math
+import os
+import shutil
 from fractions import Fraction
+from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
 from ..election.base import LeaderElectionResult, SafetyTally
@@ -45,7 +52,9 @@ __all__ = [
     "CellAggregate",
     "CellAggregatingSink",
     "CollectingSink",
+    "JsonlSink",
     "ResultSink",
+    "abort_sinks",
 ]
 
 #: Exact accumulator value: ints stay ints (arbitrary precision), floats
@@ -219,7 +228,32 @@ class ResultSink:
         """Observe one completed run."""
 
     def close(self) -> None:
-        """The sweep is over; flush any buffered state."""
+        """The sweep completed; flush any buffered state."""
+
+    def abort(self) -> None:
+        """The sweep failed mid-grid; release resources.
+
+        Called by the drivers instead of :meth:`close` when a run raised —
+        :meth:`close` still means "the sweep completed", exactly as it
+        always has, so sinks that publish on close are never handed an
+        incomplete sweep.  The default does nothing (the built-in sinks
+        hold no resources); sinks with buffers or handles override it
+        (e.g. :class:`JsonlSink` flushes its staging file without
+        publishing).
+        """
+
+
+def abort_sinks(sinks) -> None:
+    """Abort every sink of a failed sweep (the drivers' failure path).
+
+    ``getattr``: duck-typed sinks written against the original emit/close
+    contract predate :meth:`ResultSink.abort` and simply get skipped —
+    their ``close`` still means "the sweep completed" and is not called.
+    """
+    for sink in sinks:
+        abort = getattr(sink, "abort", None)
+        if abort is not None:
+            abort()
 
 
 class CellAggregatingSink(ResultSink):
@@ -264,3 +298,102 @@ class CollectingSink(ResultSink):
         """The cell's runs in grid (seed) order, regardless of completion order."""
         cell = self._runs.get((spec_name, topology_index), {})
         return [cell[index] for index in sorted(cell)]
+
+
+class JsonlSink(ResultSink):
+    """Stream one JSON record per completed run to a ``.jsonl`` file.
+
+    The ROADMAP's export sink: per-run measurements reach disk for offline
+    analysis without ``keep_results`` retaining them in memory — the sink
+    holds one open file handle and nothing else.  Records carry the run's
+    grid coordinates (``experiment``/``topology_index``/``seed_index``) so
+    offline consumers can regroup or reorder them, plus the protocol
+    token and adversary description when the run was parameterised.
+
+    Records are written in *completion* order: identical to grid order on
+    the serial backend, pool-dependent under ``workers > 1`` (use the grid
+    coordinates to sort).  Writes go to a ``<path>.partial`` staging file
+    that replaces ``<path>`` on a clean close, so the export at ``<path>``
+    is always a *complete* sweep: a resumed sweep (a *fresh* sink on an
+    existing path) replaces the previous export, a sweep that crashes
+    mid-grid leaves the previous export untouched and its completed runs'
+    records in the ``.partial`` file for debugging.  One sink *instance*
+    shared by sequential driver calls accumulates every call's records in
+    one file.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self._path = Path(path)
+        self._staging = self._path.with_name(self._path.name + ".partial")
+        self._handle = None
+        self._closed = False
+        self._was_closed = False
+
+    def _open(self):
+        if self._handle is None:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self._staging.open("w", encoding="utf-8")
+            if self._was_closed and self._path.exists():
+                # One instance shared by sequential driver calls: seed the
+                # new staging file with the previous calls' published
+                # records (streamed, not slurped — exports can be large),
+                # so the final rename accumulates instead of replacing.
+                with self._path.open("r", encoding="utf-8") as published:
+                    shutil.copyfileobj(published, self._handle)
+        self._closed = False
+        return self._handle
+
+    def emit(self, spec_name, topology_index, seed_index, result, wall_clock_seconds):
+        handle = self._open()
+        record: Dict[str, object] = {
+            "experiment": spec_name,
+            "topology_index": topology_index,
+            "seed_index": seed_index,
+            "algorithm": result.algorithm,
+            "protocol": result.parameters.get("protocol", ""),
+            "topology": result.topology_name,
+            "n": result.num_nodes,
+            "m": result.num_edges,
+            "seed": result.seed,
+            "success": result.success,
+            "leaders": result.outcome.num_leaders,
+            "messages": result.messages,
+            "bits": result.bits,
+            "rounds": result.rounds_executed,
+            "dropped_messages": result.metrics.dropped_messages,
+            "delayed_messages": result.metrics.delayed_messages,
+            "wall_clock_seconds": wall_clock_seconds,
+        }
+        adversary = result.parameters.get("adversary")
+        if adversary is not None:
+            record["adversary"] = adversary
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def close(self) -> None:
+        # Idempotent: the drivers close caller-supplied sinks, and a
+        # caller closing again defensively must not republish (or
+        # truncate) the finished file.
+        if self._closed:
+            return
+        # A sweep with zero local runs (an empty shard slice) still
+        # publishes an (empty) file, so downstream collectors see the job
+        # ran.
+        self._open()
+        self._handle.close()
+        self._handle = None
+        self._closed = True
+        self._was_closed = True
+        os.replace(self._staging, self._path)
+
+    def abort(self) -> None:
+        # The sweep failed mid-grid: flush the completed runs' records to
+        # the ``.partial`` staging file (they help debug the failure), but
+        # publish nothing — the export path keeps its previous complete
+        # sweep, and a crash before the first run forges no empty
+        # "completed with zero runs" marker.
+        if self._closed:
+            return
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        self._closed = True

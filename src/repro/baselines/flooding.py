@@ -149,7 +149,11 @@ def run_flooding_election(
     all_nodes_compete: bool = False,
     metrics: Optional[MetricsCollector] = None,
 ) -> LeaderElectionResult:
-    """Run the flooding baseline once and return outcome + cost."""
+    """Run the flooding baseline once and return outcome + cost.
+
+    Registered in the protocol registry as ``flooding`` with
+    ``c``/``all_nodes_compete`` as its schema (see :mod:`repro.protocols`).
+    """
     if config is None:
         config = FloodingConfig.from_topology(
             topology, c=c, all_nodes_compete=all_nodes_compete

@@ -351,7 +351,11 @@ def run_gilbert_election(
     c: float = 2.0,
     metrics: Optional[MetricsCollector] = None,
 ) -> LeaderElectionResult:
-    """Run the Gilbert-style baseline once and return outcome + cost."""
+    """Run the Gilbert-style baseline once and return outcome + cost.
+
+    Registered in the protocol registry as ``gilbert`` with ``c`` as its
+    schema (see :mod:`repro.protocols`).
+    """
     if config is None:
         config = GilbertConfig.from_topology(topology, c=c)
     collector = metrics if metrics is not None else MetricsCollector()

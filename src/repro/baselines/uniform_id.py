@@ -34,7 +34,11 @@ def run_uniform_id_election(
     seed: Optional[int] = None,
     metrics: Optional[MetricsCollector] = None,
 ) -> LeaderElectionResult:
-    """Run the every-node-competes flooding election once."""
+    """Run the every-node-competes flooding election once.
+
+    Registered in the protocol registry as ``uniform`` (no parameters;
+    see :mod:`repro.protocols`).
+    """
     config = FloodingConfig.from_topology(topology, all_nodes_compete=True)
     return run_flooding_election(
         topology,

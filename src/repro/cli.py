@@ -8,11 +8,18 @@ Python.  Installed as the ``repro-le`` console script and runnable as
 Examples::
 
     repro-le analyze   --topology random_regular:64:4
+    repro-le protocols                          # registered protocols + schemas
     repro-le elect     --algorithm irrevocable --topology torus_2d:8:8 --seed 3
+    repro-le elect     --algorithm irrevocable:c=3,x_multiplier=1.5 \
+                       --topology torus_2d:8:8
     repro-le elect     --algorithm revocable   --topology complete:5 --explicit
     repro-le compare   --topology random_regular:64:4 --seeds 2
     repro-le sweep     --suite mixed --algorithms flooding gilbert \
                        --seeds 3 --workers 4 --checkpoint sweep.json
+    repro-le sweep     --suite tiny --algorithms irrevocable:c=1.5 \
+                       irrevocable:c=2 irrevocable:c=3 --seeds 3 \
+                       --jsonl runs.jsonl       # cost-vs-c curve, per-run export
+    repro-le sweep     --suite tiny --scenario paper-constants
     repro-le sweep     --suite mixed --algorithms flooding --seeds 3 \
                        --adversary loss --adversary-param p=0.05
     repro-le sweep     --suite mixed --algorithms flooding --seeds 3 \
@@ -26,7 +33,10 @@ Examples::
 
 Topology specifications are ``family:arg[:arg...]`` using the generator
 registry of :mod:`repro.graphs.generators`, e.g. ``cycle:32``,
-``random_regular:64:4``, ``torus_2d:8:8``, ``barbell:16``.
+``random_regular:64:4``, ``torus_2d:8:8``, ``barbell:16``.  Algorithm
+specifications are ``name[:param=value,...]`` using the protocol registry
+of :mod:`repro.protocols` (``repro-le protocols`` lists every protocol
+with its parameter schema).
 """
 
 from __future__ import annotations
@@ -42,12 +52,13 @@ from .election.explicit import extend_to_explicit
 from .graphs import Topology, expansion_profile
 from .graphs.generators import GENERATORS
 from .impossibility import demonstrate_impossibility
+from .protocols import ProtocolSpec, describe_protocols, protocol_runner
 
 __all__ = ["main", "parse_topology", "build_parser"]
 
-#: Single name -> algorithm registry shared by `elect`, `compare` and
-#: `sweep` (and, through :mod:`repro.analysis.runners`, by the parallel
-#: engine's workers).
+#: Legacy name -> default-configuration runner registry (kept for
+#: programmatic users; the CLI itself now resolves ``--algorithm``
+#: strings through :mod:`repro.protocols`, which accepts parameters).
 ELECTION_RUNNERS: Dict[str, Callable[..., object]] = RUNNERS
 
 
@@ -81,10 +92,25 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_protocols(args: argparse.Namespace) -> int:
+    from .protocols import PROTOCOLS
+
+    print(render_table(describe_protocols(), title="registered protocols"))
+    for name, definition in sorted(PROTOCOLS.items()):
+        if not definition.schema.params:
+            continue
+        print(f"\n{name} parameters:")
+        width = max(len(param.describe()) for param in definition.schema.params)
+        for param in definition.schema.params:
+            doc = f"  {param.doc}" if param.doc else ""
+            print(f"  {param.describe().ljust(width)}{doc}")
+    return 0
+
+
 def _cmd_elect(args: argparse.Namespace) -> int:
     topology = parse_topology(args.topology, seed=args.topology_seed)
-    runner = ELECTION_RUNNERS[args.algorithm]
-    result = runner(topology, seed=args.seed)
+    spec = ProtocolSpec.parse(args.algorithm)
+    result = protocol_runner(spec)(topology, args.seed)
     summary = {
         "algorithm": result.algorithm,
         "topology": result.topology_name,
@@ -95,6 +121,8 @@ def _cmd_elect(args: argparse.Namespace) -> int:
         "bits": result.bits,
         "rounds": result.rounds_executed,
     }
+    if spec.params:
+        summary = {"algorithm": summary["algorithm"], "protocol": str(spec), **summary}
     print(render_kv(summary, title="election result"))
     if args.explicit:
         if not result.success:
@@ -111,12 +139,13 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     topology = parse_topology(args.topology, seed=args.topology_seed)
     rows: List[dict] = []
     for name in args.algorithms:
-        runner = ELECTION_RUNNERS[name]
+        spec = ProtocolSpec.parse(name)
+        runner = protocol_runner(spec)
         for seed in range(args.seeds):
-            result = runner(topology, seed=seed)
+            result = runner(topology, seed)
             rows.append(
                 {
-                    "algorithm": name,
+                    "algorithm": str(spec),
                     "seed": seed,
                     "unique leader": result.success,
                     "messages": result.messages,
@@ -129,9 +158,17 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .analysis import summarize_results
+    from .analysis.streaming import JsonlSink
     from .election.base import SafetyTally
     from .parallel import parse_shard, run_experiments
-    from .workloads import dynamic_scenario, suite_by_name, sweep_specs
+    from .workloads import (
+        DYNAMIC_SCENARIOS,
+        PROTOCOL_SCENARIOS,
+        dynamic_scenario,
+        protocol_scenario,
+        suite_by_name,
+        sweep_specs,
+    )
 
     if args.workers < 1:
         raise ReproError(f"--workers must be >= 1, got {args.workers}")
@@ -151,12 +188,34 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         shard = parse_shard(args.shard)
 
     topologies = suite_by_name(args.suite)
-    adversarial = bool(args.adversary or args.scenario)
-    if args.scenario:
+    algorithms = args.algorithms or ["flooding", "gilbert"]
+    adversarial = bool(args.adversary or args.scenario in DYNAMIC_SCENARIOS)
+    if args.scenario and args.scenario in PROTOCOL_SCENARIOS:
+        # A protocol scenario fixes the algorithm list itself: a ladder of
+        # parameterised variants of the protocols under study.
+        if args.algorithms is not None:
+            raise ReproError(
+                f"--scenario {args.scenario} is a protocol ladder that "
+                f"fixes the algorithm list; drop --algorithms (dynamic "
+                f"scenarios {sorted(DYNAMIC_SCENARIOS)} do combine with it)"
+            )
+        specs = sweep_specs(
+            protocol_scenario(args.scenario),
+            topologies,
+            seeds=tuple(range(args.seeds)),
+            collect_profile=not args.no_profile,
+        )
+    elif args.scenario:
         from .dynamics import robustness_specs
 
+        if args.scenario not in DYNAMIC_SCENARIOS:
+            raise ReproError(
+                f"unknown scenario {args.scenario!r}; available: dynamic "
+                f"{sorted(DYNAMIC_SCENARIOS)}, protocol "
+                f"{sorted(PROTOCOL_SCENARIOS)}"
+            )
         specs = robustness_specs(
-            args.algorithms,
+            algorithms,
             topologies,
             dynamic_scenario(args.scenario),
             seeds=tuple(range(args.seeds)),
@@ -172,12 +231,23 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 parse_adversary_params(args.adversary_param or []),
             )
         specs = sweep_specs(
-            args.algorithms,
+            algorithms,
             topologies,
             seeds=tuple(range(args.seeds)),
             collect_profile=not args.no_profile,
             adversary=adversary,
         )
+    jsonl = args.jsonl
+    if jsonl and shard is not None:
+        # Same naming as the per-shard checkpoints: k jobs sharing one
+        # --jsonl spelling must not publish over each other's slices.
+        from .parallel import shard_checkpoint_path
+
+        jsonl = shard_checkpoint_path(
+            jsonl, shard[0], shard[1], default_suffix=".jsonl"
+        )
+        print(f"shard {shard[0]}/{shard[1]}: writing JSONL export to {jsonl}")
+    sinks = [JsonlSink(jsonl)] if jsonl else []
     results = run_experiments(
         specs,
         workers=args.workers,
@@ -187,6 +257,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         derive_seeds=args.derive_seeds,
         base_seed=args.base_seed,
         shard=shard,
+        sinks=sinks,
     )
     rows = summarize_results(results)
     title = f"sweep over suite {args.suite!r}"
@@ -281,8 +352,20 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--topology-seed", type=int, default=None)
     analyze.set_defaults(func=_cmd_analyze)
 
+    protocols = subparsers.add_parser(
+        "protocols",
+        help="list registered protocols with their parameter schemas",
+    )
+    protocols.set_defaults(func=_cmd_protocols)
+
     elect = subparsers.add_parser("elect", help="run one election")
-    elect.add_argument("--algorithm", choices=sorted(ELECTION_RUNNERS), required=True)
+    elect.add_argument(
+        "--algorithm",
+        required=True,
+        metavar="NAME[:K=V,...]",
+        help="protocol spec, e.g. irrevocable or irrevocable:c=3,"
+        "x_multiplier=1.5 (see `repro-le protocols` for names and schemas)",
+    )
     elect.add_argument("--topology", required=True)
     elect.add_argument("--topology-seed", type=int, default=None)
     elect.add_argument("--seed", type=int, default=0)
@@ -301,7 +384,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithms",
         nargs="+",
         default=["irrevocable", "gilbert", "flooding"],
-        choices=sorted(ELECTION_RUNNERS),
+        metavar="NAME[:K=V,...]",
+        help="protocol specs; parameterised variants of one protocol "
+        "compare side by side (e.g. irrevocable:c=2 irrevocable:c=3)",
     )
     compare.set_defaults(func=_cmd_compare)
 
@@ -317,8 +402,13 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--algorithms",
         nargs="+",
-        default=["flooding", "gilbert"],
-        choices=sorted(ELECTION_RUNNERS),
+        # None (not the default list) so the protocol-scenario path can
+        # tell "user asked for these algorithms" from "defaulted".
+        default=None,
+        metavar="NAME[:K=V,...]",
+        help="protocol specs (repeatable variants sweep a parameter grid, "
+        "e.g. irrevocable:c=2 irrevocable:c=3); see `repro-le protocols` "
+        "(default: flooding gilbert)",
     )
     sweep.add_argument(
         "--seeds", type=int, default=3, help="number of seeds per cell (0..N-1)"
@@ -367,9 +457,20 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--scenario",
         default=None,
-        help="named dynamic scenario ladder (see "
-        "repro.workloads.DYNAMIC_SCENARIOS: lossy, laggy, flaky-links, "
-        "crashy); runs every algorithm under each rung",
+        help="named scenario ladder: dynamic (repro.workloads."
+        "DYNAMIC_SCENARIOS: lossy, laggy, flaky-links, crashy, stormy) "
+        "runs every algorithm under each adversary rung; protocol "
+        "(repro.workloads.PROTOCOL_SCENARIOS: paper-constants) sweeps a "
+        "ladder of parameterised protocol variants",
+    )
+    sweep.add_argument(
+        "--jsonl",
+        default=None,
+        metavar="PATH",
+        help="stream one JSON record per completed run to PATH (includes "
+        "the protocol token); per-run export without keeping results "
+        "in memory. With --shard I/K each job writes its own "
+        "PATH-derived .shardIofK file",
     )
     sweep.add_argument(
         "--start-method",

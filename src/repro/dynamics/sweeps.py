@@ -10,13 +10,14 @@ and checkpoint exactly like static ones.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Union
 
 from ..graphs.topology import Topology
 from .spec import AdversarySpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..analysis.experiments import ExperimentSpec
+    from ..protocols.spec import ProtocolSpec
 
 __all__ = ["adversary_grid", "composed_spec", "robustness_specs"]
 
@@ -57,7 +58,7 @@ def composed_spec(*parts: AdversarySpec) -> AdversarySpec:
 
 
 def robustness_specs(
-    algorithms: Sequence[str],
+    algorithms: Sequence[Union[str, "ProtocolSpec"]],
     topologies: Sequence[Topology],
     adversaries: Sequence[Optional[AdversarySpec]],
     *,
@@ -65,6 +66,12 @@ def robustness_specs(
     collect_profile: bool = False,
 ) -> List["ExperimentSpec"]:
     """Expand an (algorithm × adversary) grid into experiment specs.
+
+    ``algorithms`` entries are anything :func:`repro.workloads.suites.sweep_specs`
+    accepts — plain runner names, parameterised protocol spec strings
+    ("irrevocable:c=3"), or :class:`~repro.protocols.spec.ProtocolSpec`
+    objects — so robustness curves compose with protocol parameter grids
+    (how does a *retuned* protocol degrade under faults?).
 
     ``None`` in ``adversaries`` denotes the unperturbed baseline, so a
     grid usually starts with it: the baseline cells calibrate what the

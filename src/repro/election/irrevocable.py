@@ -329,6 +329,11 @@ def run_irrevocable_election(
     Phases are attributed separately in the returned metrics, so the
     benchmark harness can report the cost of cautious broadcast, probing
     and convergecast individually (matching Lemma 1 / Lemma 2 / Theorem 1).
+
+    Registered in the protocol registry as ``irrevocable`` with ``c`` and
+    ``x_multiplier`` as its schema (see :mod:`repro.protocols`): the CLI
+    and experiment grids reach this entry point through
+    ``ProtocolSpec.parse("irrevocable:c=3,x_multiplier=1.5")``.
     """
     if config is None:
         config = IrrevocableConfig.from_topology(

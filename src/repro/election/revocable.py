@@ -297,6 +297,12 @@ def run_revocable_election(
     estimate so the strongest certificate — chosen in the final decision
     phase — can flood the network and pretenders lower their flags; this
     is exactly the revocation behaviour Definition 2 allows.
+
+    Registered in the protocol registry as ``revocable`` with
+    ``epsilon``/``xi``/``extra_estimates`` as its schema (see
+    :mod:`repro.protocols`): a spec like ``revocable:epsilon=0.25`` builds
+    the :func:`default_scaled_schedule` with those constants and runs this
+    entry point.
     """
     if schedule is None:
         schedule = default_scaled_schedule(topology)

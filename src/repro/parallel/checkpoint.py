@@ -258,14 +258,25 @@ class CheckpointStore:
 # --------------------------------------------------------------------------- #
 
 
-def shard_checkpoint_path(base: Union[str, Path], index: int, count: int) -> Path:
-    """The checkpoint file of shard ``index`` of an ``index/count`` split.
+def shard_checkpoint_path(
+    base: Union[str, Path],
+    index: int,
+    count: int,
+    *,
+    default_suffix: str = ".json",
+) -> Path:
+    """The per-shard file of shard ``index`` of an ``index/count`` split.
 
-    Derived from the base checkpoint path so the shard files of one sweep
-    sit next to each other: ``sweep.json`` -> ``sweep.shard0of2.json``.
+    Derived from the base path so the shard files of one sweep sit next
+    to each other: ``sweep.json`` -> ``sweep.shard0of2.json``.  This is
+    the single source of the shard-file naming scheme — the CLI reuses it
+    (with ``default_suffix=".jsonl"``) for per-shard JSONL exports, so
+    checkpoints and exports can never drift apart.
     """
     base = Path(base)
-    return base.with_name(f"{base.stem}.shard{index}of{count}{base.suffix or '.json'}")
+    return base.with_name(
+        f"{base.stem}.shard{index}of{count}{base.suffix or default_suffix}"
+    )
 
 
 def manifest_path(base: Union[str, Path]) -> Path:

@@ -51,7 +51,12 @@ from ..analysis.experiments import (
     execute_run,
     resolve_profile,
 )
-from ..analysis.streaming import CellAggregatingSink, CollectingSink, ResultSink
+from ..analysis.streaming import (
+    CellAggregatingSink,
+    CollectingSink,
+    ResultSink,
+    abort_sinks,
+)
 from ..core.errors import ConfigurationError, ReproError
 from ..election.base import LeaderElectionResult
 from ..graphs.properties import ExpansionProfile
@@ -85,10 +90,12 @@ def _execute_task(task: RunTask) -> Tuple[str, LeaderElectionResult, float]:
         result, elapsed = execute_run(task.runner, task.topology, task.seed)
     except Exception as error:
         adversary = f" under adversary {task.adversary}" if task.adversary else ""
+        protocol = f" with protocol {task.protocol}" if task.protocol else ""
         raise TaskExecutionError(
             f"run failed in spec {task.spec_name!r} on topology "
             f"{task.topology.name!r} (grid index {task.topology_index}, "
-            f"seed {task.seed}){adversary}: {type(error).__name__}: {error}\n"
+            f"seed {task.seed}){protocol}{adversary}: "
+            f"{type(error).__name__}: {error}\n"
             f"{traceback.format_exc()}"
         ) from error
     return task.key, result, elapsed
@@ -225,6 +232,44 @@ def run_experiments(
         for sink in all_sinks:
             sink.emit(spec_name, topology_index, seed_index, result, elapsed)
 
+    try:
+        results = _execute_and_assemble(
+            specs,
+            my_tasks,
+            consume,
+            store=store,
+            workers=workers,
+            start_method=start_method,
+            sharded=shard is not None,
+            profiles=profiles,
+            aggregates=aggregates,
+            collector=collector,
+        )
+    except BaseException:
+        # A run raised: abort the sinks — an export sink (JsonlSink)
+        # flushes the records of the runs that did complete without
+        # publishing an incomplete sweep.
+        abort_sinks(all_sinks)
+        raise
+    for sink in all_sinks:
+        sink.close()
+    return results
+
+
+def _execute_and_assemble(
+    specs,
+    my_tasks,
+    consume,
+    *,
+    store,
+    workers,
+    start_method,
+    sharded,
+    profiles,
+    aggregates,
+    collector,
+) -> List[ExperimentResult]:
+    """Run the pending tasks and assemble per-spec results (see caller)."""
     completed_keys = set()
     if store is not None:
         task_keys = {task.key for task in my_tasks}
@@ -262,7 +307,7 @@ def run_experiments(
         # round-robin slice is empty (grid smaller than k) must still
         # leave its (empty) checkpoint file behind, or the merge would
         # report the fully-executed split as missing a shard.
-        if store is not None and (pending or shard is not None):
+        if store is not None and (pending or sharded):
             store.flush()
 
     profiles = dict(profiles or {})
@@ -285,9 +330,8 @@ def run_experiments(
                         if collector is not None
                         else None
                     ),
+                    protocol=spec.protocol_token(),
                 )
             )
         results.append(experiment)
-    for sink in all_sinks:
-        sink.close()
     return results

@@ -64,6 +64,10 @@ class RunTask:
     #: stable token of the spec's adversary model ("" without one); part of
     #: the task identity so checkpoints never mix execution models.
     adversary: str = ""
+    #: stable token of the spec's protocol configuration ("" for legacy
+    #: runner-callable specs); part of the task identity so checkpoints
+    #: never mix runs measured under different protocol constants.
+    protocol: str = ""
 
     @property
     def key(self) -> str:
@@ -75,6 +79,7 @@ class RunTask:
             self.seed_index,
             self.seed,
             self.adversary,
+            self.protocol,
         )
 
 
@@ -96,6 +101,7 @@ def task_key(
     seed_index: int,
     seed: int,
     adversary: str = "",
+    protocol: str = "",
 ) -> str:
     """Stable checkpoint identity of one run inside an experiment grid.
 
@@ -109,11 +115,20 @@ def task_key(
     keys the execution model the run was measured under, for the same
     reason: a robustness sweep resumed with a different fault model must
     re-run, not replay.
+
+    ``protocol`` (the spec's protocol-configuration token, "" for legacy
+    runner-callable specs) keys the protocol constants the run was
+    measured under.  It is appended as an extra segment *only when set*,
+    so checkpoints written before protocol specs existed keep their task
+    keys and still resume.
     """
-    return (
+    key = (
         f"{spec_name}|{topology_index}|{topology_name}|{fingerprint}"
         f"|{seed_index}|{seed}|{adversary}"
     )
+    if protocol:
+        key += f"|{protocol}"
+    return key
 
 
 def derive_cell_seed(
@@ -158,6 +173,7 @@ def expand_run_tasks(
     tasks: List[RunTask] = []
     runner = effective_runner(spec)
     adversary = spec.adversary.token() if spec.adversary is not None else ""
+    protocol = spec.protocol_token()
     for topology_index, topology in enumerate(spec.topologies):
         fingerprint = topology_fingerprint(topology)
         for seed_index, seed in enumerate(spec.seeds):
@@ -179,6 +195,7 @@ def expand_run_tasks(
                     seed_index=seed_index,
                     fingerprint=fingerprint,
                     adversary=adversary,
+                    protocol=protocol,
                 )
             )
     return tasks

@@ -1,0 +1,336 @@
+"""The protocol registry: names -> parameter schema + entry-point factory.
+
+This is the single source of truth for "what algorithms exist and what can
+be tuned on them".  Each entry is a :class:`ProtocolDefinition`: a factory
+``factory(topology, seed, **params)`` returning a
+:class:`~repro.election.base.LeaderElectionResult`, plus the
+:class:`~repro.protocols.schema.ProtocolSchema` describing the factory's
+tunable constants.  The CLI, the experiment engine and the workload
+builders all resolve protocol names here, so registering a protocol once
+makes it electable, comparable, sweepable, checkpointable and shardable
+everywhere.
+
+The built-in entries expose the paper's tunable constants: the
+irrevocable protocol's ``c``/``x_multiplier`` (Theorem 1's phase lengths
+and walk counts), the revocable schedule's ``epsilon``/``xi`` and
+``extra_estimates``, and the baselines' round/candidate constants.  All
+defaults equal the long-standing ``run_*_election`` defaults, so a
+default-configured registry run is bit-identical to the legacy entry
+points.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..baselines import (
+    run_flooding_election,
+    run_gilbert_election,
+    run_uniform_id_election,
+)
+from ..core.errors import ConfigurationError
+from ..election import run_irrevocable_election, run_revocable_election
+from ..election.base import LeaderElectionResult
+from ..election.revocable import default_scaled_schedule
+from ..graphs.topology import Topology
+from .schema import (
+    ParamSpec,
+    ProtocolSchema,
+    check_non_negative,
+    check_positive,
+    check_unit_open_closed,
+    check_unit_open_open,
+)
+
+__all__ = [
+    "PROTOCOLS",
+    "ProtocolDefinition",
+    "describe_protocols",
+    "protocol_by_name",
+    "register_protocol",
+    "run_protocol",
+]
+
+#: ``factory(topology, seed, **params) -> LeaderElectionResult``.
+ProtocolFactory = Callable[..., LeaderElectionResult]
+
+
+@dataclass(frozen=True)
+class ProtocolDefinition:
+    """One registered protocol: name, entry-point factory, schema, blurb."""
+
+    name: str
+    factory: ProtocolFactory
+    schema: ProtocolSchema
+    description: str = ""
+
+
+#: name -> definition.  Populated below; extendable via
+#: :func:`register_protocol` (e.g. by downstream experiments registering a
+#: custom protocol so it rides the same sweep machinery).
+PROTOCOLS: Dict[str, ProtocolDefinition] = {}
+
+
+def register_protocol(
+    name: str,
+    factory: ProtocolFactory,
+    *,
+    params: tuple = (),
+    description: str = "",
+    replace: bool = False,
+) -> ProtocolDefinition:
+    """Register a protocol under ``name`` with the given parameter schema.
+
+    ``name`` becomes part of spec strings (``name:k=v,...``) and checkpoint
+    task keys, so characters that would break either format are rejected.
+    Re-registering an existing name requires ``replace=True``.
+    """
+    for forbidden in ":|,=":
+        if forbidden in name:
+            raise ConfigurationError(
+                f"protocol name {name!r} may not contain {forbidden!r} "
+                f"(reserved by spec strings and checkpoint task keys)"
+            )
+    if not name:
+        raise ConfigurationError("protocol name must be non-empty")
+    if name in PROTOCOLS and not replace:
+        raise ConfigurationError(
+            f"protocol {name!r} is already registered; pass replace=True "
+            f"to override it"
+        )
+    definition = ProtocolDefinition(
+        name=name,
+        factory=factory,
+        schema=ProtocolSchema(params=tuple(params)),
+        description=description,
+    )
+    _check_schema_matches_factory(definition)
+    PROTOCOLS[name] = definition
+    return definition
+
+
+def _check_schema_matches_factory(definition: ProtocolDefinition) -> None:
+    """Reject schema/factory drift at registration time.
+
+    The schema's defaults are what ``repro-le protocols`` advertises and
+    what :meth:`~repro.protocols.spec.ProtocolSpec.canonical` dedups on;
+    the factory's keyword defaults are what actually runs.  They live in
+    different places, so a mismatch would silently misreport (and
+    mis-dedup) configurations — fail loudly instead, at import/registration
+    time.  Factories whose signature cannot be introspected, or that take
+    ``**kwargs``, are skipped.
+    """
+    try:
+        parameters = inspect.signature(definition.factory).parameters
+    except (TypeError, ValueError):  # pragma: no cover - builtins/extensions
+        return
+    if any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in parameters.values()
+    ):
+        return
+    for param in definition.schema.params:
+        declared = parameters.get(param.name)
+        if declared is None:
+            raise ConfigurationError(
+                f"protocol {definition.name!r} declares parameter "
+                f"{param.name!r} that its factory does not accept"
+            )
+        if (
+            declared.default is not inspect.Parameter.empty
+            and declared.default != param.default
+        ):
+            raise ConfigurationError(
+                f"protocol {definition.name!r} parameter {param.name!r}: "
+                f"schema default {param.default!r} does not match the "
+                f"factory default {declared.default!r}"
+            )
+
+
+def protocol_by_name(name: str) -> ProtocolDefinition:
+    """Look up a registered protocol, with a helpful error on a miss."""
+    try:
+        return PROTOCOLS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown protocol {name!r}; available: {sorted(PROTOCOLS)}"
+        ) from None
+
+
+def run_protocol(
+    name: str,
+    topology: Topology,
+    seed: Optional[int] = None,
+    **params: object,
+) -> LeaderElectionResult:
+    """Run one election of protocol ``name`` with the given parameters.
+
+    Parameters are validated against the protocol's schema (so a typo
+    raises :class:`~repro.core.errors.ConfigurationError` with the schema
+    spelled out) and coerced to their declared types before the factory is
+    invoked.
+    """
+    definition = protocol_by_name(name)
+    validated = definition.schema.validate(name, params)
+    return definition.factory(topology, seed, **validated)
+
+
+def describe_protocols() -> List[Dict[str, str]]:
+    """Report rows describing every registered protocol (CLI ``protocols``)."""
+    return [
+        {
+            "protocol": definition.name,
+            "parameters": definition.schema.describe(),
+            "description": definition.description,
+        }
+        for _, definition in sorted(PROTOCOLS.items())
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# built-in protocols
+# --------------------------------------------------------------------------- #
+#
+# The factories are module-level functions (not lambdas) so definitions —
+# and anything referencing them — stay picklable for the parallel engine's
+# worker processes.
+
+
+def _irrevocable_factory(
+    topology: Topology,
+    seed: Optional[int],
+    *,
+    c: float = 2.0,
+    x_multiplier: float = 2.0,
+) -> LeaderElectionResult:
+    return run_irrevocable_election(
+        topology, seed=seed, c=c, x_multiplier=x_multiplier
+    )
+
+
+def _revocable_factory(
+    topology: Topology,
+    seed: Optional[int],
+    *,
+    epsilon: float = 0.5,
+    xi: float = 0.1,
+    extra_estimates: int = 0,
+) -> LeaderElectionResult:
+    schedule = default_scaled_schedule(topology, epsilon=epsilon, xi=xi)
+    return run_revocable_election(
+        topology, seed=seed, schedule=schedule, extra_estimates=extra_estimates
+    )
+
+
+def _flooding_factory(
+    topology: Topology,
+    seed: Optional[int],
+    *,
+    c: float = 2.0,
+    all_nodes_compete: bool = False,
+) -> LeaderElectionResult:
+    return run_flooding_election(
+        topology, seed=seed, c=c, all_nodes_compete=all_nodes_compete
+    )
+
+
+def _gilbert_factory(
+    topology: Topology,
+    seed: Optional[int],
+    *,
+    c: float = 2.0,
+) -> LeaderElectionResult:
+    return run_gilbert_election(topology, seed=seed, c=c)
+
+
+def _uniform_factory(
+    topology: Topology,
+    seed: Optional[int],
+) -> LeaderElectionResult:
+    return run_uniform_id_election(topology, seed=seed)
+
+
+register_protocol(
+    "irrevocable",
+    _irrevocable_factory,
+    params=(
+        ParamSpec(
+            "c",
+            float,
+            2.0,
+            "phase-length constant (rounds per phase ~ c·t_mix·log n)",
+            check=check_positive,
+        ),
+        ParamSpec(
+            "x_multiplier",
+            float,
+            2.0,
+            "slack multiplier on the walks-per-candidate count x",
+            check=check_positive,
+        ),
+    ),
+    description="the paper's Theorem 1 protocol (known n)",
+)
+
+register_protocol(
+    "revocable",
+    _revocable_factory,
+    params=(
+        ParamSpec(
+            "epsilon",
+            float,
+            0.5,
+            "schedule growth exponent, in (0, 1]",
+            check=check_unit_open_closed,
+        ),
+        ParamSpec(
+            "xi",
+            float,
+            0.1,
+            "schedule failure-probability target, in (0, 1)",
+            check=check_unit_open_open,
+        ),
+        ParamSpec(
+            "extra_estimates",
+            int,
+            0,
+            "extra size-estimate doublings past Theorem 3's stopping point",
+            check=check_non_negative,
+        ),
+    ),
+    description="the paper's revocable protocol (unknown n)",
+)
+
+register_protocol(
+    "flooding",
+    _flooding_factory,
+    params=(
+        ParamSpec(
+            "c", float, 2.0, "candidate-sampling constant", check=check_positive
+        ),
+        ParamSpec(
+            "all_nodes_compete",
+            bool,
+            False,
+            "every node competes instead of sampled candidates",
+        ),
+    ),
+    description="Kutten et al.-style flooding baseline",
+)
+
+register_protocol(
+    "gilbert",
+    _gilbert_factory,
+    params=(
+        ParamSpec("c", float, 2.0, "round/candidate constant", check=check_positive),
+    ),
+    description="Gilbert et al. baseline",
+)
+
+register_protocol(
+    "uniform",
+    _uniform_factory,
+    description="every-node-competes flooding election",
+)

@@ -1,0 +1,226 @@
+"""Typed parameter schemas for protocol registrations.
+
+Every protocol in the registry (:mod:`repro.protocols.registry`) declares
+its tunable constants as a :class:`ProtocolSchema` — an ordered set of
+:class:`ParamSpec` entries carrying the parameter's type, default and a
+one-line description.  The schema is what turns a CLI string such as
+``irrevocable:c=3,x_multiplier=1.5`` into validated keyword arguments, and
+what makes configuration errors *explanatory*: an unknown parameter or a
+bad value is reported together with everything the protocol does accept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from ..core.errors import ConfigurationError
+
+__all__ = [
+    "ParamSpec",
+    "ProtocolSchema",
+    "check_non_negative",
+    "check_positive",
+    "check_unit_open_closed",
+    "check_unit_open_open",
+]
+
+#: Parameter types a schema may declare.  Values parsed from strings are
+#: coerced to exactly one of these (``bool`` before ``int`` — a bool *is*
+#: an int in Python, and "crashed=1" must not silently become the integer).
+_SUPPORTED_TYPES = (float, int, bool)
+
+_TRUE_WORDS = frozenset({"true", "yes", "on", "1"})
+_FALSE_WORDS = frozenset({"false", "no", "off", "0"})
+
+
+# Module-level range validators (picklable by reference — schemas travel
+# to worker processes inside ProtocolRunner).  Each returns an error
+# string, or None when the value is acceptable.
+
+
+def check_positive(value) -> Optional[str]:
+    return None if value > 0 else f"must be positive, got {value!r}"
+
+
+def check_non_negative(value) -> Optional[str]:
+    return None if value >= 0 else f"must be non-negative, got {value!r}"
+
+
+def check_unit_open_closed(value) -> Optional[str]:
+    return None if 0 < value <= 1 else f"must be in (0, 1], got {value!r}"
+
+
+def check_unit_open_open(value) -> Optional[str]:
+    return None if 0 < value < 1 else f"must be in (0, 1), got {value!r}"
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One tunable protocol constant: name, type, default, description.
+
+    ``check`` is an optional range validator (one of the module-level
+    ``check_*`` functions, or any picklable callable returning an error
+    string or ``None``): it runs at spec-construction time, so an
+    out-of-range constant fails at grid construction — with the schema
+    spelled out — rather than inside a worker process mid-sweep.
+    """
+
+    name: str
+    type: type
+    default: object
+    doc: str = ""
+    check: Optional[Callable[[object], Optional[str]]] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("parameter name must be non-empty")
+        for forbidden in ":|,=":
+            if forbidden in self.name:
+                # The same reserved set as protocol names: a ',' or '='
+                # in a parameter name would break the spec string
+                # round-trip, a '|' the checkpoint task-key segmentation.
+                raise ConfigurationError(
+                    f"parameter name {self.name!r} may not contain "
+                    f"{forbidden!r} (reserved by spec strings and "
+                    f"checkpoint task keys)"
+                )
+        if self.type not in _SUPPORTED_TYPES:
+            raise ConfigurationError(
+                f"parameter {self.name!r} declares unsupported type "
+                f"{self.type!r}; supported: float, int, bool"
+            )
+        # Coerce the declared default to the declared type: a float param
+        # declared with default 2 (int) would otherwise render "default 2"
+        # in the schema and desynchronise canonical() dedup, whose filled
+        # defaults must repr identically to coerced explicit values.
+        try:
+            object.__setattr__(self, "default", self.coerce(self.default))
+        except ValueError as error:
+            raise ConfigurationError(
+                f"bad default for parameter {self.name!r}: {error}"
+            ) from None
+        if self.check is not None:
+            complaint = self.check(self.default)
+            if complaint is not None:
+                raise ConfigurationError(
+                    f"bad default for parameter {self.name!r}: {complaint}"
+                )
+
+    def describe(self) -> str:
+        """Human-readable one-liner, e.g. ``"c (float, default 2.0)"``."""
+        return f"{self.name} ({self.type.__name__}, default {self.default!r})"
+
+    def coerce(self, value: object) -> object:
+        """Coerce ``value`` (possibly a CLI string) to this parameter's type.
+
+        Raises :class:`ValueError` on values that cannot represent the
+        declared type; the schema wraps it into a
+        :class:`~repro.core.errors.ConfigurationError` that names the
+        protocol and its full schema.
+        """
+        if self.type is bool:
+            return _coerce_bool(value)
+        if self.type is int:
+            return _coerce_int(value)
+        return _coerce_float(value)
+
+
+def _coerce_bool(value: object) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int) and value in (0, 1):
+        return bool(value)
+    if isinstance(value, str):
+        word = value.strip().lower()
+        if word in _TRUE_WORDS:
+            return True
+        if word in _FALSE_WORDS:
+            return False
+    raise ValueError(f"expected a boolean (true/false), got {value!r}")
+
+
+def _coerce_int(value: object) -> int:
+    if isinstance(value, bool):
+        raise ValueError(f"expected an integer, got {value!r}")
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        if value.is_integer():
+            return int(value)
+        raise ValueError(f"expected an integer, got {value!r}")
+    if isinstance(value, str):
+        return int(value.strip())
+    raise ValueError(f"expected an integer, got {value!r}")
+
+
+def _coerce_float(value: object) -> float:
+    if isinstance(value, bool):
+        raise ValueError(f"expected a number, got {value!r}")
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        return float(value.strip())
+    raise ValueError(f"expected a number, got {value!r}")
+
+
+@dataclass(frozen=True)
+class ProtocolSchema:
+    """The ordered parameter schema of one registered protocol."""
+
+    params: Tuple[ParamSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        names = [param.name for param in self.params]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate parameter names in schema: {names}")
+
+    def describe(self) -> str:
+        """The schema as one line: ``"c (float, default 2.0), ..."``."""
+        if not self.params:
+            return "(no parameters)"
+        return ", ".join(param.describe() for param in self.params)
+
+    def param(self, name: str) -> ParamSpec:
+        for param in self.params:
+            if param.name == name:
+                return param
+        raise KeyError(name)
+
+    def validate(
+        self, protocol_name: str, params: Mapping[str, object]
+    ) -> Dict[str, object]:
+        """Coerce and validate a parameter mapping against this schema.
+
+        Returns the coerced parameters (only those supplied — defaults are
+        left to the protocol factory so the schema and the factory can
+        never disagree on them).  Unknown names and uncoercible values
+        raise :class:`~repro.core.errors.ConfigurationError` messages that
+        spell out the full schema, so a typo on the command line teaches
+        the caller the protocol's actual knobs.
+        """
+        known = {param.name: param for param in self.params}
+        validated: Dict[str, object] = {}
+        for name, value in params.items():
+            param = known.get(name)
+            if param is None:
+                raise ConfigurationError(
+                    f"{protocol_name} does not accept parameter {name!r}; "
+                    f"{protocol_name} accepts: {self.describe()}"
+                )
+            try:
+                coerced = param.coerce(value)
+            except ValueError as error:
+                raise ConfigurationError(
+                    f"bad value for {protocol_name} parameter {name!r}: {error}; "
+                    f"{protocol_name} accepts: {self.describe()}"
+                ) from None
+            if param.check is not None:
+                complaint = param.check(coerced)
+                if complaint is not None:
+                    raise ConfigurationError(
+                        f"bad value for {protocol_name} parameter {name!r}: "
+                        f"{complaint}; {protocol_name} accepts: {self.describe()}"
+                    )
+            validated[name] = coerced
+        return validated

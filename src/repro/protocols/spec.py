@@ -1,0 +1,139 @@
+"""Declarative, picklable protocol specifications.
+
+A :class:`ProtocolSpec` is the protocol-side twin of
+:class:`~repro.dynamics.spec.AdversarySpec`: a registered protocol name
+plus a frozen, schema-validated parameter mapping.  It is hashable and
+picklable (so the parallel engine ships it to workers inside an
+:class:`~repro.analysis.experiments.ExperimentSpec`), renders a stable
+:meth:`~ProtocolSpec.token` that becomes part of checkpoint task keys,
+and round-trips through its string form::
+
+    ProtocolSpec.parse("irrevocable:c=3,x_multiplier=1.5")
+    str(spec) == "irrevocable:c=3.0,x_multiplier=1.5"
+    ProtocolSpec.parse(str(spec)) == spec          # parse -> str -> parse
+
+Values are coerced to the schema's declared types at construction time
+(``c=3`` and ``c=3.0`` build the *same* spec), so equal configurations
+hash equal and produce identical task keys no matter how they were
+spelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+from ..core.errors import ConfigurationError
+from .registry import ProtocolDefinition, protocol_by_name
+
+__all__ = ["ProtocolSpec", "parse_protocol_params"]
+
+
+def parse_protocol_params(text: str, *, context: str = "") -> Dict[str, str]:
+    """Parse the ``k=v,...`` tail of a protocol spec string into raw strings.
+
+    Type coercion is left to the protocol's schema (it knows whether
+    ``"1"`` means the integer 1 or the boolean True); this function only
+    enforces the ``key=value[,key=value...]`` shape.
+    """
+    where = f" in {context!r}" if context else ""
+    params: Dict[str, str] = {}
+    for item in text.split(","):
+        key, sep, raw = item.partition("=")
+        key = key.strip()
+        if not sep or not key:
+            raise ConfigurationError(
+                f"bad protocol parameter {item!r}{where}; expected key=value"
+            )
+        if key in params:
+            raise ConfigurationError(
+                f"duplicate protocol parameter {key!r}{where}"
+            )
+        params[key] = raw.strip()
+    return params
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """A named protocol plus its (validated) parameters, grid-ready.
+
+    ``params`` is stored as a sorted tuple of ``(key, value)`` pairs so
+    that equal specs hash equal and the :meth:`token` is stable no matter
+    the keyword order the spec was built with.  Build instances through
+    :meth:`create` or :meth:`parse` — both validate against the protocol's
+    schema, so a typo'd parameter name or an uncoercible value surfaces at
+    grid-construction time, not inside a worker process mid-sweep.
+    """
+
+    name: str
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    @classmethod
+    def create(cls, name: str, **params: object) -> "ProtocolSpec":
+        """Build a validated spec for protocol ``name``.
+
+        Unknown protocols, unknown parameters and type errors all raise
+        :class:`~repro.core.errors.ConfigurationError`, the latter two
+        with the protocol's full parameter schema in the message.
+        """
+        definition = protocol_by_name(name)
+        validated = definition.schema.validate(name, params)
+        return cls(name=name, params=tuple(sorted(validated.items())))
+
+    @classmethod
+    def parse(cls, text: str) -> "ProtocolSpec":
+        """Parse the CLI spelling, e.g. ``"irrevocable:c=3,x_multiplier=1.5"``.
+
+        A bare name (``"irrevocable"``) selects the protocol at its
+        default configuration.
+        """
+        name, sep, tail = text.partition(":")
+        name = name.strip()
+        if sep and not tail.strip():
+            raise ConfigurationError(
+                f"bad protocol spec {text!r}; expected key=value after ':'"
+            )
+        params = parse_protocol_params(tail, context=text) if sep else {}
+        return cls.create(name, **params)
+
+    def __str__(self) -> str:
+        if not self.params:
+            return self.name
+        inner = ",".join(f"{key}={value!r}" for key, value in self.params)
+        return f"{self.name}:{inner}"
+
+    def token(self) -> str:
+        """Stable identity string (the parseable spec form).
+
+        Becomes part of checkpoint task keys, so a sweep resumed with a
+        different protocol configuration re-runs instead of replaying
+        results measured under different constants.
+        """
+        return str(self)
+
+    def definition(self) -> ProtocolDefinition:
+        """This spec's registry entry."""
+        return protocol_by_name(self.name)
+
+    def canonical(self) -> str:
+        """The *configuration's* identity: every schema parameter, defaults
+        filled in.
+
+        Two specs with equal :meth:`canonical` strings run identical code
+        — ``flooding`` and ``flooding:c=2.0`` are distinct specs (and
+        distinct :meth:`token`\\ s, since explicitness is part of a spec's
+        identity) but the same configuration.  Grid builders use this to
+        reject accidentally-duplicated cells.
+        """
+        full = {
+            param.name: param.default
+            for param in self.definition().schema.params
+        }
+        full.update(dict(self.params))
+        if not full:
+            return self.name
+        inner = ",".join(f"{key}={value!r}" for key, value in sorted(full.items()))
+        return f"{self.name}:{inner}"
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "params": dict(self.params)}

@@ -2,10 +2,13 @@
 
 from .suites import (
     DYNAMIC_SCENARIOS,
+    PROTOCOL_SCENARIOS,
     SUITES,
     dynamic_scenario,
     mixed_suite,
+    param_grid,
     poorly_connected_suite,
+    protocol_scenario,
     scaling_family,
     suite_by_name,
     sweep_specs,
@@ -15,8 +18,11 @@ from .suites import (
 
 __all__ = [
     "DYNAMIC_SCENARIOS",
+    "PROTOCOL_SCENARIOS",
     "SUITES",
     "dynamic_scenario",
+    "param_grid",
+    "protocol_scenario",
     "suite_by_name",
     "sweep_specs",
     "well_connected_suite",

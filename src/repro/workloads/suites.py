@@ -16,14 +16,26 @@ so a suite is fully reproducible.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
+import itertools
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from ..core.errors import ConfigurationError
 from ..graphs import generators
 from ..graphs.topology import Topology
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis.experiments import ExperimentSpec
     from ..dynamics.spec import AdversarySpec
+    from ..protocols.spec import ProtocolSpec
 
 __all__ = [
     "well_connected_suite",
@@ -34,9 +46,17 @@ __all__ = [
     "SUITES",
     "suite_by_name",
     "sweep_specs",
+    "param_grid",
     "DYNAMIC_SCENARIOS",
     "dynamic_scenario",
+    "PROTOCOL_SCENARIOS",
+    "protocol_scenario",
 ]
+
+#: What a sweep accepts as one algorithm: a registered runner name
+#: ("flooding"), a protocol spec string with parameters
+#: ("irrevocable:c=3"), or a ready :class:`~repro.protocols.spec.ProtocolSpec`.
+Algorithm = Union[str, "ProtocolSpec"]
 
 
 def well_connected_suite(sizes: Sequence[int] = (32, 64, 128), *, seed: int = 7) -> List[Topology]:
@@ -134,7 +154,7 @@ def suite_by_name(name: str, **kwargs) -> List[Topology]:
 
 
 def sweep_specs(
-    algorithms: Sequence[str],
+    algorithms: Sequence[Algorithm],
     topologies: Sequence[Topology],
     *,
     seeds: Sequence[int] = (0, 1, 2),
@@ -143,27 +163,114 @@ def sweep_specs(
 ) -> List["ExperimentSpec"]:
     """Build one :class:`~repro.analysis.experiments.ExperimentSpec` per algorithm.
 
-    ``algorithms`` are names from :data:`repro.analysis.runners.RUNNERS`,
-    so the resulting specs are picklable and can be handed directly to the
-    parallel engine (``repro.parallel.run_experiments``) or to the CLI's
-    ``sweep`` command.  ``adversary`` attaches one fault model
-    (:class:`~repro.dynamics.spec.AdversarySpec`) to every spec; use
-    :func:`repro.dynamics.robustness_specs` for full (algorithm ×
-    adversary) grids.
+    Each entry of ``algorithms`` is either a plain runner name from
+    :data:`repro.analysis.runners.RUNNERS` ("flooding" — the legacy path,
+    keeping long-standing checkpoint task keys), a protocol spec string
+    with parameters ("irrevocable:c=3,x_multiplier=1.5"), or a ready
+    :class:`~repro.protocols.spec.ProtocolSpec` (e.g. from
+    :func:`param_grid`).  Either way the resulting specs are picklable and
+    can be handed directly to the parallel engine
+    (``repro.parallel.run_experiments``) or to the CLI's ``sweep``
+    command; parameterised variants are named by their spec token, so two
+    variants of the same algorithm occupy distinct cells.  ``adversary``
+    attaches one fault model (:class:`~repro.dynamics.spec.AdversarySpec`)
+    to every spec; use :func:`repro.dynamics.robustness_specs` for full
+    (algorithm × adversary) grids.
     """
     from ..analysis.experiments import ExperimentSpec
-    from ..analysis.runners import runner_by_name
+    from ..analysis.runners import RUNNERS, runner_by_name
+    from ..protocols.spec import ProtocolSpec
 
-    return [
-        ExperimentSpec(
-            name=name if adversary is None else f"{name}@{adversary.token()}",
-            runner=runner_by_name(name),
-            topologies=list(topologies),
-            seeds=tuple(seeds),
-            collect_profile=collect_profile,
-            adversary=adversary,
+    specs: List["ExperimentSpec"] = []
+    spellings: Dict[str, str] = {}
+    for algorithm in algorithms:
+        protocol: Optional[ProtocolSpec] = None
+        if isinstance(algorithm, ProtocolSpec):
+            protocol = algorithm
+        elif ":" in algorithm or algorithm not in RUNNERS:
+            # Parameterised spec strings, and bare names of protocols
+            # registered after the fact (register_protocol): both resolve
+            # through the protocol registry.  Only the built-in names take
+            # the legacy-runner path, which keeps their pre-protocol
+            # checkpoint task keys.
+            protocol = ProtocolSpec.parse(algorithm)
+        base = algorithm if protocol is None else protocol.token()
+        name = base if adversary is None else f"{base}@{adversary.token()}"
+        # Catch same-configuration collisions here, where the original
+        # spellings are still in hand: "flooding:c=2" and "flooding:c=2.00"
+        # coerce to one token, and "flooding" vs "flooding:c=2.0" differ
+        # only in spelling out the default — either way the sweep would
+        # measure one configuration twice (the engine's later unique-name
+        # check would quote names the user never typed, or miss the
+        # legacy-name case entirely).
+        if protocol is not None:
+            canonical = protocol.canonical()
+        else:
+            try:
+                canonical = ProtocolSpec.create(algorithm).canonical()
+            except ConfigurationError:
+                # A runner registered only in the legacy RUNNERS dict (no
+                # protocol-registry entry): its name is its configuration.
+                canonical = algorithm
+        spelling = str(algorithm)
+        if canonical in spellings:
+            raise ConfigurationError(
+                f"algorithms {spellings[canonical]!r} and {spelling!r} are "
+                f"the same configuration ({canonical})"
+            )
+        spellings[canonical] = spelling
+        algorithm_source = (
+            {"runner": runner_by_name(algorithm)}
+            if protocol is None
+            else {"protocol": protocol}
         )
-        for name in algorithms
+        specs.append(
+            ExperimentSpec(
+                name=name,
+                topologies=list(topologies),
+                seeds=tuple(seeds),
+                collect_profile=collect_profile,
+                adversary=adversary,
+                **algorithm_source,
+            )
+        )
+    return specs
+
+
+def param_grid(name: str, **axes: object) -> List["ProtocolSpec"]:
+    """Expand one protocol's parameter grid into a list of spec variants.
+
+    Every keyword is a parameter of protocol ``name``; list/tuple values
+    are swept axes, scalars are pinned.  The cross-product is enumerated
+    with axes in sorted parameter order (deterministic regardless of
+    keyword order), each combination validated against the protocol's
+    schema::
+
+        param_grid("irrevocable", c=[1.5, 2.0, 3.0])
+        # -> [irrevocable:c=1.5, irrevocable:c=2.0, irrevocable:c=3.0]
+        param_grid("irrevocable", c=[2.0, 3.0], x_multiplier=1.5)
+        # -> two variants, x_multiplier pinned on both
+
+    Feed the result straight to :func:`sweep_specs` (or concatenate grids
+    of several protocols) — a paper-style cost-vs-parameter curve is one
+    sweep away.
+    """
+    from ..protocols.spec import ProtocolSpec
+
+    items = sorted(axes.items())
+    value_lists: List[List[object]] = [
+        list(values) if isinstance(values, (list, tuple)) else [values]
+        for _, values in items
+    ]
+    for (key, _), values in zip(items, value_lists):
+        if not values:
+            raise ConfigurationError(
+                f"param_grid axis {key!r} for {name!r} must not be empty"
+            )
+    names = [key for key, _ in items]
+    return [
+        ProtocolSpec.create(name, **dict(zip(names, combo)))
+        for combo in itertools.product(*value_lists)
     ]
 
 
@@ -266,5 +373,48 @@ def dynamic_scenario(name: str) -> List[Optional["AdversarySpec"]]:
         raise ConfigurationError(
             f"unknown dynamic scenario {name!r}; available: "
             f"{sorted(DYNAMIC_SCENARIOS)}"
+        ) from None
+    return builder()
+
+
+# --------------------------------------------------------------------------- #
+# protocol (parameter-ladder) scenario suites
+# --------------------------------------------------------------------------- #
+
+
+def paper_constants_scenario() -> List["ProtocolSpec"]:
+    """The paper's tunable constants dialled around their defaults.
+
+    A ladder of ``irrevocable`` variants sweeping Theorem 1's phase-length
+    constant ``c`` and the walk-count multiplier ``x_multiplier`` one at a
+    time, default configuration first — the cells needed for the paper's
+    cost-vs-constant curves in a single sweep.
+    """
+    from ..protocols.spec import ProtocolSpec
+
+    return (
+        [ProtocolSpec.create("irrevocable")]
+        + param_grid("irrevocable", c=[1.5, 3.0])
+        + param_grid("irrevocable", x_multiplier=[1.0, 3.0])
+    )
+
+
+#: Named protocol-parameter ladders.  Where :data:`DYNAMIC_SCENARIOS`
+#: dials the execution model, these dial the protocols' own constants;
+#: each builder returns the algorithm list of one sweep
+#: (``repro-le sweep --scenario paper-constants``).
+PROTOCOL_SCENARIOS: Dict[str, Callable[[], List["ProtocolSpec"]]] = {
+    "paper-constants": paper_constants_scenario,
+}
+
+
+def protocol_scenario(name: str) -> List["ProtocolSpec"]:
+    """Look up a named protocol scenario (a ladder of protocol variants)."""
+    try:
+        builder = PROTOCOL_SCENARIOS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown protocol scenario {name!r}; available: "
+            f"{sorted(PROTOCOL_SCENARIOS)}"
         ) from None
     return builder()
