@@ -31,6 +31,9 @@ Sinks
 * :class:`JsonlSink` — streams one JSON record per run to a ``.jsonl``
   file (``repro-le sweep --jsonl out.jsonl``), so per-run data reaches
   offline analysis without retaining anything in memory;
+* :class:`ProgressSink` — periodically logs ``completed/total`` runs
+  (``repro-le sweep --progress``), so long sharded sweeps running on
+  other machines stay observable from their job logs;
 * any user-supplied object implementing :class:`ResultSink` can be passed
   to the experiment drivers (``sinks=...``) to observe runs as they
   complete (progress bars, live dashboards, external writers).
@@ -42,9 +45,10 @@ import json
 import math
 import os
 import shutil
+import sys
 from fractions import Fraction
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, TextIO, Tuple, Union
 
 from ..election.base import LeaderElectionResult, SafetyTally
 
@@ -53,6 +57,7 @@ __all__ = [
     "CellAggregatingSink",
     "CollectingSink",
     "JsonlSink",
+    "ProgressSink",
     "ResultSink",
     "abort_sinks",
 ]
@@ -298,6 +303,65 @@ class CollectingSink(ResultSink):
         """The cell's runs in grid (seed) order, regardless of completion order."""
         cell = self._runs.get((spec_name, topology_index), {})
         return [cell[index] for index in sorted(cell)]
+
+
+class ProgressSink(ResultSink):
+    """Periodic ``completed/total`` progress lines for long sweeps.
+
+    The multi-machine progress report: each job of a sharded sweep
+    attaches one (``repro-le sweep --shard 2/8 --progress``) and its log
+    shows how far *its slice* has come — including runs restored from the
+    shard's checkpoint, which stream through the sinks like fresh ones.
+
+    Reporting is count-based, hence deterministic: a line every ``every``
+    completed runs (default: ~5% of ``total``, every 25 runs when the
+    total is unknown) plus a final line at close.  Lines go to ``stream``
+    (default ``stderr``, keeping stdout's result tables clean)::
+
+        progress[shard 2/8]: 48/96 runs (50.0%)
+    """
+
+    def __init__(
+        self,
+        total: Optional[int] = None,
+        *,
+        label: str = "",
+        every: Optional[int] = None,
+        stream: Optional[TextIO] = None,
+    ) -> None:
+        if total is not None and total < 0:
+            raise ValueError(f"total must be >= 0, got {total}")
+        if every is not None and every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self._total = total
+        self._label = f"[{label}]" if label else ""
+        self._every = every if every is not None else (
+            max(1, total // 20) if total else 25
+        )
+        self._stream = stream
+        self._count = 0
+        self._reported_at = -1
+
+    def _report(self) -> None:
+        if self._total:
+            detail = f"{self._count}/{self._total} runs ({self._count / self._total:.1%})"
+        else:
+            detail = f"{self._count} runs"
+        stream = self._stream if self._stream is not None else sys.stderr
+        print(f"progress{self._label}: {detail}", file=stream, flush=True)
+        self._reported_at = self._count
+
+    def emit(self, spec_name, topology_index, seed_index, result, wall_clock_seconds):
+        self._count += 1
+        if self._count % self._every == 0 or self._count == self._total:
+            self._report()
+
+    def close(self) -> None:
+        # The final count is always reported, even for an empty shard
+        # slice — "0 runs" tells the operator the job ran and had nothing
+        # to do, which silence would not.
+        if self._count != self._reported_at:
+            self._report()
 
 
 class JsonlSink(ResultSink):

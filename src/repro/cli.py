@@ -156,38 +156,22 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0 if all(row["unique leader"] for row in rows) else 1
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
-    from .analysis import summarize_results
-    from .analysis.streaming import JsonlSink
-    from .election.base import SafetyTally
-    from .parallel import parse_shard, run_experiments
+def build_sweep_specs(args: argparse.Namespace, topologies: Sequence[Topology]):
+    """Expand the parsed ``sweep`` arguments into experiment specs.
+
+    Returns ``(specs, adversarial)`` where ``adversarial`` says whether
+    the grid injects faults (and the sweep's exit criterion becomes the
+    safety verdict).  Split out of :func:`_cmd_sweep` so the scenario
+    registries' CLI spelling is testable without running a sweep.
+    """
     from .workloads import (
         DYNAMIC_SCENARIOS,
         PROTOCOL_SCENARIOS,
         dynamic_scenario,
         protocol_scenario,
-        suite_by_name,
         sweep_specs,
     )
 
-    if args.workers < 1:
-        raise ReproError(f"--workers must be >= 1, got {args.workers}")
-    if args.adversary and args.scenario:
-        raise ReproError("--adversary and --scenario are mutually exclusive")
-    if args.adversary_param and not args.adversary:
-        raise ReproError("--adversary-param requires --adversary")
-    if args.checkpoint_compact and not args.checkpoint:
-        raise ReproError("--checkpoint-compact requires --checkpoint")
-    shard = None
-    if args.shard is not None:
-        if not args.checkpoint:
-            raise ReproError(
-                "--shard requires --checkpoint (shard results must be "
-                "persisted so `repro-le merge` can fold them together)"
-            )
-        shard = parse_shard(args.shard)
-
-    topologies = suite_by_name(args.suite)
     algorithms = args.algorithms or ["flooding", "gilbert"]
     adversarial = bool(args.adversary or args.scenario in DYNAMIC_SCENARIOS)
     if args.scenario and args.scenario in PROTOCOL_SCENARIOS:
@@ -237,6 +221,35 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             collect_profile=not args.no_profile,
             adversary=adversary,
         )
+    return specs, adversarial
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .analysis import summarize_results
+    from .analysis.streaming import JsonlSink, ProgressSink
+    from .election.base import SafetyTally
+    from .parallel import parse_shard, run_experiments
+    from .workloads import DYNAMIC_SCENARIOS, suite_by_name
+
+    if args.workers < 1:
+        raise ReproError(f"--workers must be >= 1, got {args.workers}")
+    if args.adversary and args.scenario:
+        raise ReproError("--adversary and --scenario are mutually exclusive")
+    if args.adversary_param and not args.adversary:
+        raise ReproError("--adversary-param requires --adversary")
+    if args.checkpoint_compact and not args.checkpoint:
+        raise ReproError("--checkpoint-compact requires --checkpoint")
+    shard = None
+    if args.shard is not None:
+        if not args.checkpoint:
+            raise ReproError(
+                "--shard requires --checkpoint (shard results must be "
+                "persisted so `repro-le merge` can fold them together)"
+            )
+        shard = parse_shard(args.shard)
+
+    topologies = suite_by_name(args.suite)
+    specs, adversarial = build_sweep_specs(args, topologies)
     jsonl = args.jsonl
     if jsonl and shard is not None:
         # Same naming as the per-shard checkpoints: k jobs sharing one
@@ -247,7 +260,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             jsonl, shard[0], shard[1], default_suffix=".jsonl"
         )
         print(f"shard {shard[0]}/{shard[1]}: writing JSONL export to {jsonl}")
-    sinks = [JsonlSink(jsonl)] if jsonl else []
+    sinks: List[object] = [JsonlSink(jsonl)] if jsonl else []
+    if args.progress:
+        # Count this job's slice, not the whole grid: a sharded job owns
+        # the round-robin slice i, i+k, i+2k, ... of the pooled task list.
+        total = sum(len(spec.topologies) * len(spec.seeds) for spec in specs)
+        label = ""
+        if shard is not None:
+            total = len(range(shard[0], total, shard[1]))
+            label = f"shard {shard[0]}/{shard[1]}"
+        sinks.append(ProgressSink(total, label=label))
     results = run_experiments(
         specs,
         workers=args.workers,
@@ -288,6 +310,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 title="safety under faults",
             )
         )
+        if args.scenario in DYNAMIC_SCENARIOS:
+            # A scenario ladder has a dial axis: fold the cells into the
+            # success/safety-vs-p curves the ladder exists to measure
+            # (the same curves benchmarks/bench_robustness.py tracks).
+            from .analysis.robustness import curve_rows, fold_experiments
+
+            rows = curve_rows(fold_experiments(specs, results))
+            if rows:
+                print()
+                print(
+                    render_table(
+                        rows, title="robustness curves (success/safety vs p)"
+                    )
+                )
         for violation in safety["violations"]:
             print(f"SAFETY VIOLATION: {violation}", file=sys.stderr)
         return 0 if not safety["violations"] else 1
@@ -471,6 +507,13 @@ def build_parser() -> argparse.ArgumentParser:
         "the protocol token); per-run export without keeping results "
         "in memory. With --shard I/K each job writes its own "
         "PATH-derived .shardIofK file",
+    )
+    sweep.add_argument(
+        "--progress",
+        action="store_true",
+        help="periodically log completed/total runs to stderr (a sharded "
+        "job reports its own slice, so multi-machine sweeps stay "
+        "observable from their job logs)",
     )
     sweep.add_argument(
         "--start-method",

@@ -25,6 +25,7 @@ bit-identically to serial execution (``tests/test_dynamics.py``).
 """
 
 from .adversaries import (
+    AsynchronyAdversary,
     ComposedAdversary,
     CrashStopAdversary,
     LinkChurnAdversary,
@@ -47,6 +48,7 @@ __all__ = [
     "ADVERSARIES",
     "AdversarySpec",
     "AdversarialRunner",
+    "AsynchronyAdversary",
     "ComposedAdversary",
     "CrashStopAdversary",
     "LinkChurnAdversary",

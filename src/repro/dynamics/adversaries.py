@@ -8,6 +8,9 @@ process, worker count, or multiprocessing start method):
 
 * :class:`MessageLossAdversary` — i.i.d. per-message loss;
 * :class:`MessageDelayAdversary` — i.i.d. per-message bounded delay;
+* :class:`AsynchronyAdversary` — persistent per-link round skew (each
+  link draws a fixed lateness once; every message over it arrives that
+  many rounds late);
 * :class:`LinkChurnAdversary` — per-link up/down Markov churn with an
   effective-topology connectivity account;
 * :class:`CrashStopAdversary` — seeded crash-stop node failures;
@@ -38,6 +41,7 @@ __all__ = [
     "SeededAdversary",
     "MessageLossAdversary",
     "MessageDelayAdversary",
+    "AsynchronyAdversary",
     "LinkChurnAdversary",
     "CrashStopAdversary",
     "ComposedAdversary",
@@ -168,6 +172,94 @@ class MessageDelayAdversary(SeededAdversary):
             "name": self.name,
             "p": self.p,
             "max_delay": self.max_delay,
+            "seed": self.seed,
+        }
+
+
+class AsynchronyAdversary(SeededAdversary):
+    """Persistent per-link round skew: bounded asynchrony per link.
+
+    At attach time each link independently becomes *skewed* with
+    probability ``p`` and draws a fixed lateness uniform in
+    ``1..max_skew``.  Every message traversing a skewed link — in either
+    direction, for the whole run — arrives that many rounds late.
+
+    This is a different execution model from
+    :class:`MessageDelayAdversary`, whose delays are i.i.d. per message:
+    here the *same* links are consistently slow, so the network behaves
+    like a round-synchronous system whose links run on skewed clocks.  A
+    skewed link pipelines cleanly (one message per round keeps arriving,
+    just ``skew`` rounds behind), but information spreading along fixed
+    routes is permanently out of phase — exactly the round-synchrony the
+    paper's mixing-time and broadcast arguments lean on, which no
+    bounded-delay i.i.d. model perturbs persistently.
+
+    Metrics: ``fault.skewed-links`` records the number of skewed links
+    once per simulator, and the lateness of each skewed link is traced as
+    a ``link-skew`` event at the first round.
+    """
+
+    name = "skew"
+
+    def __init__(
+        self,
+        p: float = 0.3,
+        max_skew: int = 3,
+        *,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(seed=seed)
+        self.p = _check_probability("p", p)
+        if int(max_skew) < 1:
+            raise ConfigurationError(f"max_skew must be >= 1, got {max_skew}")
+        self.max_skew = int(max_skew)
+        self._skew: Dict[tuple, int] = {}
+        self._traced = False
+
+    def attach(
+        self,
+        topology: Topology,
+        metrics: MetricsCollector,
+        trace: TraceRecorder,
+    ) -> None:
+        super().attach(topology, metrics, trace)
+        rng = self._rng
+        self._skew = {}
+        self._traced = False
+        # topology.edges() iterates the sorted edge tuple, so the draw
+        # order — and with it the RNG stream — is deterministic.
+        for edge in topology.edges():
+            if rng.random() < self.p:
+                self._skew[edge] = rng.randint(1, self.max_skew)
+        if self._skew:
+            metrics.record_event("fault.skewed-links", len(self._skew))
+
+    def begin_round(self, round_index: int) -> None:
+        if not self._traced:
+            self._traced = True
+            for edge, skew in self._skew.items():
+                self.trace.record(round_index, "link-skew", edge=edge, skew=skew)
+
+    def link_skew(self, u: int, v: int) -> int:
+        """The persistent lateness of link ``(u, v)`` (0 when unskewed)."""
+        return self._skew.get(normalize_edge(u, v), 0)
+
+    def on_message(
+        self,
+        round_index: int,
+        sender: int,
+        sender_port: int,
+        receiver: int,
+        receiver_port: int,
+        message: Message,
+    ) -> int:
+        return self._skew.get(normalize_edge(sender, receiver), DELIVER)
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "p": self.p,
+            "max_skew": self.max_skew,
             "seed": self.seed,
         }
 

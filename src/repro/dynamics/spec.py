@@ -21,6 +21,7 @@ from typing import Any, Callable, Dict, Optional, Sequence, Tuple, Type
 from ..core.errors import ConfigurationError
 from ..core.faults import FaultAdversary
 from .adversaries import (
+    AsynchronyAdversary,
     ComposedAdversary,
     CrashStopAdversary,
     LinkChurnAdversary,
@@ -44,6 +45,7 @@ __all__ = [
 ADVERSARIES: Dict[str, Type[FaultAdversary]] = {
     MessageLossAdversary.name: MessageLossAdversary,
     MessageDelayAdversary.name: MessageDelayAdversary,
+    AsynchronyAdversary.name: AsynchronyAdversary,
     LinkChurnAdversary.name: LinkChurnAdversary,
     CrashStopAdversary.name: CrashStopAdversary,
     ComposedAdversary.name: ComposedAdversary,

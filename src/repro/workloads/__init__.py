@@ -9,6 +9,7 @@ from .suites import (
     param_grid,
     poorly_connected_suite,
     protocol_scenario,
+    robustness_curves,
     scaling_family,
     suite_by_name,
     sweep_specs,
@@ -23,6 +24,7 @@ __all__ = [
     "dynamic_scenario",
     "param_grid",
     "protocol_scenario",
+    "robustness_curves",
     "suite_by_name",
     "sweep_specs",
     "well_connected_suite",

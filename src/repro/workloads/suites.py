@@ -47,6 +47,7 @@ __all__ = [
     "suite_by_name",
     "sweep_specs",
     "param_grid",
+    "robustness_curves",
     "DYNAMIC_SCENARIOS",
     "dynamic_scenario",
     "PROTOCOL_SCENARIOS",
@@ -274,6 +275,50 @@ def param_grid(name: str, **axes: object) -> List["ProtocolSpec"]:
     ]
 
 
+def robustness_curves(
+    name: str,
+    topologies: Sequence[Topology],
+    *,
+    scenario: Union[str, Sequence[Optional["AdversarySpec"]]] = "lossy",
+    seeds: Sequence[int] = (0, 1, 2),
+    collect_profile: bool = False,
+    **axes: object,
+) -> List["ExperimentSpec"]:
+    """Cross one protocol's parameter grid with an adversary ladder.
+
+    The "retuned protocol under faults" grid in one call: every
+    :func:`param_grid` variant of protocol ``name`` (keyword axes; a bare
+    ``name`` with no axes sweeps the default configuration only) runs
+    under every rung of ``scenario`` — a :data:`DYNAMIC_SCENARIOS` name
+    or an explicit adversary ladder (``None`` entries are the unperturbed
+    baseline).  The resulting specs shard, parallelise and checkpoint
+    like any others, and their streamed runs fold directly into
+    success/safety-vs-``p`` curves via
+    :mod:`repro.analysis.robustness`::
+
+        robustness_curves("irrevocable", tiny_suite(),
+                          scenario="skewed", c=[1.5, 2.0, 3.0])
+        # 3 protocol variants × 4 ladder rungs = 12 experiment specs
+    """
+    from ..dynamics.sweeps import robustness_specs
+
+    algorithms: List[Algorithm] = (
+        list(param_grid(name, **axes)) if axes else [name]
+    )
+    ladder = dynamic_scenario(scenario) if isinstance(scenario, str) else list(scenario)
+    if not ladder:
+        raise ConfigurationError(
+            "robustness_curves needs a non-empty adversary ladder"
+        )
+    return robustness_specs(
+        algorithms,
+        topologies,
+        ladder,
+        seeds=seeds,
+        collect_profile=collect_profile,
+    )
+
+
 # --------------------------------------------------------------------------- #
 # dynamic (adversarial) scenario suites
 # --------------------------------------------------------------------------- #
@@ -327,6 +372,47 @@ def crashy_scenario() -> List[Optional["AdversarySpec"]]:
     ]
 
 
+def skewed_scenario() -> List[Optional["AdversarySpec"]]:
+    """Persistent per-link round skew at increasing link coverage.
+
+    The asynchrony ladder: a growing fraction of links runs consistently
+    late (same lateness for the whole run — see
+    :class:`~repro.dynamics.adversaries.AsynchronyAdversary`), which
+    breaks round-synchrony of information spread in a way the i.i.d.
+    bounded-delay model cannot express.
+    """
+    from ..dynamics.spec import AdversarySpec
+
+    return [None] + [
+        AdversarySpec.create("skew", p=p, max_skew=3) for p in (0.1, 0.3, 0.6)
+    ]
+
+
+def asynchronous_scenario() -> List[Optional["AdversarySpec"]]:
+    """Bounded asynchrony in force: persistent skew plus i.i.d. delay and loss.
+
+    Where :func:`skewed_scenario` isolates the per-link clock skew, this
+    ladder composes it with jitter (i.i.d. bounded delay) and a little
+    loss — the full "asynchronous network" stress the paper's synchrony
+    assumption is measured against.
+    """
+    from ..dynamics.spec import AdversarySpec
+    from ..dynamics.sweeps import composed_spec
+
+    return [
+        None,
+        composed_spec(
+            AdversarySpec.create("skew", p=0.2, max_skew=2),
+            AdversarySpec.create("delay", p=0.1, max_delay=2),
+        ),
+        composed_spec(
+            AdversarySpec.create("skew", p=0.4, max_skew=4),
+            AdversarySpec.create("delay", p=0.2, max_delay=3),
+            AdversarySpec.create("loss", p=0.02),
+        ),
+    ]
+
+
 def stormy_scenario() -> List[Optional["AdversarySpec"]]:
     """Loss, delay and churn *together* in one run, dialled up jointly.
 
@@ -359,6 +445,8 @@ def stormy_scenario() -> List[Optional["AdversarySpec"]]:
 DYNAMIC_SCENARIOS: Dict[str, Callable[[], List[Optional["AdversarySpec"]]]] = {
     "lossy": lossy_scenario,
     "laggy": laggy_scenario,
+    "skewed": skewed_scenario,
+    "asynchronous": asynchronous_scenario,
     "flaky-links": flaky_links_scenario,
     "crashy": crashy_scenario,
     "stormy": stormy_scenario,

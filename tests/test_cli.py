@@ -209,7 +209,42 @@ class TestSweepDynamics:
         out = capsys.readouterr().out
         assert "flooding@loss(p=0.01)" in out
         assert "safety under faults" in out
+        assert "robustness curves" in out
         assert code in (0, 1)
+
+    def test_sweep_skewed_scenario_prints_curves(self, capsys):
+        code = main(self.BASE + ["--scenario", "skewed"])
+        out = capsys.readouterr().out
+        assert "flooding@skew(max_skew=3,p=0.1)" in out
+        assert "robustness curves" in out
+        # The curve table has the baseline rung and every skew rung.
+        curve_lines = [
+            line for line in out.splitlines() if line.startswith("flooding-max-id")
+        ]
+        assert len(curve_lines) == 4
+        assert code in (0, 1)
+
+    def test_sweep_progress_reports_completed_over_total(self, capsys):
+        code = main(self.BASE + ["--progress"])
+        captured = capsys.readouterr()
+        assert code == 0
+        # tiny suite x 2 seeds = 10 runs; the final line always lands.
+        assert "progress: 10/10 runs (100.0%)" in captured.err
+
+    def test_sweep_progress_counts_the_shard_slice(self, capsys, tmp_path):
+        code = main(
+            self.BASE
+            + [
+                "--progress",
+                "--checkpoint",
+                str(tmp_path / "sweep.json"),
+                "--shard",
+                "0/2",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "progress[shard 0/2]: 5/5 runs (100.0%)" in captured.err
 
     def test_sweep_rejects_bad_workers(self, capsys):
         code = main(self.BASE + ["--workers", "0"])

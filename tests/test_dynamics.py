@@ -44,6 +44,7 @@ from repro.core.messages import Message
 from repro.dynamics import (
     ADVERSARIES,
     AdversarySpec,
+    AsynchronyAdversary,
     CrashStopAdversary,
     LinkChurnAdversary,
     MessageDelayAdversary,
@@ -239,6 +240,91 @@ class TestMessageDelay:
             MessageDelayAdversary(p=0.1, max_delay=0)
 
 
+class TestAsynchronySkew:
+    def test_schedule_is_persistent_and_deterministic(self):
+        schedules = []
+        for _ in range(2):
+            adversary = AsynchronyAdversary(p=0.5, max_skew=3, seed=7)
+            _chatter_simulator(torus_2d(4, 4), adversary=adversary).run(1)
+            schedules.append(dict(adversary._skew))
+        assert schedules[0] == schedules[1]
+        assert schedules[0]  # p=0.5 over 32 links: some skewed
+        assert all(1 <= skew <= 3 for skew in schedules[0].values())
+
+    def test_same_link_always_same_lateness(self):
+        # The model's point: skew is per *link*, not per message — every
+        # delayed arrival on one edge carries the identical lateness,
+        # which no i.i.d. draw of MessageDelayAdversary guarantees.
+        trace = TraceRecorder()
+        adversary = AsynchronyAdversary(p=0.6, max_skew=4, seed=3)
+        _chatter_simulator(cycle(8), adversary=adversary, trace=trace).run(10)
+        delays_per_link = {}
+        for event in trace.of_kind("message-delayed"):
+            link = (event.node, event.detail["receiver"])
+            delays_per_link.setdefault(link, set()).add(event.detail["delay"])
+        assert delays_per_link
+        assert all(len(delays) == 1 for delays in delays_per_link.values())
+
+    def test_skewed_links_pipeline_instead_of_dropping(self):
+        # With every link skewed by exactly one round the traffic still
+        # flows, one round behind: no drops, and exactly one round's
+        # worth of messages is still in flight at the end.
+        plain = _chatter_simulator(cycle(8)).run(10)
+        adversary = AsynchronyAdversary(p=1.0, max_skew=1, seed=5)
+        skewed = _chatter_simulator(cycle(8), adversary=adversary).run(10)
+        assert skewed.metrics.dropped_messages == 0
+        assert skewed.metrics.delayed_messages == skewed.metrics.messages
+        received = sum(node.received for node in skewed.nodes)
+        assert received == sum(node.received for node in plain.nodes) - 16
+
+    def test_p_zero_is_baseline(self):
+        plain = _chatter_simulator(cycle(8)).run(10)
+        unskewed = _chatter_simulator(
+            cycle(8), adversary=AsynchronyAdversary(p=0.0, seed=3)
+        ).run(10)
+        assert [n.received for n in unskewed.nodes] == [
+            n.received for n in plain.nodes
+        ]
+        assert unskewed.metrics.delayed_messages == 0
+
+    def test_link_skew_accessor_and_metrics(self):
+        adversary = AsynchronyAdversary(p=1.0, max_skew=2, seed=1)
+        result = _chatter_simulator(cycle(6), adversary=adversary).run(3)
+        assert result.metrics.events["fault.skewed-links"] == 6
+        assert all(
+            adversary.link_skew(u, v) >= 1 for u, v in adversary.topology.edges()
+        )
+        assert AsynchronyAdversary(p=0.0, seed=1).link_skew(0, 1) == 0
+
+    def test_skew_events_traced_once(self):
+        trace = TraceRecorder()
+        adversary = AsynchronyAdversary(p=1.0, max_skew=3, seed=2)
+        _chatter_simulator(cycle(6), adversary=adversary, trace=trace).run(5)
+        events = trace.of_kind("link-skew")
+        assert len(events) == 6  # once per skewed link, not per round
+        assert all(1 <= event.detail["skew"] <= 3 for event in events)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            AsynchronyAdversary(p=1.5)
+        with pytest.raises(ConfigurationError):
+            AsynchronyAdversary(p=0.5, max_skew=0)
+
+    def test_registered_and_composable(self):
+        assert "skew" in ADVERSARIES
+        spec = AdversarySpec.create("skew", p=0.25, max_skew=5)
+        adversary = make_adversary(spec, seed=9)
+        assert isinstance(adversary, AsynchronyAdversary)
+        assert adversary.max_skew == 5
+        composed = make_adversary(
+            AdversarySpec.create(
+                "composed", models="skew+loss", **{"skew.p": 0.3, "loss.p": 0.05}
+            ),
+            seed=9,
+        )
+        assert [part.name for part in composed.parts] == ["skew", "loss"]
+
+
 class TestLinkChurn:
     def test_deterministic_schedule(self):
         runs = [
@@ -386,10 +472,14 @@ class TestAdversarySpec:
 ADVERSARY_GRID = [
     AdversarySpec.create("loss", p=0.1),
     AdversarySpec.create("delay", p=0.2, max_delay=3),
+    AdversarySpec.create("skew", p=0.4, max_skew=3),
     AdversarySpec.create("churn", p_down=0.1, p_up=0.5),
     AdversarySpec.create("crash", p=0.2, horizon=4),
     AdversarySpec.create(
         "composed", models="loss+delay", **{"loss.p": 0.1, "delay.p": 0.2}
+    ),
+    AdversarySpec.create(
+        "composed", models="skew+delay", **{"skew.p": 0.3, "delay.p": 0.1}
     ),
 ]
 
@@ -406,7 +496,7 @@ def _adversarial_spec(adversary, name="flooding-under-faults"):
 
 
 class TestAdversarialSweepEquivalence:
-    @pytest.mark.parametrize("adversary", ADVERSARY_GRID, ids=lambda s: s.name)
+    @pytest.mark.parametrize("adversary", ADVERSARY_GRID, ids=lambda s: s.token())
     @pytest.mark.parametrize("workers", WORKER_COUNTS)
     def test_serial_and_parallel_identical(self, adversary, workers):
         spec = _adversarial_spec(adversary)
@@ -451,6 +541,34 @@ class TestAdversarialSweepEquivalence:
         # counters included.
         replayed = run_experiment(spec, checkpoint=tmp_path / "sweep.json")
         assert _comparable(replayed.cells) == _comparable(plain.cells)
+
+    def test_skew_sweep_bit_equivalent_across_all_backends(self, tmp_path):
+        # The asynchrony adversary's full backend matrix in one place:
+        # serial, pool (fork default), pool with the spawn start method,
+        # and a 2-way sharded split merged and replayed — all cells
+        # bit-identical (wall-clock aside).
+        from repro.parallel import (
+            manifest_path,
+            merge_shard_checkpoints,
+            run_experiments,
+        )
+
+        spec = _adversarial_spec(
+            AdversarySpec.create("skew", p=0.4, max_skew=3),
+            name="flooding-under-skew",
+        )
+        serial = run_experiment(spec)
+        pooled = run_experiment(spec, workers=2)
+        assert _comparable(pooled.cells) == _comparable(serial.cells)
+        spawned = run_experiment(spec, workers=2, start_method="spawn")
+        assert _comparable(spawned.cells) == _comparable(serial.cells)
+
+        checkpoint = tmp_path / "ck" / "sweep.json"
+        for shard_index in (0, 1):
+            run_experiments([spec], checkpoint=checkpoint, shard=(shard_index, 2))
+        merge_shard_checkpoints(manifest_path(checkpoint), checkpoint)
+        replayed = run_experiment(spec, checkpoint=checkpoint)
+        assert _comparable(replayed.cells) == _comparable(serial.cells)
 
     def test_checkpoint_not_replayed_across_adversaries(self, tmp_path):
         checkpoint = tmp_path / "sweep.json"
@@ -751,3 +869,18 @@ class TestComposedAdversary:
         assert ladder[0] is None
         assert all(spec.name == "composed" for spec in ladder[1:])
         assert "stormy" in DYNAMIC_SCENARIOS
+
+    def test_skewed_scenario_dials_up_link_coverage(self):
+        ladder = dynamic_scenario("skewed")
+        assert ladder[0] is None
+        assert [spec.name for spec in ladder[1:]] == ["skew"] * 3
+        coverages = [dict(spec.params)["p"] for spec in ladder[1:]]
+        assert coverages == sorted(coverages)
+
+    def test_asynchronous_scenario_composes_skew_with_jitter(self):
+        ladder = dynamic_scenario("asynchronous")
+        assert ladder[0] is None
+        for rung in ladder[1:]:
+            assert rung.name == "composed"
+            assert "skew" in dict(rung.params)["models"]
+            assert "delay" in dict(rung.params)["models"]

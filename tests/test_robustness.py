@@ -1,0 +1,345 @@
+"""Tests for the robustness-curve subsystem (``repro.analysis.robustness``).
+
+The contract under test:
+
+* classification: every adversary rung maps to a (family, dial) pair —
+  model defaults resolve, churn dials ``p_down``, composed rungs take the
+  maximum of their parts, the baseline sits at ``("", 0.0)``;
+* folding: the streaming curve sink and the post-hoc cell fold agree,
+  and both are independent of scheduling — serial, any worker count, or
+  a sharded split folding through one shared sink produce bit-identical
+  curves;
+* assembly: points are sorted by strictly increasing ``p``, the shared
+  baseline rung is prepended to every family curve of its protocol;
+* the ``robustness_curves`` workload helper crosses protocol parameter
+  grids with adversary ladders into ordinary experiment specs.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+
+import pytest
+
+from repro.analysis import run_experiment
+from repro.analysis.robustness import (
+    DIAL_PARAMETERS,
+    RobustnessCurveSink,
+    classify_adversary,
+    curve_rows,
+    curves_as_dicts,
+    fold_experiments,
+)
+from repro.analysis.streaming import ProgressSink
+from repro.core.errors import ConfigurationError
+from repro.dynamics import AdversarySpec, composed_spec, robustness_specs
+from repro.graphs import complete, cycle, star
+from repro.parallel import run_experiments
+from repro.workloads import dynamic_scenario, robustness_curves, tiny_suite
+
+WORKER_COUNTS = sorted({2, 4} | {int(os.environ.get("REPRO_TEST_WORKERS", 2))})
+
+
+def _lossy_specs(seeds=(0, 1)):
+    return robustness_specs(
+        ["flooding"],
+        [cycle(8), star(8)],
+        dynamic_scenario("lossy"),
+        seeds=seeds,
+        collect_profile=False,
+    )
+
+
+def _sink_for(specs, **kwargs):
+    sink = RobustnessCurveSink()
+    results = run_experiments(specs, sinks=[sink], **kwargs)
+    return sink, results
+
+
+# --------------------------------------------------------------------------- #
+# classification
+# --------------------------------------------------------------------------- #
+
+
+class TestClassifyAdversary:
+    def test_baseline(self):
+        assert classify_adversary(None) == ("", 0.0)
+
+    def test_explicit_dial(self):
+        assert classify_adversary(AdversarySpec.create("loss", p=0.1)) == ("loss", 0.1)
+        assert classify_adversary(AdversarySpec.create("skew", p=0.3, max_skew=2)) == (
+            "skew",
+            0.3,
+        )
+
+    def test_churn_dials_p_down(self):
+        assert DIAL_PARAMETERS["churn"] == "p_down"
+        spec = AdversarySpec.create("churn", p_down=0.2, p_up=0.5)
+        assert classify_adversary(spec) == ("churn", 0.2)
+
+    def test_model_defaults_resolve(self):
+        # A rung that leaves the dial at the model default must classify
+        # at that default, not at zero.
+        family, p = classify_adversary(AdversarySpec.create("loss"))
+        assert family == "loss" and p == pytest.approx(0.05)
+
+    def test_composed_takes_max_of_parts(self):
+        spec = composed_spec(
+            AdversarySpec.create("skew", p=0.4, max_skew=2),
+            AdversarySpec.create("delay", p=0.1),
+        )
+        assert classify_adversary(spec) == ("composed", 0.4)
+
+    def test_accepts_recorded_dict_form(self):
+        spec = AdversarySpec.create("loss", p=0.1)
+        assert classify_adversary(spec.as_dict()) == classify_adversary(spec)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            classify_adversary({"params": {}})
+
+
+# --------------------------------------------------------------------------- #
+# folding: sink, cell fold, and their equivalence
+# --------------------------------------------------------------------------- #
+
+
+class TestCurveFolding:
+    def test_sink_builds_one_curve_per_family_with_baseline_first(self):
+        specs = _lossy_specs()
+        sink, _ = _sink_for(specs)
+        curves = sink.curves()
+        assert len(curves) == 1
+        curve = curves[0]
+        assert curve.adversary == "loss"
+        assert [point.p for point in curve.points] == [0.0, 0.01, 0.05, 0.1]
+        # 2 topologies x 2 seeds per rung.
+        assert all(point.runs == 4 for point in curve.points)
+        assert curve.points[0].success_rate == 1.0
+        assert curve.points[0].safety_rate == 1.0
+
+    def test_series_and_rows_and_dicts(self):
+        sink, _ = _sink_for(_lossy_specs())
+        (curve,) = sink.curves()
+        series = curve.series("success_rate")
+        assert [p for p, _ in series] == [0.0, 0.01, 0.05, 0.1]
+        rows = curve_rows([curve])
+        assert len(rows) == 4
+        assert rows[0]["adversary"] == "loss"
+        assert {"p", "runs", "success_rate", "safety_rate"} <= set(rows[0])
+        (record,) = curves_as_dicts([curve])
+        assert record["protocol"] == curve.protocol
+        assert len(record["points"]) == 4
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_sink_curves_identical_for_any_worker_count(self, workers):
+        specs = _lossy_specs()
+        serial_sink, _ = _sink_for(specs)
+        parallel_sink, _ = _sink_for(specs, workers=workers)
+        assert curves_as_dicts(parallel_sink.curves()) == curves_as_dicts(
+            serial_sink.curves()
+        )
+
+    def test_sharded_split_through_one_sink_matches_serial(self, tmp_path):
+        specs = _lossy_specs()
+        serial_sink, _ = _sink_for(specs)
+        sharded_sink = RobustnessCurveSink()
+        for shard_index in (0, 1, 2):
+            run_experiments(
+                specs,
+                checkpoint=tmp_path / "sweep.json",
+                shard=(shard_index, 3),
+                sinks=[sharded_sink],
+            )
+        assert curves_as_dicts(sharded_sink.curves()) == curves_as_dicts(
+            serial_sink.curves()
+        )
+
+    def test_fold_experiments_agrees_with_sink(self):
+        specs = _lossy_specs()
+        sink, results = _sink_for(specs)
+        folded = fold_experiments(specs, results)
+        streamed = sink.curves()
+        assert len(folded) == len(streamed)
+        for fold_curve, sink_curve in zip(folded, streamed):
+            assert fold_curve.protocol == sink_curve.protocol
+            assert fold_curve.adversary == sink_curve.adversary
+            for fold_point, sink_point in zip(fold_curve.points, sink_curve.points):
+                # Counts and rates are integer-derived: exactly equal.
+                assert fold_point.p == sink_point.p
+                assert fold_point.runs == sink_point.runs
+                assert fold_point.successes == sink_point.successes
+                assert fold_point.safe_runs == sink_point.safe_runs
+                # Means are reconstructed from the cells' rounded floats:
+                # equal to float rounding across the two paths.
+                assert fold_point.mean_messages == pytest.approx(
+                    sink_point.mean_messages, rel=1e-12
+                )
+                assert fold_point.mean_rounds == pytest.approx(
+                    sink_point.mean_rounds, rel=1e-12
+                )
+
+    def test_fold_experiments_is_shard_transparent(self, tmp_path):
+        specs = _lossy_specs()
+        full = run_experiments(specs)
+        shard_results = [
+            run_experiments(
+                specs, checkpoint=tmp_path / "sweep.json", shard=(index, 2)
+            )
+            for index in (0, 1)
+        ]
+        folded_full = fold_experiments(specs, full)
+        # Folding each shard's partial results through one bucket set:
+        # emulate by folding the concatenated (spec, result) pairs.
+        paired_specs = [spec for _ in shard_results for spec in specs]
+        paired_results = [result for results in shard_results for result in results]
+        folded_shards = fold_experiments(paired_specs, paired_results)
+        assert curves_as_dicts(folded_shards) == curves_as_dicts(folded_full)
+
+    def test_fold_experiments_requires_matching_lengths(self):
+        specs = _lossy_specs()
+        with pytest.raises(ConfigurationError):
+            fold_experiments(specs, [])
+
+    def test_explicit_zero_rung_shadows_baseline(self):
+        specs = robustness_specs(
+            ["flooding"],
+            [cycle(8)],
+            [None, AdversarySpec.create("loss", p=0.0), AdversarySpec.create("loss", p=0.1)],
+            seeds=(0,),
+            collect_profile=False,
+        )
+        sink, _ = _sink_for(specs)
+        (curve,) = sink.curves()
+        ps = [point.p for point in curve.points]
+        assert ps == [0.0, 0.1]  # explicit p=0 rung wins; no duplicate point
+        assert curve.points[0].runs == 1
+
+    def test_multi_family_sweep_gets_one_curve_per_family(self):
+        ladder = [
+            None,
+            AdversarySpec.create("loss", p=0.05),
+            AdversarySpec.create("skew", p=0.3, max_skew=2),
+        ]
+        specs = robustness_specs(
+            ["flooding"], [cycle(8)], ladder, seeds=(0,), collect_profile=False
+        )
+        sink, _ = _sink_for(specs)
+        curves = sink.curves()
+        assert [curve.adversary for curve in curves] == ["loss", "skew"]
+        # The single baseline rung calibrates both curves.
+        for curve in curves:
+            assert curve.points[0].p == 0.0
+            assert curve.points[0].runs == 1
+
+
+# --------------------------------------------------------------------------- #
+# the robustness_curves workload helper (param_grid x adversary ladder)
+# --------------------------------------------------------------------------- #
+
+
+class TestRobustnessCurvesHelper:
+    def test_crosses_param_grid_with_ladder(self):
+        specs = robustness_curves(
+            "irrevocable",
+            tiny_suite()[:1],
+            scenario="skewed",
+            seeds=(0,),
+            c=[1.5, 2.0],
+        )
+        # 2 variants x 4 rungs (baseline + 3 skew levels).
+        assert len(specs) == 8
+        names = [spec.name for spec in specs]
+        assert len(set(names)) == len(names)
+        assert "irrevocable:c=1.5" in names
+        assert any(name.startswith("irrevocable:c=2.0@skew(") for name in names)
+
+    def test_bare_name_sweeps_default_configuration(self):
+        specs = robustness_curves(
+            "flooding", [cycle(8)], scenario="lossy", seeds=(0,)
+        )
+        assert [spec.name for spec in specs][0] == "flooding"
+        assert len(specs) == 4
+
+    def test_explicit_ladder_accepted(self):
+        ladder = [None, AdversarySpec.create("skew", p=0.2, max_skew=2)]
+        specs = robustness_curves("flooding", [cycle(8)], scenario=ladder, seeds=(0,))
+        assert len(specs) == 2
+
+    def test_empty_ladder_rejected(self):
+        with pytest.raises(ConfigurationError):
+            robustness_curves("flooding", [cycle(8)], scenario=[], seeds=(0,))
+
+    def test_specs_run_and_fold_end_to_end(self):
+        specs = robustness_curves(
+            "irrevocable",
+            [complete(4)],
+            scenario="skewed",
+            seeds=(0,),
+            c=[2.0, 3.0],
+        )
+        sink = RobustnessCurveSink()
+        run_experiments(specs, sinks=[sink])
+        curves = sink.curves()
+        # One curve per protocol variant, each covering the full ladder.
+        assert [curve.protocol for curve in curves] == [
+            "irrevocable:c=2.0",
+            "irrevocable:c=3.0",
+        ]
+        for curve in curves:
+            assert [point.p for point in curve.points] == [0.0, 0.1, 0.3, 0.6]
+
+
+# --------------------------------------------------------------------------- #
+# progress reporting
+# --------------------------------------------------------------------------- #
+
+
+class TestProgressSink:
+    def test_reports_every_n_and_final(self):
+        stream = io.StringIO()
+        sink = ProgressSink(5, every=2, stream=stream)
+        for index in range(5):
+            sink.emit("spec", 0, index, None, 0.0)
+        sink.close()
+        lines = stream.getvalue().splitlines()
+        assert lines == [
+            "progress: 2/5 runs (40.0%)",
+            "progress: 4/5 runs (80.0%)",
+            "progress: 5/5 runs (100.0%)",
+        ]
+
+    def test_label_and_unknown_total(self):
+        stream = io.StringIO()
+        sink = ProgressSink(label="shard 1/4", every=1, stream=stream)
+        sink.emit("spec", 0, 0, None, 0.0)
+        sink.close()
+        assert stream.getvalue().splitlines() == [
+            "progress[shard 1/4]: 1 runs"
+        ]
+
+    def test_empty_slice_still_reports_on_close(self):
+        stream = io.StringIO()
+        ProgressSink(0, label="shard 3/4", stream=stream).close()
+        assert stream.getvalue().splitlines() == ["progress[shard 3/4]: 0 runs"]
+
+    def test_default_cadence_is_about_five_percent(self):
+        stream = io.StringIO()
+        sink = ProgressSink(100, stream=stream)
+        for index in range(100):
+            sink.emit("spec", 0, index, None, 0.0)
+        sink.close()
+        assert len(stream.getvalue().splitlines()) == 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProgressSink(-1)
+        with pytest.raises(ValueError):
+            ProgressSink(10, every=0)
+
+    def test_counts_runs_streamed_through_drivers(self, capsys):
+        specs = _lossy_specs(seeds=(0,))
+        sink = ProgressSink(8, every=8)
+        run_experiments(specs, sinks=[sink])
+        assert "progress: 8/8 runs (100.0%)" in capsys.readouterr().err

@@ -1,14 +1,19 @@
-"""Unit tests for the named topology suites."""
+"""Unit tests for the named topology suites and scenario registries."""
 
 from __future__ import annotations
 
 import pytest
 
+from repro import cli
 from repro.core import ConfigurationError
 from repro.workloads import (
+    DYNAMIC_SCENARIOS,
+    PROTOCOL_SCENARIOS,
     SUITES,
+    dynamic_scenario,
     mixed_suite,
     poorly_connected_suite,
+    protocol_scenario,
     scaling_family,
     suite_by_name,
     tiny_suite,
@@ -56,6 +61,57 @@ class TestSuites:
         first = well_connected_suite(sizes=(16,), seed=3)[0]
         second = well_connected_suite(sizes=(16,), seed=3)[0]
         assert sorted(first.edges()) == sorted(second.edges())
+
+
+class TestScenarioRegistries:
+    """Every registered scenario must construct, dedupe and reach the CLI."""
+
+    def test_dynamic_scenarios_construct_and_dedupe(self):
+        for name, builder in DYNAMIC_SCENARIOS.items():
+            ladder = builder()
+            assert ladder, f"scenario {name!r} built an empty ladder"
+            tokens = [None if rung is None else rung.token() for rung in ladder]
+            assert len(set(tokens)) == len(tokens), (
+                f"scenario {name!r} lists a rung twice: {tokens}"
+            )
+
+    def test_protocol_scenarios_construct_and_dedupe(self):
+        for name in PROTOCOL_SCENARIOS:
+            ladder = protocol_scenario(name)
+            assert ladder, f"scenario {name!r} built an empty ladder"
+            canonical = [spec.canonical() for spec in ladder]
+            assert len(set(canonical)) == len(canonical), (
+                f"scenario {name!r} lists a configuration twice: {canonical}"
+            )
+
+    def test_lookup_helpers_reject_unknown_names(self):
+        with pytest.raises(ConfigurationError):
+            dynamic_scenario("sunny-day")
+        with pytest.raises(ConfigurationError):
+            protocol_scenario("sunny-day")
+
+    @pytest.mark.parametrize(
+        "name", sorted(DYNAMIC_SCENARIOS) + sorted(PROTOCOL_SCENARIOS)
+    )
+    def test_scenario_round_trips_through_cli_parsing(self, name):
+        # The full CLI path short of execution: argv -> parsed args ->
+        # expanded experiment grid, non-empty with unique spec names.
+        argv = ["sweep", "--suite", "tiny", "--seeds", "1", "--no-profile",
+                "--scenario", name]
+        if name in DYNAMIC_SCENARIOS:
+            argv += ["--algorithms", "flooding"]
+        args = cli.build_parser().parse_args(argv)
+        assert args.scenario == name
+        specs, adversarial = cli.build_sweep_specs(args, tiny_suite())
+        assert specs
+        names = [spec.name for spec in specs]
+        assert len(set(names)) == len(names)
+        assert adversarial == (name in DYNAMIC_SCENARIOS)
+        if name in DYNAMIC_SCENARIOS:
+            # One spec per (algorithm, rung), baseline included.
+            assert len(specs) == len(dynamic_scenario(name))
+        else:
+            assert len(specs) == len(protocol_scenario(name))
 
 
 class TestScalingFamily:
