@@ -6,22 +6,42 @@ protocol on two graph families at opposite ends of the mixing spectrum —
 (``t_mix = Θ̃(n²)``) — and reports measured rounds next to the bound
 ``t_mix·log² n``, including the ratio between them, which should stay
 within a constant band if the implementation tracks the theorem.
+
+The file also carries ``bench-backend-speedup``: the same election
+workload timed under both simulator cores (``backend="round"`` vs
+``backend="event"``).  Slow-mixing cycles are the quiescence-heavy case
+the event core exists for — most nodes idle through most of the long walk
+and convergecast phases — so this is where its speedup is measured and
+its bit-for-bit equivalence to the round core is re-asserted at bench
+scale.  ``REPRO_BENCH_SMOKE=1`` switches the comparison to a seconds-long
+configuration with no speedup threshold (CI wiring check); smoke results
+are recorded under a separate experiment id.
 """
 
 from __future__ import annotations
 
+import os
+import time
+
 import pytest
 
 from repro.analysis import ratio_spread, theory_ratio_series
+from repro.core import backend_scope
 from repro.election import IrrevocableConfig, run_irrevocable_election
 from repro.workloads import scaling_family
 
-from _harness import profile_for, record_report, rows_table
+from _harness import profile_for, record_bench_json, record_report, rows_table
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
 
 EXPERIMENT_ID = "fig-time-scaling"
 EXPANDER_SIZES = (32, 64, 128)
 CYCLE_SIZES = (8, 16, 32)
 SEED = 1
+
+BACKEND_EXPERIMENT_ID = "bench-backend-speedup" + ("-smoke" if SMOKE else "")
+BACKEND_CYCLE_SIZES = (8, 16) if SMOKE else CYCLE_SIZES
+BACKEND_EXPANDER_SIZES = (32,) if SMOKE else (32, 64)
 
 
 def _run_family(family: str, sizes):
@@ -85,3 +105,87 @@ def test_time_scaling(benchmark):
     cycle_32 = next(r for r in rows if r["family"] == "cycle" and r["n"] == 32)
     assert cycle_32["rounds"] > expander_64["rounds"]
     assert all(row["unique_leader"] for row in rows)
+
+
+# --------------------------------------------------------------------------- #
+# bench-backend-speedup: event-driven core vs round-robin core
+# --------------------------------------------------------------------------- #
+
+
+def _backend_workload():
+    """The (topology, config) list both cores are timed over."""
+    workload = []
+    for family, sizes in (
+        ("cycle", BACKEND_CYCLE_SIZES),
+        ("random_regular", BACKEND_EXPANDER_SIZES),
+    ):
+        for topology in scaling_family(family, sizes, seed=31):
+            profile = profile_for(topology)
+            config = IrrevocableConfig(
+                n=topology.num_nodes,
+                t_mix=profile.mixing_time,
+                conductance=profile.conductance,
+            )
+            workload.append((family, topology, config))
+    return workload
+
+
+def _timed_backend(backend, workload):
+    """Run the workload under one core; return (fingerprints, seconds)."""
+    started = time.perf_counter()
+    fingerprints = []
+    with backend_scope(backend):
+        for family, topology, config in workload:
+            result = run_irrevocable_election(topology, seed=SEED, config=config)
+            fingerprints.append((family, topology.num_nodes, result.as_dict()))
+    return fingerprints, time.perf_counter() - started
+
+
+@pytest.mark.benchmark(group=BACKEND_EXPERIMENT_ID)
+def test_event_backend_speedup(benchmark):
+    # Build the workload (and pay the cached expansion profiles) before
+    # timing, so neither core is charged for mixing-time computation.
+    workload = _backend_workload()
+
+    def _compare():
+        round_fps, round_seconds = _timed_backend("round", workload)
+        event_fps, event_seconds = _timed_backend("event", workload)
+        return round_fps, round_seconds, event_fps, event_seconds
+
+    round_fps, round_seconds, event_fps, event_seconds = benchmark.pedantic(
+        _compare, rounds=1, iterations=1
+    )
+
+    speedup = round_seconds / event_seconds if event_seconds > 0 else float("inf")
+    rows = [
+        {"family": family, "n": n, "rounds": record["rounds"]}
+        for family, n, record in event_fps
+    ]
+    record_report(
+        BACKEND_EXPERIMENT_ID,
+        rows_table(rows, "Workload of the round-vs-event core comparison"),
+        f"round core: {round_seconds:.3f}s  event core: {event_seconds:.3f}s  "
+        f"speedup: {speedup:.2f}x",
+    )
+    record_bench_json(
+        BACKEND_EXPERIMENT_ID,
+        {
+            "cycle_sizes": list(BACKEND_CYCLE_SIZES),
+            "expander_sizes": list(BACKEND_EXPANDER_SIZES),
+            "seed": SEED,
+            "round_seconds": round_seconds,
+            "event_seconds": event_seconds,
+            "speedup_event_vs_round": speedup,
+            "smoke": SMOKE,
+        },
+    )
+
+    # --- shape checks ----------------------------------------------------- #
+    # Equivalence is non-negotiable in either mode: the event core must
+    # reproduce every election outcome and metric bit for bit.
+    assert event_fps == round_fps
+
+    if not SMOKE:
+        # On the quiescence-heavy workload the event core must actually
+        # pay for itself; smoke mode only checks the wiring.
+        assert speedup >= 2.0, f"event core speedup {speedup:.2f}x below 2x"

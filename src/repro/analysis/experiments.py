@@ -34,6 +34,7 @@ from typing import (
 )
 
 from ..core.errors import ConfigurationError
+from ..core.simulator import backend_scope
 from ..election.base import LeaderElectionResult, SafetyTally
 from ..graphs.properties import ExpansionProfile, expansion_profile
 from ..graphs.topology import Topology
@@ -362,6 +363,7 @@ def run_experiment(
     checkpoint_compact: bool = False,
     start_method: Optional[str] = None,
     sinks: Sequence[ResultSink] = (),
+    backend: str = "auto",
 ) -> ExperimentResult:
     """Run every (topology, seed) pair of the spec and aggregate per topology.
 
@@ -385,6 +387,11 @@ def run_experiment(
     :class:`~repro.analysis.streaming.CollectingSink` to retain the full
     per-run results on the cells — opt-in, since that is the one path
     whose memory grows with ``runs × nodes``.
+
+    ``backend`` selects the simulator core for every run of the sweep
+    (``"auto"``, ``"round"`` or ``"event"`` — see
+    :class:`repro.core.simulator.SynchronousSimulator`); both cores
+    produce bit-identical results, so this is a pure performance knob.
     """
     if (workers is not None and workers > 1) or checkpoint is not None:
         from ..parallel.runner import run_parallel_experiment
@@ -398,6 +405,7 @@ def run_experiment(
             profiles=profiles,
             keep_results=keep_results,
             sinks=sinks,
+            backend=backend,
         )
     aggregates = CellAggregatingSink()
     collector = CollectingSink() if keep_results else None
@@ -410,26 +418,31 @@ def run_experiment(
     profiles = dict(profiles or {})
     runner = effective_runner(spec)
     try:
-        for topology_index, topology in enumerate(spec.topologies):
-            for seed_index, seed in enumerate(spec.seeds):
-                run, elapsed = execute_run(runner, topology, seed)
-                for sink in all_sinks:
-                    sink.emit(spec.name, topology_index, seed_index, run, elapsed)
-                del run  # nothing below retains it: the sink fold is the pipeline
-            aggregate = aggregates.aggregate_for(spec.name, topology_index)
-            result.cells.append(
-                cell_from_aggregate(
-                    topology,
-                    aggregate,
-                    profile=resolve_profile(topology, profiles, spec.collect_profile),
-                    results=(
-                        collector.results_for(spec.name, topology_index)
-                        if collector is not None
-                        else None
-                    ),
-                    protocol=spec.protocol_token(),
+        with backend_scope(backend):
+            for topology_index, topology in enumerate(spec.topologies):
+                for seed_index, seed in enumerate(spec.seeds):
+                    run, elapsed = execute_run(runner, topology, seed)
+                    for sink in all_sinks:
+                        sink.emit(
+                            spec.name, topology_index, seed_index, run, elapsed
+                        )
+                    del run  # nothing below retains it: the sinks are the pipeline
+                aggregate = aggregates.aggregate_for(spec.name, topology_index)
+                result.cells.append(
+                    cell_from_aggregate(
+                        topology,
+                        aggregate,
+                        profile=resolve_profile(
+                            topology, profiles, spec.collect_profile
+                        ),
+                        results=(
+                            collector.results_for(spec.name, topology_index)
+                            if collector is not None
+                            else None
+                        ),
+                        protocol=spec.protocol_token(),
+                    )
                 )
-            )
     except BaseException:
         # A run raised: abort the sinks — an export sink (JsonlSink)
         # flushes the records of the runs that did complete without

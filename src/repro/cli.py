@@ -280,6 +280,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         base_seed=args.base_seed,
         shard=shard,
         sinks=sinks,
+        backend=args.backend,
     )
     rows = summarize_results(results)
     title = f"sweep over suite {args.suite!r}"
@@ -520,6 +521,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         choices=["fork", "spawn", "forkserver"],
         help="multiprocessing start method (platform default if omitted)",
+    )
+    sweep.add_argument(
+        "--backend",
+        default="auto",
+        choices=["auto", "round", "event"],
+        help="simulator core: the event-driven core skips quiescent nodes "
+        "and rounds, the round core steps every node every round; both "
+        "produce bit-identical results (auto picks event)",
     )
     sweep.add_argument(
         "--derive-seeds",

@@ -14,7 +14,16 @@ from .messages import Message, bits_for_int, bits_for_value, congest_budget_bits
 from .metrics import Metrics, MetricsCollector, PhaseMetrics
 from .node import Inbox, Outbox, PassiveNode, ProtocolNode
 from .rng import DEFAULT_SEED, RngStream, derive_seed, make_rng, spawn_child_rngs
-from .simulator import SimulationResult, SynchronousSimulator, build_nodes, run_protocol
+from .simulator import (
+    BACKENDS,
+    SimulationResult,
+    SynchronousSimulator,
+    backend_scope,
+    build_nodes,
+    default_backend,
+    run_protocol,
+    set_default_backend,
+)
 from .tracing import NullTraceRecorder, TraceEvent, TraceRecorder
 
 __all__ = [
@@ -49,6 +58,10 @@ __all__ = [
     "RngStream",
     "SynchronousSimulator",
     "SimulationResult",
+    "BACKENDS",
+    "backend_scope",
+    "default_backend",
+    "set_default_backend",
     "build_nodes",
     "run_protocol",
     "TraceRecorder",

@@ -103,6 +103,18 @@ class FaultAdversary:
         """Whether ``node`` participates in ``round_index`` (crash-stop)."""
         return True
 
+    def node_crashed(self, round_index: int, node: int) -> bool:
+        """Whether ``node`` is *permanently* gone as of ``round_index``.
+
+        Distinct from :meth:`node_active`: a node may be temporarily
+        inactive (frozen) yet come back, in which case this must stay
+        ``False``.  The simulator uses this hook to terminate a run early
+        once every node has either halted or crashed for good and no
+        delayed message is still in flight — without it, crash-stop runs
+        spin empty rounds to ``max_rounds``.
+        """
+        return False
+
     def on_message(
         self,
         round_index: int,

@@ -39,10 +39,21 @@ class Metrics:
     """Immutable-ish snapshot of a finished (or in-progress) execution.
 
     ``dropped_messages`` and ``delayed_messages`` count faults injected by
-    a :class:`~repro.core.faults.FaultAdversary`; both stay zero for runs
-    under the paper's reliable execution model.  Dropped and delayed
-    messages are still counted in ``messages``/``bits`` — the sender paid
-    for them — the fault counters record what the network then did.
+    a :class:`~repro.core.faults.FaultAdversary` (plus, for drops, messages
+    rejected by CONGEST enforcement); both stay zero for runs under the
+    paper's reliable execution model.  Dropped and delayed messages are
+    still counted in ``messages``/``bits`` — the sender paid for them —
+    the fault counters record what the network then did.
+
+    ``sent_messages`` and ``delivered_messages`` count *physical* messages
+    (one per occupied port per round, regardless of how many CONGEST units
+    the payload is charged as in ``messages``).  Together with the fault
+    counters they satisfy the conservation identity
+
+        ``sent_messages == delivered_messages + dropped_messages + pending``
+
+    where ``pending`` is the simulator's in-flight delayed-message queue
+    (:meth:`~repro.core.simulator.SynchronousSimulator.pending_delayed`).
     """
 
     rounds: int = 0
@@ -51,6 +62,8 @@ class Metrics:
     congest_violations: int = 0
     dropped_messages: int = 0
     delayed_messages: int = 0
+    sent_messages: int = 0
+    delivered_messages: int = 0
     events: Dict[str, int] = field(default_factory=dict)
     phases: Dict[str, PhaseMetrics] = field(default_factory=dict)
 
@@ -62,6 +75,8 @@ class Metrics:
             "congest_violations": self.congest_violations,
             "dropped_messages": self.dropped_messages,
             "delayed_messages": self.delayed_messages,
+            "sent_messages": self.sent_messages,
+            "delivered_messages": self.delivered_messages,
             "events": dict(self.events),
             "phases": {name: phase.as_dict() for name, phase in self.phases.items()},
         }
@@ -89,6 +104,8 @@ class MetricsCollector:
         self._congest_violations = 0
         self._dropped_messages = 0
         self._delayed_messages = 0
+        self._sent_messages = 0
+        self._delivered_messages = 0
         self._current_phase: Optional[str] = None
 
     # ------------------------------------------------------------------ #
@@ -149,6 +166,18 @@ class MetricsCollector:
             raise ValueError(f"count must be non-negative, got {count}")
         self._delayed_messages += count
 
+    def record_sent(self, count: int = 1) -> None:
+        """Record ``count`` physical messages handed to the network."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        self._sent_messages += count
+
+    def record_delivered(self, count: int = 1) -> None:
+        """Record ``count`` physical messages placed into an inbox."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        self._delivered_messages += count
+
     def record_event(self, name: str, count: int = 1) -> None:
         """Record a free-form named event (e.g. ``"walk-collision"``)."""
         self._events[name] = self._events.get(name, 0) + count
@@ -180,6 +209,14 @@ class MetricsCollector:
     def delayed_messages(self) -> int:
         return self._delayed_messages
 
+    @property
+    def sent_messages(self) -> int:
+        return self._sent_messages
+
+    @property
+    def delivered_messages(self) -> int:
+        return self._delivered_messages
+
     def event_count(self, name: str) -> int:
         return self._events.get(name, 0)
 
@@ -198,6 +235,8 @@ class MetricsCollector:
             congest_violations=self._congest_violations,
             dropped_messages=self._dropped_messages,
             delayed_messages=self._delayed_messages,
+            sent_messages=self._sent_messages,
+            delivered_messages=self._delivered_messages,
             events=dict(self._events),
             phases={
                 name: PhaseMetrics(p.rounds, p.messages, p.bits)
@@ -218,6 +257,8 @@ class MetricsCollector:
         self._congest_violations += snap.congest_violations
         self._dropped_messages += snap.dropped_messages
         self._delayed_messages += snap.delayed_messages
+        self._sent_messages += snap.sent_messages
+        self._delivered_messages += snap.delivered_messages
         for name, count in snap.events.items():
             self._events[name] = self._events.get(name, 0) + count
         for name, phase in snap.phases.items():

@@ -88,6 +88,24 @@ class ProtocolNode(ABC):
         """
         return {}
 
+    def quiescent_until(self, round_index: int) -> int:
+        """First round at or after ``round_index`` this node may act in.
+
+        The event-driven simulator backend skips a node's steps while it is
+        *quiescent*.  Returning a round ``r > round_index`` asserts that for
+        every round in ``[round_index, r)`` a step with an **empty** inbox
+        would return an empty outbox, draw nothing from ``self.rng`` and
+        change no observable state — i.e. the step is a no-op the backend
+        may elide.  An arriving message always wakes the node regardless of
+        the declared horizon, and the declaration is re-queried after every
+        executed step.
+
+        The default returns ``round_index`` (never quiescent), which keeps
+        the event backend bit-identical to the round backend for protocols
+        that do not opt in.
+        """
+        return round_index
+
     # ------------------------------------------------------------------ #
     # small conveniences shared by protocol implementations
     # ------------------------------------------------------------------ #

@@ -13,13 +13,34 @@ Nodes are :class:`~repro.core.node.ProtocolNode` instances, one per vertex
 of a :class:`~repro.graphs.topology.Topology`.  The simulator never reveals
 node indices to the protocol code; the only interface between neighbours is
 the port-numbered message exchange.
+
+Backends
+--------
+
+Two interchangeable execution cores drive the same contract:
+
+* ``"round"`` — the original loop: every non-halted node is stepped every
+  round.
+* ``"event"`` — the fast core: nodes that declare themselves *quiescent*
+  (:meth:`~repro.core.node.ProtocolNode.quiescent_until`) and have an
+  empty inbox are skipped, and rounds in which **no** node is active, no
+  adversary is attached, no ``stop_when`` is set and no delayed message is
+  in flight are fast-forwarded in O(1).
+
+Because quiescence is opt-in and declared only for provably no-op steps,
+the two backends produce bit-identical metrics, traces and results; the
+event backend is simply faster on workloads with long quiet stretches.
+``backend="auto"`` (the default) resolves through the ambient backend
+scope (:func:`backend_scope` / :func:`set_default_backend`) and falls back
+to the event core.
 """
 
 from __future__ import annotations
 
 import random
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..graphs.topology import Topology
 from .errors import CongestViolationError, SimulationError
@@ -30,10 +51,72 @@ from .node import Outbox, ProtocolNode
 from .rng import spawn_child_rngs
 from .tracing import NullTraceRecorder, TraceRecorder
 
-__all__ = ["SimulationResult", "SynchronousSimulator", "build_nodes", "run_protocol"]
+__all__ = [
+    "BACKENDS",
+    "SimulationResult",
+    "SynchronousSimulator",
+    "backend_scope",
+    "build_nodes",
+    "default_backend",
+    "run_protocol",
+    "set_default_backend",
+]
 
 #: Factory signature: ``factory(index, num_ports, rng) -> ProtocolNode``.
 NodeFactory = Callable[[int, int, random.Random], ProtocolNode]
+
+#: Valid values for the ``backend`` argument / ambient backend default.
+BACKENDS = ("auto", "round", "event")
+
+#: Innermost-wins stack of scoped backend overrides (see ``backend_scope``).
+_BACKEND_SCOPES: List[str] = []
+
+#: Process-wide default, settable once per worker (see ``set_default_backend``).
+_PROCESS_BACKEND = "auto"
+
+
+def _check_backend(backend: str) -> str:
+    if backend not in BACKENDS:
+        raise SimulationError(
+            f"unknown simulator backend {backend!r}; expected one of {BACKENDS}"
+        )
+    return backend
+
+
+def set_default_backend(backend: str) -> None:
+    """Set the process-wide backend used when simulators pass ``"auto"``.
+
+    The parallel experiment engine calls this in its pool initializer so
+    a ``--backend`` choice reaches worker processes; ``"auto"`` restores
+    the built-in resolution (event core).
+    """
+    global _PROCESS_BACKEND
+    _PROCESS_BACKEND = _check_backend(backend)
+
+
+def default_backend() -> str:
+    """The backend an ``"auto"`` simulator would resolve to right now."""
+    backend = _BACKEND_SCOPES[-1] if _BACKEND_SCOPES else _PROCESS_BACKEND
+    return "event" if backend == "auto" else backend
+
+
+@contextmanager
+def backend_scope(backend: str) -> Iterator[None]:
+    """Route every ``backend="auto"`` simulator in the scope to ``backend``.
+
+    Mirrors :func:`~repro.core.faults.fault_scope`: protocol entry points
+    construct their own simulators internally, so experiment drivers select
+    a backend ambiently rather than threading an argument through every
+    protocol signature.  Scopes nest; the innermost wins.  Checkpoint task
+    keys never include the backend — both cores produce bit-identical
+    results, so records are interchangeable between them.
+    """
+    _check_backend(backend)
+    _BACKEND_SCOPES.append(backend)
+    try:
+        yield
+    finally:
+        _BACKEND_SCOPES.pop()
 
 
 @dataclass
@@ -95,6 +178,7 @@ class SynchronousSimulator:
         congest_bits: Optional[int] = None,
         count_bits: bool = True,
         adversary: Optional[FaultAdversary] = None,
+        backend: str = "auto",
     ) -> None:
         if len(nodes) != topology.num_nodes:
             raise SimulationError(
@@ -106,6 +190,8 @@ class SynchronousSimulator:
                     f"node {index} has {node.num_ports} ports but degree "
                     f"{topology.degree(index)} in the topology"
                 )
+        _check_backend(backend)
+        self.backend = default_backend() if backend == "auto" else backend
         self.topology = topology
         self.nodes = list(nodes)
         self.metrics = metrics if metrics is not None else MetricsCollector()
@@ -143,6 +229,10 @@ class SynchronousSimulator:
         self._adversary = adversary
         #: arrival round -> [(receiver, receiver_port, message), ...]
         self._delayed: Dict[int, List[Tuple[int, int, Message]]] = {}
+        #: Event backend: per-node wakeup rounds (flat array, refreshed at
+        #: every ``run`` entry and after each executed step).  A node is
+        #: skipped while its inbox is empty and ``wake > current round``.
+        self._wake: List[int] = [0] * topology.num_nodes
         if adversary is not None:
             adversary.attach(self.topology, self.metrics, self.trace)
 
@@ -167,11 +257,23 @@ class SynchronousSimulator:
     def all_halted(self) -> bool:
         return all(node.halted for node in self.nodes)
 
+    def pending_delayed(self) -> int:
+        """Number of adversary-delayed messages still in flight.
+
+        These are counted in ``sent_messages`` (and ``delayed_messages``)
+        but in neither ``delivered_messages`` nor ``dropped_messages`` yet:
+        they close the conservation identity ``sent == delivered + dropped
+        + pending`` for runs that end with traffic still queued.  The queue
+        is keyed by absolute arrival round, so a subsequent :meth:`run`
+        call on the same simulator keeps draining it.
+        """
+        return sum(len(batch) for batch in self._delayed.values())
+
     # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #
     def run_round(self) -> None:
-        """Execute exactly one synchronous round."""
+        """Execute exactly one synchronous round (round-backend semantics)."""
         round_index = self._round
         adversary = self._adversary
         if adversary is not None:
@@ -189,56 +291,97 @@ class SynchronousSimulator:
             outbox = node.step(round_index, inboxes[index]) or {}
             self._validate_outbox(index, node, outbox)
             outboxes.append(outbox)
+        self._deliver_and_finish(round_index, enumerate(outboxes))
 
-        # Deliver: messages sent in this round arrive at the start of the
-        # next one.  The spare buffers from two rounds ago are recycled, and
-        # metrics are accumulated locally and recorded once per round.
+    def _deliver_and_finish(
+        self,
+        round_index: int,
+        senders: Iterable[Tuple[int, Outbox]],
+    ) -> None:
+        """Deliver this round's outboxes, swap buffers, close the round.
+
+        Round state is committed *before* any CONGEST enforcement error is
+        raised: the violating message is withheld (never placed in an
+        inbox), everything else delivers, the buffers swap and the round
+        counter advances — so a caller that catches
+        :class:`CongestViolationError` observes a consistent simulator.
+        """
+        inboxes = self._inboxes
         next_inboxes = self._spare_inboxes
         for inbox in next_inboxes:
             inbox.clear()
-        if adversary is not None:
-            # Adversary-mediated delivery does its own metrics accounting.
-            self._deliver_with_adversary(round_index, outboxes, next_inboxes)
+        if self._adversary is not None:
+            violation = self._deliver_with_adversary(
+                round_index, senders, next_inboxes
+            )
         else:
-            # Unperturbed hot path: kept free of per-message branches.
-            endpoints = self._endpoints
-            congest_budget = self._congest_bits
-            total_count = 0
-            total_bits = 0
-            for index, outbox in enumerate(outboxes):
-                if not outbox:
-                    continue
-                node_endpoints = endpoints[index]
-                for port, message in outbox.items():
-                    neighbor, neighbor_port = node_endpoints[port - 1]
-                    next_inboxes[neighbor][neighbor_port] = message
-                    bits = self._message_bits(message)
-                    units = getattr(message, "congest_units", None)
-                    count = int(units()) if callable(units) else 1
-                    total_count += max(1, count)
-                    total_bits += bits
-                    if bits > congest_budget:
-                        self.metrics.record_congest_violation()
-                        if self.enforce_congest:
-                            self.metrics.record_message(bits=total_bits, count=total_count)
-                            raise CongestViolationError(
-                                f"node {index} sent {bits} bits through port {port} "
-                                f"in round {round_index} (budget {congest_budget})"
-                            )
-            if total_count:
-                self.metrics.record_message(bits=total_bits, count=total_count)
-
+            violation = self._deliver_plain(round_index, senders, next_inboxes)
         self._spare_inboxes = inboxes
         self._inboxes = next_inboxes
         self.metrics.record_round()
         self._round += 1
+        if violation is not None:
+            index, port, bits = violation
+            raise CongestViolationError(
+                f"node {index} sent {bits} bits through port {port} "
+                f"in round {round_index} (budget {self._congest_bits})"
+            )
+
+    def _deliver_plain(
+        self,
+        round_index: int,
+        senders: Iterable[Tuple[int, Outbox]],
+        next_inboxes: List[Dict[int, Message]],
+    ) -> Optional[Tuple[int, int, int]]:
+        """Unperturbed delivery hot path: kept free of per-message branches.
+
+        Returns the first enforced CONGEST violation as ``(sender, port,
+        bits)``, or ``None``.  Violating messages are always counted (the
+        sender paid for them); under enforcement they are withheld from the
+        receiver and counted as dropped.
+        """
+        endpoints = self._endpoints
+        congest_budget = self._congest_bits
+        enforce = self.enforce_congest
+        total_count = 0
+        total_bits = 0
+        physical = 0
+        rejected = 0
+        violation: Optional[Tuple[int, int, int]] = None
+        for index, outbox in senders:
+            if not outbox:
+                continue
+            node_endpoints = endpoints[index]
+            for port, message in outbox.items():
+                bits = self._message_bits(message)
+                units = getattr(message, "congest_units", None)
+                count = int(units()) if callable(units) else 1
+                total_count += max(1, count)
+                total_bits += bits
+                physical += 1
+                if bits > congest_budget:
+                    self.metrics.record_congest_violation()
+                    if enforce:
+                        rejected += 1
+                        if violation is None:
+                            violation = (index, port, bits)
+                        continue
+                neighbor, neighbor_port = node_endpoints[port - 1]
+                next_inboxes[neighbor][neighbor_port] = message
+        if physical:
+            self.metrics.record_message(bits=total_bits, count=total_count)
+            self.metrics.record_sent(physical)
+            self.metrics.record_delivered(physical - rejected)
+        if rejected:
+            self.metrics.record_dropped(rejected)
+        return violation
 
     def _deliver_with_adversary(
         self,
         round_index: int,
-        outboxes: Sequence[Outbox],
+        senders: Iterable[Tuple[int, Outbox]],
         next_inboxes: List[Dict[int, Message]],
-    ) -> None:
+    ) -> Optional[Tuple[int, int, int]]:
         """Adversary-mediated delivery of this round's outboxes.
 
         Every sent message is counted in the metrics (the sender paid for
@@ -247,16 +390,23 @@ class SynchronousSimulator:
         traffic of their arrival round; if the target port is occupied the
         delayed copy is dropped (the port carries one message per round —
         CONGEST holds on the receiving side too) and counted as such.
+        Returns the first enforced CONGEST violation (see
+        :meth:`_deliver_plain`); an enforced violating message is withheld
+        before the adversary rules on it.
         """
         adversary = self._adversary
         endpoints = self._endpoints
         congest_budget = self._congest_bits
+        enforce = self.enforce_congest
         trace = self.trace
         total_count = 0
         total_bits = 0
+        physical = 0
+        delivered = 0
         dropped = 0
         delayed = 0
-        for index, outbox in enumerate(outboxes):
+        violation: Optional[Tuple[int, int, int]] = None
+        for index, outbox in senders:
             if not outbox:
                 continue
             node_endpoints = endpoints[index]
@@ -267,19 +417,20 @@ class SynchronousSimulator:
                 count = int(units()) if callable(units) else 1
                 total_count += max(1, count)
                 total_bits += bits
+                physical += 1
                 if bits > congest_budget:
                     self.metrics.record_congest_violation()
-                    if self.enforce_congest:
-                        self.metrics.record_message(bits=total_bits, count=total_count)
-                        raise CongestViolationError(
-                            f"node {index} sent {bits} bits through port {port} "
-                            f"in round {round_index} (budget {congest_budget})"
-                        )
+                    if enforce:
+                        dropped += 1
+                        if violation is None:
+                            violation = (index, port, bits)
+                        continue
                 verdict = adversary.on_message(
                     round_index, index, port, neighbor, neighbor_port, message
                 )
                 if verdict == DELIVER:
                     next_inboxes[neighbor][neighbor_port] = message
+                    delivered += 1
                 elif verdict < 0:
                     dropped += 1
                     trace.record(
@@ -317,13 +468,18 @@ class SynchronousSimulator:
                 )
             else:
                 next_inboxes[neighbor][neighbor_port] = message
+                delivered += 1
 
-        if total_count:
+        if physical:
             self.metrics.record_message(bits=total_bits, count=total_count)
+            self.metrics.record_sent(physical)
+        if delivered:
+            self.metrics.record_delivered(delivered)
         if dropped:
             self.metrics.record_dropped(dropped)
         if delayed:
             self.metrics.record_delayed(delayed)
+        return violation
 
     def run(
         self,
@@ -345,14 +501,10 @@ class SynchronousSimulator:
         """
         if max_rounds < 0:
             raise SimulationError(f"max_rounds must be non-negative, got {max_rounds}")
-        executed = 0
-        while executed < max_rounds:
-            if self.all_halted():
-                break
-            self.run_round()
-            executed += 1
-            if stop_when is not None and stop_when(self):
-                break
+        if self.backend == "event":
+            executed = self._run_event(max_rounds, stop_when)
+        else:
+            executed = self._run_round_loop(max_rounds, stop_when)
         all_halted = self.all_halted()
         if require_halt and not all_halted:
             raise SimulationError(
@@ -372,6 +524,113 @@ class SynchronousSimulator:
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
+    def _run_round_loop(
+        self,
+        max_rounds: int,
+        stop_when: Optional[Callable[["SynchronousSimulator"], bool]],
+    ) -> int:
+        """The original backend: step every non-halted node every round."""
+        executed = 0
+        while executed < max_rounds:
+            if self.all_halted():
+                break
+            self.run_round()
+            executed += 1
+            if stop_when is not None and stop_when(self):
+                break
+            if self._terminated_by_crashes():
+                break
+        return executed
+
+    def _run_event(
+        self,
+        max_rounds: int,
+        stop_when: Optional[Callable[["SynchronousSimulator"], bool]],
+    ) -> int:
+        """The event-driven backend: skip quiescent nodes and empty rounds.
+
+        Per round, only *active* nodes are stepped: a node is active when
+        it has not halted and either its inbox is non-empty or its declared
+        quiescence horizon (:meth:`ProtocolNode.quiescent_until`) has been
+        reached.  When no node is active — and no adversary, ``stop_when``
+        or in-flight delayed message can make a round observable — the
+        simulator fast-forwards to the earliest wakeup in O(1), recording
+        the skipped rounds in one batch.
+        """
+        nodes = self.nodes
+        wake = self._wake
+        for index, node in enumerate(nodes):
+            if not node.halted:
+                wake[index] = node.quiescent_until(self._round)
+        executed = 0
+        while executed < max_rounds:
+            if self.all_halted():
+                break
+            round_index = self._round
+            adversary = self._adversary
+            inboxes = self._inboxes
+            if adversary is None and stop_when is None and not self._delayed:
+                next_wake: Optional[int] = None
+                runnable = False
+                for index, node in enumerate(nodes):
+                    if node.halted:
+                        continue
+                    if inboxes[index] or wake[index] <= round_index:
+                        runnable = True
+                        break
+                    if next_wake is None or wake[index] < next_wake:
+                        next_wake = wake[index]
+                if not runnable:
+                    if next_wake is None:  # pragma: no cover - all_halted above
+                        break
+                    jump = min(next_wake - round_index, max_rounds - executed)
+                    self.metrics.record_round(jump)
+                    self._round += jump
+                    executed += jump
+                    continue
+            if adversary is not None:
+                adversary.begin_round(round_index)
+            senders: List[Tuple[int, Outbox]] = []
+            for index, node in enumerate(nodes):
+                if node.halted:
+                    continue
+                inbox = inboxes[index]
+                if not inbox and wake[index] > round_index:
+                    continue
+                if adversary is not None and not adversary.node_active(
+                    round_index, index
+                ):
+                    continue
+                outbox = node.step(round_index, inbox) or {}
+                wake[index] = node.quiescent_until(round_index + 1)
+                if outbox:
+                    self._validate_outbox(index, node, outbox)
+                    senders.append((index, outbox))
+            self._deliver_and_finish(round_index, senders)
+            executed += 1
+            if stop_when is not None and stop_when(self):
+                break
+            if self._terminated_by_crashes():
+                break
+        return executed
+
+    def _terminated_by_crashes(self) -> bool:
+        """Whether the round just executed left nobody able to act again.
+
+        True when an adversary is attached, no delayed message is in
+        flight, and every node has either halted or crashed for good
+        (:meth:`FaultAdversary.node_crashed`) as of the round just run —
+        continuing would only execute empty rounds until ``max_rounds``.
+        """
+        adversary = self._adversary
+        if adversary is None or self._delayed:
+            return False
+        round_index = self._round - 1
+        return all(
+            node.halted or adversary.node_crashed(round_index, index)
+            for index, node in enumerate(self.nodes)
+        )
+
     def _validate_outbox(self, index: int, node: ProtocolNode, outbox: Outbox) -> None:
         for port in outbox:
             if not (1 <= port <= node.num_ports):
@@ -402,6 +661,7 @@ def run_protocol(
     stop_when: Optional[Callable[[SynchronousSimulator], bool]] = None,
     require_halt: bool = False,
     adversary: Optional[FaultAdversary] = None,
+    backend: str = "auto",
 ) -> SimulationResult:
     """Convenience wrapper: build nodes, run, and return the result."""
     nodes = build_nodes(topology, factory, seed=seed)
@@ -412,6 +672,7 @@ def run_protocol(
         trace=trace,
         enforce_congest=enforce_congest,
         adversary=adversary,
+        backend=backend,
     )
     return simulator.run(
         max_rounds,

@@ -408,6 +408,10 @@ class CrashStopAdversary(SeededAdversary):
         crash_round = self._crash_round[node]
         return crash_round is None or round_index < crash_round
 
+    def node_crashed(self, round_index: int, node: int) -> bool:
+        crash_round = self._crash_round[node]
+        return crash_round is not None and round_index >= crash_round
+
     def on_message(
         self,
         round_index: int,
@@ -534,6 +538,9 @@ class ComposedAdversary(FaultAdversary):
 
     def node_active(self, round_index: int, node: int) -> bool:
         return all(part.node_active(round_index, node) for part in self.parts)
+
+    def node_crashed(self, round_index: int, node: int) -> bool:
+        return any(part.node_crashed(round_index, node) for part in self.parts)
 
     def on_message(
         self,

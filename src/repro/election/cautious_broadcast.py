@@ -285,6 +285,31 @@ class CautiousBroadcastState:
         self.avail.discard(port)
         return port
 
+    def quiescent(self) -> bool:
+        """Whether :meth:`prepare_transmissions` is a guaranteed no-op.
+
+        True only when every future call — until a message is received —
+        would return an empty outbox, draw nothing from the RNG and leave
+        the instance's observable behaviour unchanged (``rounds_executed``
+        may drift, but it only feeds ``exhausted``, which within a
+        super-round schedule can flip no earlier than the instance's final
+        in-phase step).  The event-driven simulator backend uses this to
+        skip nodes whose instances have all gone quiet.
+        """
+        if not self.joined or self.exhausted:
+            return True
+        if self.threshold >= self.config.territory_cap and self.status != STOPPED:
+            return False  # next step transitions to STOPPED and notifies
+        if self.status == STOPPED:
+            return self.stop_notified
+        if self.confirmed_subtree_size() >= self.threshold:
+            return False  # next step reports upward and doubles the threshold
+        if self.status != ACTIVE:
+            return True  # passive below threshold: nothing to do
+        if any(not self.child_active.get(port, False) for port in self.children):
+            return False  # next step re-activates children
+        return not self.avail  # growth only possible with a fresh port left
+
     # -------------------------------------------------------------- #
     # inspection
     # -------------------------------------------------------------- #
@@ -439,6 +464,10 @@ class CautiousBroadcastManager:
             return {}
         source_id = self._order[slot]
         return self._states[source_id].prepare_transmissions(rng)
+
+    def quiescent(self) -> bool:
+        """Whether every known instance is quiescent (slots are all no-ops)."""
+        return all(state.quiescent() for state in self._states.values())
 
     # -------------------------------------------------------------- #
     # inspection used by the later election phases and by analysis

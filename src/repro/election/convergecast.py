@@ -94,6 +94,22 @@ class ConvergecastState:
             for port in self.parent_ports
         }
 
+    def quiescent(self) -> bool:
+        """Whether :meth:`step` with an empty inbox is a guaranteed no-op.
+
+        A node goes quiet once it has nothing (new) to report: candidates
+        and orphans never send, and everyone else re-sends only when the
+        maximum improves — which requires a reception, which wakes the
+        node.  Only ``rounds_executed`` would advance, which feeds no
+        decision.
+        """
+        return (
+            self.candidate
+            or not self.parent_ports
+            or self.max_walk_id <= 0
+            or self.max_walk_id <= self._last_reported
+        )
+
     def summary(self) -> Dict[str, object]:
         return {
             "candidate": self.candidate,

@@ -297,6 +297,33 @@ class IrrevocableLeaderElectionNode(ProtocolNode):
         return {}
 
     # ------------------------------------------------------------------ #
+    def quiescent_until(self, round_index: int) -> int:
+        """Declare quiescence to the event-driven simulator backend.
+
+        Each phase's state machine knows when stepping it with an empty
+        inbox is a no-op (see the ``quiescent`` methods of the broadcast,
+        walk and convergecast states); while that holds, the node may
+        sleep until the next phase boundary — any reception wakes it, and
+        the first round of a phase always wakes it to build that phase's
+        state.  The declaration makes the event backend bit-identical to
+        the round backend on this protocol: skipped steps would have sent
+        nothing, drawn nothing and decided nothing.
+        """
+        if round_index < self._broadcast_end:
+            if self._broadcast.quiescent():
+                return self._broadcast_end
+            return round_index
+        if round_index < self._walk_end:
+            if self._walk is not None and self._walk.quiescent():
+                return self._walk_end
+            return round_index
+        if round_index < self._convergecast_end:
+            if self._convergecast is not None and self._convergecast.quiescent():
+                return self._convergecast_end
+            return round_index
+        return round_index
+
+    # ------------------------------------------------------------------ #
     def result(self) -> Dict[str, object]:
         return {
             "leader": self.leader,

@@ -144,6 +144,18 @@ class RandomWalkProbeState:
             if count > 0
         }
 
+    def quiescent(self) -> bool:
+        """Whether :meth:`step` with an empty inbox is a guaranteed no-op.
+
+        True once the initial scatter is done and the node holds no
+        tokens: absorbing an empty inbox changes nothing, moving zero
+        tokens draws no randomness and sends nothing.  Only
+        ``rounds_executed`` would advance, which feeds no decision.  The
+        event-driven backend uses this to park nodes no walk currently
+        visits; an arriving token always wakes them.
+        """
+        return self._initial_scatter_done and self.tokens == 0
+
     def summary(self) -> Dict[str, object]:
         return {
             "candidate": self.candidate,

@@ -120,6 +120,8 @@ def result_from_record(
         congest_violations=metrics_dict["congest_violations"],
         dropped_messages=metrics_dict.get("dropped_messages", 0),
         delayed_messages=metrics_dict.get("delayed_messages", 0),
+        sent_messages=metrics_dict.get("sent_messages", 0),
+        delivered_messages=metrics_dict.get("delivered_messages", 0),
         events=dict(metrics_dict.get("events", {})),
         phases={
             name: PhaseMetrics(**phase)

@@ -58,6 +58,7 @@ from ..analysis.streaming import (
     abort_sinks,
 )
 from ..core.errors import ConfigurationError, ReproError
+from ..core.simulator import BACKENDS, backend_scope, set_default_backend
 from ..election.base import LeaderElectionResult
 from ..graphs.properties import ExpansionProfile
 from .checkpoint import (
@@ -114,6 +115,7 @@ def run_parallel_experiment(
     base_seed: Optional[int] = None,
     shard: Optional[Tuple[int, int]] = None,
     sinks: Sequence[ResultSink] = (),
+    backend: str = "auto",
 ) -> ExperimentResult:
     """Parallel drop-in for :func:`repro.analysis.experiments.run_experiment`."""
     return run_experiments(
@@ -128,6 +130,7 @@ def run_parallel_experiment(
         base_seed=base_seed,
         shard=shard,
         sinks=sinks,
+        backend=backend,
     )[0]
 
 
@@ -144,6 +147,7 @@ def run_experiments(
     base_seed: Optional[int] = None,
     shard: Optional[Tuple[int, int]] = None,
     sinks: Sequence[ResultSink] = (),
+    backend: str = "auto",
 ) -> List[ExperimentResult]:
     """Run several specs through one worker pool and stream per-cell aggregates.
 
@@ -173,9 +177,19 @@ def run_experiments(
     grid); ``sinks`` are additional caller-supplied
     :class:`~repro.analysis.streaming.ResultSink` objects fed each run —
     fresh or restored from a checkpoint — as it completes.
+
+    ``backend`` selects the simulator core (``"auto"``, ``"round"`` or
+    ``"event"`` — see :class:`repro.core.simulator.SynchronousSimulator`)
+    for every run of the sweep, including pool workers under any start
+    method.  It never enters task keys, so checkpoints written under one
+    backend resume cleanly under the other.
     """
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    if backend not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown simulator backend {backend!r}: expected one of {BACKENDS}"
+        )
     names = [spec.name for spec in specs]
     if len(set(names)) != len(names):
         raise ConfigurationError(
@@ -244,6 +258,7 @@ def run_experiments(
             profiles=profiles,
             aggregates=aggregates,
             collector=collector,
+            backend=backend,
         )
     except BaseException:
         # A run raised: abort the sinks — an export sink (JsonlSink)
@@ -268,6 +283,7 @@ def _execute_and_assemble(
     profiles,
     aggregates,
     collector,
+    backend,
 ) -> List[ExperimentResult]:
     """Run the pending tasks and assemble per-spec results (see caller)."""
     completed_keys = set()
@@ -283,7 +299,14 @@ def _execute_and_assemble(
     try:
         if workers > 1 and len(pending) > 1:
             context = multiprocessing.get_context(start_method)
-            with context.Pool(processes=min(workers, len(pending))) as pool:
+            # set_default_backend as initializer: the backend choice must
+            # reach the workers under "spawn" too, where the parent's
+            # in-process scope stack does not survive the fork-less hop.
+            with context.Pool(
+                processes=min(workers, len(pending)),
+                initializer=set_default_backend,
+                initargs=(backend,),
+            ) as pool:
                 # imap_unordered: runs are checkpointed and folded into
                 # their cells the moment they finish, never queued behind
                 # a slow head-of-line task (the aggregates are exact, so
@@ -295,13 +318,14 @@ def _execute_and_assemble(
                         store.add(key, result_to_record(result, elapsed))
                     consume(key, result, elapsed)
         else:
-            for task in pending:
-                # Same entry point as the pool workers, so failures carry
-                # the same grid-coordinate context either way.
-                key, result, elapsed = _execute_task(task)
-                if store is not None:
-                    store.add(key, result_to_record(result, elapsed))
-                consume(key, result, elapsed)
+            with backend_scope(backend):
+                for task in pending:
+                    # Same entry point as the pool workers, so failures
+                    # carry the same grid-coordinate context either way.
+                    key, result, elapsed = _execute_task(task)
+                    if store is not None:
+                        store.add(key, result_to_record(result, elapsed))
+                    consume(key, result, elapsed)
     finally:
         # Sharded jobs flush even with nothing pending: a shard whose
         # round-robin slice is empty (grid smaller than k) must still

@@ -884,3 +884,105 @@ class TestComposedAdversary:
             assert rung.name == "composed"
             assert "skew" in dict(rung.params)["models"]
             assert "delay" in dict(rung.params)["models"]
+
+
+# --------------------------------------------------------------------------- #
+# message conservation and delayed-message accounting
+# --------------------------------------------------------------------------- #
+
+
+class TestMessageConservationUnderFaults:
+    """sent == delivered + dropped + pending, whatever the adversary does."""
+
+    @pytest.mark.parametrize("adversary", ADVERSARY_GRID, ids=lambda s: s.token())
+    def test_identity_on_every_adversarial_grid_entry(self, adversary):
+        simulator = _chatter_simulator(
+            torus_2d(4, 4), adversary=make_adversary(adversary, 7)
+        )
+        simulator.run(10)
+        metrics = simulator.metrics
+        assert metrics.sent_messages == (
+            metrics.delivered_messages
+            + metrics.dropped_messages
+            + simulator.pending_delayed()
+        )
+
+    def test_pending_delayed_exposed_mid_run(self):
+        adversary = MessageDelayAdversary(p=0.6, max_delay=5, seed=3)
+        simulator = _chatter_simulator(torus_2d(4, 4), adversary=adversary)
+        simulator.run(2)
+        metrics = simulator.metrics
+        assert simulator.pending_delayed() > 0
+        assert metrics.sent_messages == (
+            metrics.delivered_messages
+            + metrics.dropped_messages
+            + simulator.pending_delayed()
+        )
+
+    def test_delayed_messages_drain_across_run_calls(self):
+        # Messages delayed past the end of one run() call must arrive in
+        # the next, not leak: a single round-0 burst, delayed with
+        # certainty, fully resolves once enough further rounds execute.
+        class BurstNode(ProtocolNode):
+            def step(self, round_index, inbox):
+                if round_index == 0:
+                    return {port: Ping() for port in self.ports()}
+                return {}
+
+        topology = cycle(8)
+        nodes = build_nodes(topology, lambda i, p, rng: BurstNode(p, rng), seed=0)
+        adversary = MessageDelayAdversary(p=1.0, max_delay=4, seed=5)
+        simulator = SynchronousSimulator(topology, nodes, adversary=adversary)
+        simulator.run(2)
+        assert simulator.pending_delayed() > 0
+        simulator.run(8)
+        assert simulator.pending_delayed() == 0
+        metrics = simulator.metrics
+        assert metrics.sent_messages == 16
+        assert metrics.delivered_messages + metrics.dropped_messages == 16
+
+    def test_identity_under_composed_skew_delay(self):
+        spec = AdversarySpec.create(
+            "composed", models="skew+delay", **{"skew.p": 0.3, "delay.p": 0.2}
+        )
+        simulator = _chatter_simulator(
+            torus_2d(4, 4), adversary=make_adversary(spec, 11)
+        )
+        simulator.run(6)
+        metrics = simulator.metrics
+        assert metrics.delayed_messages > 0
+        assert metrics.sent_messages == (
+            metrics.delivered_messages
+            + metrics.dropped_messages
+            + simulator.pending_delayed()
+        )
+
+
+# --------------------------------------------------------------------------- #
+# crash-stop termination
+# --------------------------------------------------------------------------- #
+
+
+class TestCrashStopTermination:
+    """A run whose every node crashed must stop, not spin to max_rounds."""
+
+    def test_all_crashed_terminates_run_early(self):
+        adversary = CrashStopAdversary(p=1.0, horizon=1, seed=3)
+        result = _chatter_simulator(cycle(8), adversary=adversary).run(5)
+        # Round 0 runs normally; round 1 executes the crashes (so their
+        # fault events are recorded) and then the run terminates instead
+        # of stepping a fully-dead network for three more rounds.
+        assert result.rounds_executed == 2
+        assert result.metrics.events["fault.node-crash"] == 8
+
+    def test_no_crashes_still_runs_to_max_rounds(self):
+        adversary = CrashStopAdversary(p=0.0, horizon=8, seed=3)
+        result = _chatter_simulator(cycle(8), adversary=adversary).run(5)
+        assert result.rounds_executed == 5
+
+    def test_survivors_keep_the_run_alive(self):
+        adversary = CrashStopAdversary(p=0.5, horizon=2, seed=21)
+        result = _chatter_simulator(cycle(8), adversary=adversary).run(6)
+        crashed = adversary.crashed_nodes(6)
+        assert 0 < len(crashed) < 8
+        assert result.rounds_executed == 6
