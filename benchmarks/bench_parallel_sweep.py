@@ -27,12 +27,15 @@ from __future__ import annotations
 
 import os
 import resource
+import tempfile
 import time
 import tracemalloc
+from pathlib import Path
 
 import pytest
 
 from repro.graphs import cycle
+from repro.obs import TelemetrySink, read_telemetry, summarize_telemetry
 from repro.parallel import run_experiments
 from repro.workloads import mixed_suite, sweep_specs, tiny_suite
 
@@ -59,7 +62,28 @@ def _run_both():
     started = time.perf_counter()
     parallel = run_experiments(_build_specs(), workers=WORKERS)
     parallel_seconds = time.perf_counter() - started
-    return serial, serial_seconds, parallel, parallel_seconds
+
+    # Third leg: the identical pooled sweep with telemetry streaming to
+    # JSONL.  Its wall-clock against the bare pooled run is the telemetry
+    # overhead the <3% budget is enforced on (profiling excluded — that is
+    # a different instrument with honest cProfile overhead).
+    with tempfile.TemporaryDirectory() as tmp:
+        sink = TelemetrySink(Path(tmp) / "telemetry.jsonl")
+        started = time.perf_counter()
+        instrumented = run_experiments(
+            _build_specs(), workers=WORKERS, telemetry=sink
+        )
+        telemetry_seconds = time.perf_counter() - started
+        telemetry_summary = summarize_telemetry(read_telemetry(sink.path))
+    return (
+        serial,
+        serial_seconds,
+        parallel,
+        parallel_seconds,
+        instrumented,
+        telemetry_seconds,
+        telemetry_summary,
+    )
 
 
 def _comparable(cells):
@@ -73,11 +97,20 @@ def _comparable(cells):
 
 @pytest.mark.benchmark(group=EXPERIMENT_ID)
 def test_parallel_sweep(benchmark):
-    serial, serial_seconds, parallel, parallel_seconds = benchmark.pedantic(
-        _run_both, rounds=1, iterations=1
-    )
+    (
+        serial,
+        serial_seconds,
+        parallel,
+        parallel_seconds,
+        instrumented,
+        telemetry_seconds,
+        telemetry_summary,
+    ) = benchmark.pedantic(_run_both, rounds=1, iterations=1)
 
     speedup = serial_seconds / parallel_seconds if parallel_seconds else 0.0
+    telemetry_overhead = (
+        telemetry_seconds / parallel_seconds - 1.0 if parallel_seconds else 0.0
+    )
     # Affinity-aware count: cgroup/taskset-restricted runners report the
     # cores this process can actually use, not the host's.
     cpu_count = len(os.sched_getaffinity(0))
@@ -90,6 +123,11 @@ def test_parallel_sweep(benchmark):
             "backend": "parallel",
             "workers": WORKERS,
             "wall_clock_seconds": parallel_seconds,
+        },
+        {
+            "backend": "parallel+telemetry",
+            "workers": WORKERS,
+            "wall_clock_seconds": telemetry_seconds,
         },
     ]
     record_report(
@@ -112,6 +150,9 @@ def test_parallel_sweep(benchmark):
             "serial_seconds": serial_seconds,
             "parallel_seconds": parallel_seconds,
             "speedup": speedup,
+            "telemetry_seconds": telemetry_seconds,
+            "telemetry_overhead": telemetry_overhead,
+            "telemetry_runs_measured": telemetry_summary["runs"],
             "smoke": SMOKE,
         },
     )
@@ -120,6 +161,11 @@ def test_parallel_sweep(benchmark):
     # Determinism first: the pool must not change a single aggregate.
     for serial_result, parallel_result in zip(serial, parallel):
         assert _comparable(parallel_result.cells) == _comparable(serial_result.cells)
+    # Telemetry observes without perturbing: same cells again, and every
+    # executed run produced a task record.
+    for serial_result, telemetry_result in zip(serial, instrumented):
+        assert _comparable(telemetry_result.cells) == _comparable(serial_result.cells)
+    assert telemetry_summary["runs"] == runs
 
     if SMOKE:
         # Smoke mode checks the wiring (specs build, both backends run,
@@ -136,6 +182,19 @@ def test_parallel_sweep(benchmark):
         print(
             f"only {cpu_count} usable core(s): speedup threshold not "
             f"enforced (measured {speedup:.2f}x)"
+        )
+
+    if SMOKE:
+        print(
+            "smoke mode: telemetry overhead budget not enforced "
+            f"({telemetry_overhead:+.1%})"
+        )
+    else:
+        # The budget the telemetry layer is sold on: streaming per-task
+        # records must cost under 3% of the pooled sweep's wall-clock.
+        assert telemetry_overhead < 0.03, (
+            f"telemetry overhead {telemetry_overhead:+.1%} over budget "
+            f"({parallel_seconds:.1f}s -> {telemetry_seconds:.1f}s)"
         )
 
 

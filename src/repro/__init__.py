@@ -14,6 +14,8 @@ The package is organised as:
 * :mod:`repro.analysis` — experiment runner, complexity fitting, reports;
 * :mod:`repro.dynamics` — adversarial network dynamics: fault injection,
   link churn, and robustness sweeps over the execution model;
+* :mod:`repro.obs` — observability of the sweep machinery itself: span
+  timers, per-task telemetry/JSONL export, in-worker profiling;
 * :mod:`repro.parallel` — multiprocessing sweep engine with checkpoints;
 * :mod:`repro.protocols` — first-class protocol configuration: the
   registry of protocol names, parameter schemas and sweepable
@@ -39,6 +41,7 @@ from . import (
     election,
     graphs,
     impossibility,
+    obs,
     protocols,
     workloads,
 )
@@ -53,6 +56,7 @@ __all__ = [
     "impossibility",
     "analysis",
     "dynamics",
+    "obs",
     "protocols",
     "workloads",
     "__version__",

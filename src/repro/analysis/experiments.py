@@ -36,6 +36,7 @@ from typing import (
 from ..core.errors import ConfigurationError
 from ..core.simulator import backend_scope
 from ..election.base import LeaderElectionResult, SafetyTally
+from ..obs import TelemetrySink, span
 from ..graphs.properties import ExpansionProfile, expansion_profile
 from ..graphs.topology import Topology
 from .streaming import (
@@ -253,10 +254,14 @@ def execute_run(
 
     This is the single unit of work shared by the serial driver below and
     the worker processes of :mod:`repro.parallel`; keeping it in one place
-    guarantees both backends run cells identically.
+    guarantees both backends run cells identically.  The ``"simulate"``
+    span covers the protocol execution itself wherever a run happens —
+    with telemetry off it degrades to a shared no-op (see
+    :func:`repro.obs.span`).
     """
     started = time.perf_counter()
-    result = runner(topology, seed)
+    with span("simulate"):
+        result = runner(topology, seed)
     return result, time.perf_counter() - started
 
 
@@ -364,6 +369,8 @@ def run_experiment(
     start_method: Optional[str] = None,
     sinks: Sequence[ResultSink] = (),
     backend: str = "auto",
+    telemetry: Optional[TelemetrySink] = None,
+    profile: Optional[str] = None,
 ) -> ExperimentResult:
     """Run every (topology, seed) pair of the spec and aggregate per topology.
 
@@ -392,8 +399,22 @@ def run_experiment(
     (``"auto"``, ``"round"`` or ``"event"`` — see
     :class:`repro.core.simulator.SynchronousSimulator`); both cores
     produce bit-identical results, so this is a pure performance knob.
+
+    ``telemetry`` attaches a :class:`repro.obs.TelemetrySink`: per-task
+    timing records (queue wait, simulate/fold/checkpoint durations,
+    worker id) stream to its JSONL file and fold into an end-of-sweep
+    utilization/straggler summary.  Telemetry observes without
+    perturbing — results are bit-identical with it on or off.
+    ``profile`` (requires ``telemetry``) additionally runs each task
+    under an in-worker profiler (see :data:`repro.obs.PROFILERS`) and
+    aggregates pool-wide hotspots into the telemetry.  Both route
+    execution through the parallel engine, like ``checkpoint`` does.
     """
-    if (workers is not None and workers > 1) or checkpoint is not None:
+    if (
+        (workers is not None and workers > 1)
+        or checkpoint is not None
+        or telemetry is not None
+    ):
         from ..parallel.runner import run_parallel_experiment
 
         return run_parallel_experiment(
@@ -406,6 +427,13 @@ def run_experiment(
             keep_results=keep_results,
             sinks=sinks,
             backend=backend,
+            telemetry=telemetry,
+            profile=profile,
+        )
+    if profile is not None:
+        raise ConfigurationError(
+            "profile= requires telemetry=: hotspots are reported through "
+            "the telemetry summary (pass telemetry=TelemetrySink(path))"
         )
     aggregates = CellAggregatingSink()
     collector = CollectingSink() if keep_results else None

@@ -32,8 +32,9 @@ Sinks
   file (``repro-le sweep --jsonl out.jsonl``), so per-run data reaches
   offline analysis without retaining anything in memory;
 * :class:`ProgressSink` — periodically logs ``completed/total`` runs
-  (``repro-le sweep --progress``), so long sharded sweeps running on
-  other machines stay observable from their job logs;
+  with elapsed time, throughput and an ETA (``repro-le sweep
+  --progress``), so long sharded sweeps running on other machines stay
+  observable from their job logs;
 * any user-supplied object implementing :class:`ResultSink` can be passed
   to the experiment drivers (``sinks=...``) to observe runs as they
   complete (progress bars, live dashboards, external writers).
@@ -48,9 +49,10 @@ import shutil
 import sys
 from fractions import Fraction
 from pathlib import Path
-from typing import Dict, List, Optional, TextIO, Tuple, Union
+from typing import Callable, Dict, List, Optional, TextIO, Tuple, Union
 
 from ..election.base import LeaderElectionResult, SafetyTally
+from ..obs import Stopwatch
 
 __all__ = [
     "CellAggregate",
@@ -313,12 +315,16 @@ class ProgressSink(ResultSink):
     shows how far *its slice* has come — including runs restored from the
     shard's checkpoint, which stream through the sinks like fresh ones.
 
-    Reporting is count-based, hence deterministic: a line every ``every``
-    completed runs (default: ~5% of ``total``, every 25 runs when the
-    total is unknown) plus a final line at close.  Lines go to ``stream``
-    (default ``stderr``, keeping stdout's result tables clean)::
+    Reporting cadence is count-based, hence deterministic: a line every
+    ``every`` completed runs (default: ~5% of ``total``, every 25 runs
+    when the total is unknown) plus a final line at close.  Each line
+    also carries elapsed time, throughput and — when the total is known
+    and runs remain — an ETA, timed by a :class:`repro.obs.Stopwatch`
+    (``clock`` is injectable so tests pin the timing part down too).
+    Lines go to ``stream`` (default ``stderr``, keeping stdout's result
+    tables clean)::
 
-        progress[shard 2/8]: 48/96 runs (50.0%)
+        progress[shard 2/8]: 48/96 runs (50.0%) | 12.0s elapsed, 4.0 runs/s, ETA 12.0s
     """
 
     def __init__(
@@ -328,6 +334,7 @@ class ProgressSink(ResultSink):
         label: str = "",
         every: Optional[int] = None,
         stream: Optional[TextIO] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         if total is not None and total < 0:
             raise ValueError(f"total must be >= 0, got {total}")
@@ -339,6 +346,7 @@ class ProgressSink(ResultSink):
             max(1, total // 20) if total else 25
         )
         self._stream = stream
+        self._stopwatch = Stopwatch(clock)
         self._count = 0
         self._reported_at = -1
 
@@ -347,8 +355,19 @@ class ProgressSink(ResultSink):
             detail = f"{self._count}/{self._total} runs ({self._count / self._total:.1%})"
         else:
             detail = f"{self._count} runs"
+        elapsed = self._stopwatch.elapsed()
+        timing = f"{elapsed:.1f}s elapsed"
+        if self._count and elapsed > 0:
+            rate = self._count / elapsed
+            timing += f", {rate:.1f} runs/s"
+            if self._total and self._count < self._total:
+                # Naive linear ETA — the honest choice here: cells are
+                # heterogeneous, but the operator wants *an* estimate.
+                timing += f", ETA {(self._total - self._count) / rate:.1f}s"
         stream = self._stream if self._stream is not None else sys.stderr
-        print(f"progress{self._label}: {detail}", file=stream, flush=True)
+        print(
+            f"progress{self._label}: {detail} | {timing}", file=stream, flush=True
+        )
         self._reported_at = self._count
 
     def emit(self, spec_name, topology_index, seed_index, result, wall_clock_seconds):

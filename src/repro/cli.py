@@ -28,6 +28,10 @@ Examples::
     repro-le sweep     --suite tiny --algorithms flooding --scenario lossy
     repro-le sweep     --suite mixed --algorithms flooding --seeds 5 \
                        --checkpoint sweep.json --shard 0/4   # one of 4 jobs
+    repro-le sweep     --suite mixed --algorithms flooding --seeds 5 \
+                       --workers 4 --telemetry tel.jsonl \
+                       --profile cprofile       # sweep telemetry + hotspots
+    repro-le stats     tel.jsonl --top 5        # post-hoc telemetry summary
     repro-le merge     --manifest sweep.manifest.json --output sweep.json
     repro-le impossibility --n 6 --witnesses 4 --trials 10
 
@@ -108,9 +112,29 @@ def _cmd_protocols(args: argparse.Namespace) -> int:
 
 
 def _cmd_elect(args: argparse.Namespace) -> int:
+    if args.adversary_param and not args.adversary:
+        raise ReproError("--adversary-param requires --adversary")
     topology = parse_topology(args.topology, seed=args.topology_seed)
     spec = ProtocolSpec.parse(args.algorithm)
-    result = protocol_runner(spec)(topology, args.seed)
+    runner = protocol_runner(spec)
+    adversary = None
+    if args.adversary:
+        from .dynamics import parse_adversary_params, spec_from_cli
+        from .dynamics.runners import AdversarialRunner
+
+        adversary = spec_from_cli(
+            args.adversary, parse_adversary_params(args.adversary_param or [])
+        )
+        runner = AdversarialRunner(runner, adversary)
+    recorder = None
+    if args.trace:
+        from .core.tracing import TraceRecorder, trace_scope
+
+        recorder = TraceRecorder(max_events=args.trace_max_events)
+        with trace_scope(recorder):
+            result = runner(topology, args.seed)
+    else:
+        result = runner(topology, args.seed)
     summary = {
         "algorithm": result.algorithm,
         "topology": result.topology_name,
@@ -123,6 +147,16 @@ def _cmd_elect(args: argparse.Namespace) -> int:
     }
     if spec.params:
         summary = {"algorithm": summary["algorithm"], "protocol": str(spec), **summary}
+    if adversary is not None:
+        summary["adversary"] = adversary.token()
+    if recorder is not None:
+        trace_summary = recorder.summary()
+        recorder.to_jsonl(args.trace)
+        summary["trace events"] = trace_summary["events"]
+        # Dropped events surface in the output even when zero: a bounded
+        # trace must say whether it is complete.
+        summary["trace events dropped"] = trace_summary["dropped"]
+        summary["trace file"] = str(args.trace)
     print(render_kv(summary, title="election result"))
     if args.explicit:
         if not result.success:
@@ -224,10 +258,46 @@ def build_sweep_specs(args: argparse.Namespace, topologies: Sequence[Topology]):
     return specs, adversarial
 
 
+def _print_telemetry_summary(summary: Dict[str, object], *, title: str) -> None:
+    """Render a telemetry summary (live after a sweep, or from ``stats``).
+
+    One printer for both consumers, so the post-hoc report is the live
+    report — the round-trip guarantee the telemetry layer tests.
+    """
+    totals = summary.get("totals") or {}
+    headline: Dict[str, object] = {
+        "runs measured": summary.get("runs"),
+        "runs restored": summary.get("restored"),
+        "workers": summary.get("workers"),
+        "backend": summary.get("backend"),
+        "elapsed seconds": summary.get("elapsed_seconds"),
+        "simulate seconds (sum)": totals.get("simulate_seconds"),
+        "queue-wait seconds (sum)": totals.get("queue_wait_seconds"),
+        "fold seconds (sum)": totals.get("fold_seconds"),
+        "checkpoint seconds (sum)": totals.get("checkpoint_seconds"),
+        "checkpoint I/O share": summary.get("checkpoint_io_share"),
+    }
+    if summary.get("shard"):
+        headline["shard"] = summary["shard"]
+    if summary.get("profile"):
+        headline["profiler"] = summary["profile"]
+    print(render_kv(headline, title=title))
+    for rows, section in (
+        (summary.get("worker_utilization"), "worker utilization"),
+        (summary.get("cells"), "per-cell simulate latency (seconds)"),
+        (summary.get("stragglers"), "top straggler tasks"),
+        (summary.get("profile_hotspots"), "profile hotspots (pool-wide)"),
+    ):
+        if rows:
+            print()
+            print(render_table(rows, title=section))
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .analysis import summarize_results
     from .analysis.streaming import JsonlSink, ProgressSink
     from .election.base import SafetyTally
+    from .obs import TelemetrySink
     from .parallel import parse_shard, run_experiments
     from .workloads import DYNAMIC_SCENARIOS, suite_by_name
 
@@ -239,6 +309,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         raise ReproError("--adversary-param requires --adversary")
     if args.checkpoint_compact and not args.checkpoint:
         raise ReproError("--checkpoint-compact requires --checkpoint")
+    if args.profile and not args.telemetry:
+        raise ReproError(
+            "--profile requires --telemetry (hotspots are reported through "
+            "the telemetry summary)"
+        )
     shard = None
     if args.shard is not None:
         if not args.checkpoint:
@@ -260,6 +335,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             jsonl, shard[0], shard[1], default_suffix=".jsonl"
         )
         print(f"shard {shard[0]}/{shard[1]}: writing JSONL export to {jsonl}")
+    telemetry_path = args.telemetry
+    if telemetry_path and shard is not None:
+        # Same rule as --jsonl: k shard jobs sharing one --telemetry
+        # spelling each publish their own slice's file.
+        from .parallel import shard_checkpoint_path
+
+        telemetry_path = shard_checkpoint_path(
+            telemetry_path, shard[0], shard[1], default_suffix=".jsonl"
+        )
+        print(f"shard {shard[0]}/{shard[1]}: writing telemetry to {telemetry_path}")
+    telemetry = TelemetrySink(telemetry_path) if telemetry_path else None
     sinks: List[object] = [JsonlSink(jsonl)] if jsonl else []
     if args.progress:
         # Count this job's slice, not the whole grid: a sharded job owns
@@ -281,12 +367,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         shard=shard,
         sinks=sinks,
         backend=args.backend,
+        telemetry=telemetry,
+        profile=args.profile,
     )
     rows = summarize_results(results)
     title = f"sweep over suite {args.suite!r}"
     if shard is not None:
         title += f" (shard {shard[0]}/{shard[1]}: this job's slice only)"
     print(render_table(rows, title=title))
+    if telemetry is not None:
+        print()
+        _print_telemetry_summary(
+            telemetry.summary(),
+            title=f"sweep telemetry ({telemetry_path})",
+        )
     if adversarial:
         # Under fault injection liveness is expected to degrade; the exit
         # criterion becomes the safety half of Definitions 1-2: no run may
@@ -340,6 +434,28 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
         else 1
     )
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .obs import read_telemetry, summarize_telemetry
+
+    records: List[Dict[str, object]] = []
+    for path in args.telemetry:
+        try:
+            records.extend(read_telemetry(path))
+        except OSError as error:
+            raise ReproError(
+                f"cannot read telemetry file {path}: {error}"
+            ) from error
+        except ValueError as error:
+            raise ReproError(
+                f"{path} is not valid telemetry JSONL: {error}"
+            ) from error
+    summary = summarize_telemetry(records, top=args.top)
+    _print_telemetry_summary(
+        summary, title=f"telemetry summary: {', '.join(args.telemetry)}"
+    )
+    return 0
 
 
 def _cmd_merge(args: argparse.Namespace) -> int:
@@ -410,6 +526,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--explicit",
         action="store_true",
         help="after the implicit election, announce the leader and build a BFS tree",
+    )
+    elect.add_argument(
+        "--adversary",
+        default=None,
+        metavar="NAME[:K=V,...]",
+        help="run the election under a fault adversary, e.g. loss:p=0.1 "
+        "(same families as sweep --adversary; fault injections show up "
+        "in --trace exports)",
+    )
+    elect.add_argument(
+        "--adversary-param",
+        action="append",
+        metavar="K=V",
+        help="adversary parameter, e.g. p=0.05 or max_delay=3 (repeatable)",
+    )
+    elect.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record the run's execution trace and export it to PATH as "
+        "JSONL (header line with event/dropped counts, then one event "
+        "per line); the result output reports the counts",
+    )
+    elect.add_argument(
+        "--trace-max-events",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap the trace at N events (excess events are counted as "
+        "dropped, and the drop count is surfaced in the output)",
     )
     elect.set_defaults(func=_cmd_elect)
 
@@ -510,6 +656,25 @@ def build_parser() -> argparse.ArgumentParser:
         "PATH-derived .shardIofK file",
     )
     sweep.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="stream per-task telemetry (queue wait, simulate/fold/"
+        "checkpoint durations, worker id) to PATH as JSONL and print a "
+        "utilization/straggler summary; results are bit-identical with "
+        "or without it. Query the file later with `repro-le stats`. "
+        "With --shard I/K each job writes its own PATH-derived "
+        ".shardIofK file",
+    )
+    sweep.add_argument(
+        "--profile",
+        default=None,
+        choices=["cprofile"],
+        help="run every task under an in-worker profiler and aggregate "
+        "pool-wide hotspots into the telemetry summary (requires "
+        "--telemetry; inflates per-task wall-clock)",
+    )
+    sweep.add_argument(
         "--progress",
         action="store_true",
         help="periodically log completed/total runs to stderr (a sharded "
@@ -574,6 +739,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the merged checkpoint without per-node diagnostics",
     )
     merge.set_defaults(func=_cmd_merge)
+
+    stats = subparsers.add_parser(
+        "stats",
+        help="summarize a sweep's telemetry JSONL post-hoc (utilization, "
+        "per-cell latency percentiles, stragglers, checkpoint I/O share)",
+    )
+    stats.add_argument(
+        "telemetry",
+        nargs="+",
+        metavar="TELEMETRY_JSONL",
+        help="telemetry file(s) written by `repro-le sweep --telemetry`; "
+        "several files (e.g. per-shard exports) fold into one summary",
+    )
+    stats.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="how many straggler tasks to list (default 10)",
+    )
+    stats.set_defaults(func=_cmd_stats)
 
     impossibility = subparsers.add_parser(
         "impossibility", help="run the Theorem 2 pumping-wheel demonstration"

@@ -24,7 +24,13 @@ from .simulator import (
     run_protocol,
     set_default_backend,
 )
-from .tracing import NullTraceRecorder, TraceEvent, TraceRecorder
+from .tracing import (
+    NullTraceRecorder,
+    TraceEvent,
+    TraceRecorder,
+    active_trace,
+    trace_scope,
+)
 
 __all__ = [
     "ReproError",
@@ -67,4 +73,6 @@ __all__ = [
     "TraceRecorder",
     "TraceEvent",
     "NullTraceRecorder",
+    "active_trace",
+    "trace_scope",
 ]

@@ -152,6 +152,8 @@ class MetricsCollector:
 
     def record_congest_violation(self, count: int = 1) -> None:
         """Record a message that exceeded the configured CONGEST bit budget."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
         self._congest_violations += count
 
     def record_dropped(self, count: int = 1) -> None:

@@ -49,7 +49,7 @@ from .messages import Message, congest_budget_bits
 from .metrics import Metrics, MetricsCollector
 from .node import Outbox, ProtocolNode
 from .rng import spawn_child_rngs
-from .tracing import NullTraceRecorder, TraceRecorder
+from .tracing import NullTraceRecorder, TraceRecorder, active_trace
 
 __all__ = [
     "BACKENDS",
@@ -195,6 +195,11 @@ class SynchronousSimulator:
         self.topology = topology
         self.nodes = list(nodes)
         self.metrics = metrics if metrics is not None else MetricsCollector()
+        # Explicit trace= wins; otherwise an ambient trace_scope recorder
+        # (the route into registry-driven runs, e.g. `elect --trace`);
+        # otherwise the no-op recorder.
+        if trace is None:
+            trace = active_trace()
         self.trace = trace if trace is not None else NullTraceRecorder()
         self.enforce_congest = enforce_congest
         self.count_bits = count_bits

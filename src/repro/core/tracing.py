@@ -6,14 +6,36 @@ what through which port, when nodes changed protocol phase, when a node
 halted.  The :class:`TraceRecorder` collects such events cheaply (it is a
 no-op unless enabled) and the tests and examples use it to assert on and to
 display protocol behaviour.
+
+Traces stop at the process boundary by design (events reference live
+protocol state), but they no longer stop at the Python boundary:
+:meth:`TraceRecorder.to_jsonl` exports a structured JSONL file — a
+header line with the event/drop counts, then one JSON line per event —
+and :meth:`TraceRecorder.summary` reports what was kept vs dropped, so
+run output can always say whether a bounded trace is complete.
+
+:func:`trace_scope` is the ambient route into the simulator, mirroring
+:func:`repro.core.simulator.backend_scope`: protocol entry points build
+their own simulators internally, so attaching a recorder to a run driven
+through the protocol registry (``repro-le elect --trace``) has to happen
+ambiently rather than through every protocol signature.
 """
 
 from __future__ import annotations
 
+import json
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
 
-__all__ = ["TraceEvent", "TraceRecorder", "NullTraceRecorder"]
+__all__ = [
+    "TraceEvent",
+    "TraceRecorder",
+    "NullTraceRecorder",
+    "active_trace",
+    "trace_scope",
+]
 
 
 @dataclass(frozen=True)
@@ -84,6 +106,49 @@ class TraceRecorder:
         self._events.clear()
         self._dropped = 0
 
+    def summary(self) -> Dict[str, int]:
+        """Kept/dropped counts for run output.
+
+        ``dropped`` being nonzero is the signal that a ``max_events``
+        bound truncated the trace — surfacing it is the difference
+        between "the protocol did this" and "the recorder kept this".
+        """
+        return {"events": len(self._events), "dropped": self._dropped}
+
+    def to_jsonl(self, path: Union[str, Path]) -> Path:
+        """Export the trace as JSONL: a header line, then one event per line.
+
+        The header carries :meth:`summary`, so a consumer of the file can
+        tell a complete trace from a truncated one without re-running.
+        Event details hold arbitrary protocol state; values that are not
+        JSON-encodable are exported as their ``repr`` rather than
+        aborting the export (a trace dump is a debugging artifact, and a
+        lossy field beats no file).
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps({"kind": "trace", **self.summary()}, sort_keys=True)
+                + "\n"
+            )
+            for event in self._events:
+                record = {
+                    "round": event.round_index,
+                    "event": event.kind,
+                    "node": event.node,
+                    "detail": event.detail,
+                }
+                try:
+                    line = json.dumps(record, sort_keys=True)
+                except (TypeError, ValueError):
+                    record["detail"] = {
+                        key: repr(value) for key, value in event.detail.items()
+                    }
+                    line = json.dumps(record, sort_keys=True)
+                handle.write(line + "\n")
+        return path
+
 
 class NullTraceRecorder(TraceRecorder):
     """A recorder that never stores anything (default for benchmarks)."""
@@ -93,3 +158,31 @@ class NullTraceRecorder(TraceRecorder):
 
     def record(self, round_index: int, kind: str, node: Optional[int] = None, **detail: Any) -> None:
         return
+
+
+#: Innermost-wins stack of ambient trace recorders (the backend/fault
+#: scope idiom of this package).
+_TRACE_SCOPES: List[TraceRecorder] = []
+
+
+def active_trace() -> Optional[TraceRecorder]:
+    """The recorder simulators should default to in this scope, if any."""
+    return _TRACE_SCOPES[-1] if _TRACE_SCOPES else None
+
+
+@contextmanager
+def trace_scope(recorder: TraceRecorder) -> Iterator[TraceRecorder]:
+    """Route every simulator built in the scope to ``recorder``.
+
+    Mirrors :func:`repro.core.simulator.backend_scope`: protocol entry
+    points construct their own simulators internally, so a caller that
+    wants a trace of a registry-driven run (``repro-le elect --trace``)
+    attaches the recorder ambiently.  An explicit ``trace=`` argument to
+    a simulator still wins over the ambient scope; scopes nest and the
+    innermost wins.
+    """
+    _TRACE_SCOPES.append(recorder)
+    try:
+        yield recorder
+    finally:
+        _TRACE_SCOPES.pop()

@@ -1,0 +1,57 @@
+"""Observability for the sweep machinery itself: spans, telemetry, profiling.
+
+The rest of the package measures leader-election protocols; this
+subpackage measures the machine that runs them.  Three layers, each
+stdlib-only so ``repro.obs`` sits *below* everything it instruments:
+
+* :mod:`repro.obs.spans` — ambient named timers (``span("simulate")``)
+  with a shared no-op fast path when telemetry is off;
+* :mod:`repro.obs.telemetry` — per-task records, JSONL export
+  (``repro-le sweep --telemetry``), and the utilization / percentile /
+  straggler summary (``repro-le stats``);
+* :mod:`repro.obs.profiling` — opt-in in-worker cProfile with pool-wide
+  hotspot aggregation (``--profile cprofile``).
+
+The whole layer is gated on the guarantee that it observes without
+perturbing: results are bit-identical with telemetry on or off, and the
+parallel-sweep benchmark enforces the overhead budget.
+"""
+
+from .profiling import PROFILERS, ProfileAggregate, TaskProfiler, validate_profiler
+from .spans import (
+    SpanCollector,
+    SpanStats,
+    Stopwatch,
+    active_collector,
+    collect_spans,
+    span,
+)
+from .telemetry import (
+    TASK_RECORD_FIELDS,
+    TELEMETRY_VERSION,
+    TaskTelemetry,
+    TelemetryAggregator,
+    TelemetrySink,
+    read_telemetry,
+    summarize_telemetry,
+)
+
+__all__ = [
+    "PROFILERS",
+    "ProfileAggregate",
+    "SpanCollector",
+    "SpanStats",
+    "Stopwatch",
+    "TASK_RECORD_FIELDS",
+    "TaskProfiler",
+    "TaskTelemetry",
+    "TELEMETRY_VERSION",
+    "TelemetryAggregator",
+    "TelemetrySink",
+    "active_collector",
+    "collect_spans",
+    "read_telemetry",
+    "span",
+    "summarize_telemetry",
+    "validate_profiler",
+]

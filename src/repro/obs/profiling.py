@@ -1,0 +1,113 @@
+"""Opt-in in-worker profiling: pool-wide cProfile hotspot aggregation.
+
+``repro-le sweep --telemetry out.jsonl --profile cprofile`` runs every
+task under :mod:`cProfile` *inside its worker* and ships the raw stats
+back with the task's telemetry.  The parent folds them into one
+:class:`ProfileAggregate`, so the sweep summary's hotspot table reflects
+the whole pool — the only way to see where worker CPU actually goes,
+since profiling the parent of a multiprocessing sweep shows nothing but
+``imap_unordered`` waiting.
+
+The wire format is deliberately primitive: ``cProfile.Profile.stats``
+maps ``(file, line, function)`` to ``(cc, nc, tt, ct, callers)``; we
+flatten the key to ``"file:line:function"`` and drop the callers graph,
+leaving a plain picklable/JSON-able dict of 4-tuples.  Aggregation is a
+per-function sum, which is exactly what "top hotspots across the pool"
+needs; anyone needing call graphs can profile a serial run directly.
+
+Profiling inflates per-task wall-clock (cProfile's tracing overhead), so
+the <3% telemetry overhead budget explicitly excludes ``--profile`` runs
+— hotspot hunting and timing measurement are different instruments.
+"""
+
+from __future__ import annotations
+
+import cProfile
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "PROFILERS",
+    "ProfileAggregate",
+    "TaskProfiler",
+    "validate_profiler",
+]
+
+#: Supported ``--profile`` engines.  A tuple, not a set: error messages
+#: and CLI choices list them in one stable order.
+PROFILERS = ("cprofile",)
+
+#: Flattened stats payload: ``"file:line:function" -> (cc, nc, tt, ct)``
+#: (primitive calls, total calls, own time, cumulative time).
+ProfilePayload = Dict[str, Tuple[int, int, float, float]]
+
+
+def validate_profiler(name: str) -> str:
+    if name not in PROFILERS:
+        raise ValueError(
+            f"unknown profiler {name!r}: expected one of {list(PROFILERS)}"
+        )
+    return name
+
+
+class TaskProfiler:
+    """Profiles one task inside a worker and yields the flat payload."""
+
+    def __init__(self) -> None:
+        self._profiler = cProfile.Profile()
+
+    def __enter__(self) -> "TaskProfiler":
+        self._profiler.enable()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._profiler.disable()
+
+    def payload(self) -> ProfilePayload:
+        """The profiled stats, flattened for the worker→parent pickle hop."""
+        self._profiler.create_stats()
+        flat: ProfilePayload = {}
+        for (filename, line, function), (cc, nc, tt, ct, _callers) in (
+            self._profiler.stats.items()  # type: ignore[attr-defined]
+        ):
+            flat[f"{filename}:{line}:{function}"] = (cc, nc, tt, ct)
+        return flat
+
+
+class ProfileAggregate:
+    """Pool-wide sum of per-task profile payloads."""
+
+    def __init__(self) -> None:
+        self._functions: Dict[str, List[float]] = {}
+        self.tasks = 0
+
+    def merge(self, payload: ProfilePayload) -> None:
+        self.tasks += 1
+        for function, (cc, nc, tt, ct) in payload.items():
+            totals = self._functions.setdefault(function, [0, 0, 0.0, 0.0])
+            totals[0] += cc
+            totals[1] += nc
+            totals[2] += tt
+            totals[3] += ct
+
+    def hotspots(self, top: int = 15) -> List[Dict[str, object]]:
+        """Top functions by own (non-cumulative) time, summed pool-wide.
+
+        Ties break on the function label so the ranking — which lands in
+        the telemetry JSONL's driver record — is deterministic.
+        """
+        ranked = sorted(
+            self._functions.items(), key=lambda item: (-item[1][2], item[0])
+        )
+        return [
+            {
+                "function": function,
+                "calls": int(nc),
+                "primitive_calls": int(cc),
+                "own_seconds": tt,
+                "cumulative_seconds": ct,
+            }
+            for function, (cc, nc, tt, ct) in ranked[:top]
+        ]
+
+    def __bool__(self) -> bool:
+        return bool(self._functions)

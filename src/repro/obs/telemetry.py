@@ -1,0 +1,389 @@
+"""Per-task telemetry: JSONL export and end-of-sweep summaries.
+
+The sweep engine measures the protocols exactly; this module measures the
+*sweep*.  Each completed task carries a :class:`TaskTelemetry` record back
+from its worker — queue wait, simulate time, span totals, worker id — the
+parent adds its own fold/checkpoint timings, and a :class:`TelemetrySink`
+streams one JSON line per task to disk while folding the same records
+into a :class:`TelemetryAggregator`.  The aggregator answers the
+operational questions a million-run sharded sweep raises: which workers
+idled (utilization), which (experiment, topology) cells dominate
+(latency percentiles), which individual tasks straggled, and how much of
+the wall-clock went to checkpoint I/O.
+
+Two consumers, one codepath
+---------------------------
+
+The CLI prints the summary live (``repro-le sweep --telemetry out.jsonl``)
+and recomputes it post-hoc (``repro-le stats out.jsonl``).  Both paths
+feed the *same* record dictionaries through the *same* aggregator —
+the sink aggregates exactly what it serializes, and Python's JSON floats
+round-trip exactly — so the post-hoc summary reproduces the live one bit
+for bit.  That equality is a test, not an aspiration.
+
+Layering: this package is deliberately stdlib-only.  ``TelemetrySink``
+satisfies the :class:`repro.analysis.streaming.ResultSink` protocol
+structurally (``emit``/``close``/``abort``) without importing it, so
+``repro.obs`` sits below every execution layer it instruments.
+
+Telemetry never feeds back into execution: records carry task keys but
+task keys never carry telemetry, and nothing here touches seeds, RNG, or
+aggregation — the bit-identical-with-telemetry-on equivalence tests pin
+that down.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+__all__ = [
+    "TASK_RECORD_FIELDS",
+    "TELEMETRY_VERSION",
+    "TaskTelemetry",
+    "TelemetryAggregator",
+    "TelemetrySink",
+    "read_telemetry",
+    "summarize_telemetry",
+]
+
+#: Version stamp written in every sweep header record so offline readers
+#: can detect schema drift.
+TELEMETRY_VERSION = 1
+
+#: Fields every ``kind="task"`` record carries (the JSONL schema; CI
+#: validates exported files against it).
+TASK_RECORD_FIELDS = (
+    "kind",
+    "task_key",
+    "experiment",
+    "topology",
+    "topology_index",
+    "seed",
+    "seed_index",
+    "worker",
+    "backend",
+    "queue_wait_seconds",
+    "simulate_seconds",
+    "task_seconds",
+    "fold_seconds",
+    "checkpoint_seconds",
+    "spans",
+)
+
+
+@dataclass
+class TaskTelemetry:
+    """Timing facts of one completed run, assembled across two processes.
+
+    The worker fills the execution-side fields (everything through
+    ``spans``); the parent then stamps ``fold_seconds`` (sink fan-out) and
+    ``checkpoint_seconds`` (checkpoint append) before the record is
+    emitted — those two phases happen in the parent by design.
+
+    ``queue_wait_seconds`` is worker-start minus parent-submit on the
+    shared monotonic clock: meaningful on one machine (where the pool
+    lives), and the direct measure of dispatch backlog the ROADMAP's
+    work-stealing scheduler needs.
+    """
+
+    task_key: str
+    experiment: str
+    topology: str
+    topology_index: int
+    seed: int
+    seed_index: int
+    worker: str
+    backend: str
+    queue_wait_seconds: float
+    simulate_seconds: float
+    task_seconds: float
+    spans: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    fold_seconds: float = 0.0
+    checkpoint_seconds: float = 0.0
+
+    def as_record(self) -> Dict[str, object]:
+        """The JSONL ``kind="task"`` record (see ``TASK_RECORD_FIELDS``)."""
+        return {
+            "kind": "task",
+            "task_key": self.task_key,
+            "experiment": self.experiment,
+            "topology": self.topology,
+            "topology_index": self.topology_index,
+            "seed": self.seed,
+            "seed_index": self.seed_index,
+            "worker": self.worker,
+            "backend": self.backend,
+            "queue_wait_seconds": self.queue_wait_seconds,
+            "simulate_seconds": self.simulate_seconds,
+            "task_seconds": self.task_seconds,
+            "fold_seconds": self.fold_seconds,
+            "checkpoint_seconds": self.checkpoint_seconds,
+            "spans": self.spans,
+        }
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted, non-empty list."""
+    rank = max(1, -(-int(q * len(sorted_values) * 100) // 100))  # ceil(q*n)
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+class TelemetryAggregator:
+    """Streaming fold of telemetry records into an end-of-sweep summary.
+
+    Memory is O(runs) floats (per-cell duration lists and the straggler
+    index need every task's simulate time) — a few MB even for
+    million-run sweeps, and nothing here retains results or payloads.
+    """
+
+    def __init__(self) -> None:
+        self.version: Optional[int] = None
+        self.workers: Optional[int] = None
+        self.backend: Optional[str] = None
+        self.profile: Optional[str] = None
+        self.shard: Optional[str] = None
+        self.runs = 0
+        self.restored = 0
+        self.elapsed_seconds: Optional[float] = None
+        self.driver_spans: Dict[str, Dict[str, object]] = {}
+        self.profile_hotspots: Optional[List[Dict[str, object]]] = None
+        self._totals = {
+            "queue_wait_seconds": 0.0,
+            "simulate_seconds": 0.0,
+            "task_seconds": 0.0,
+            "fold_seconds": 0.0,
+            "checkpoint_seconds": 0.0,
+        }
+        #: worker label -> [task count, busy (in-worker) seconds]
+        self._workers: Dict[str, List[float]] = {}
+        #: (experiment, topology) -> simulate durations, in emit order
+        self._cells: Dict[Tuple[str, str], List[float]] = {}
+        #: (simulate seconds, task key, worker) for the straggler ranking
+        self._tasks: List[Tuple[float, str, str]] = []
+
+    def add(self, record: Dict[str, object]) -> None:
+        """Fold one JSONL record (any ``kind``) into the aggregate."""
+        kind = record.get("kind")
+        if kind == "sweep":
+            self.version = record.get("version")
+            self.workers = record.get("workers")
+            self.backend = record.get("backend")
+            self.profile = record.get("profile")
+            self.shard = record.get("shard")
+        elif kind == "task":
+            self.runs += 1
+            for name in self._totals:
+                self._totals[name] += float(record.get(name, 0.0))
+            worker = str(record.get("worker", "?"))
+            stats = self._workers.setdefault(worker, [0, 0.0])
+            stats[0] += 1
+            stats[1] += float(record.get("task_seconds", 0.0))
+            cell = (str(record.get("experiment", "")), str(record.get("topology", "")))
+            simulate = float(record.get("simulate_seconds", 0.0))
+            self._cells.setdefault(cell, []).append(simulate)
+            self._tasks.append((simulate, str(record.get("task_key", "")), worker))
+        elif kind == "driver":
+            self.elapsed_seconds = float(record.get("elapsed_seconds", 0.0))
+            self.restored = int(record.get("restored", 0))
+            self.driver_spans = dict(record.get("spans") or {})
+            hotspots = record.get("profile_hotspots")
+            if hotspots is not None:
+                self.profile_hotspots = list(hotspots)
+
+    def summary(self, top: int = 10) -> Dict[str, object]:
+        """The end-of-sweep report: utilization, percentiles, stragglers.
+
+        Deterministic given the records: every ranking breaks ties on the
+        task key / cell name, so two reads of one JSONL file (or the live
+        sink and a post-hoc ``repro-le stats``) produce equal summaries.
+        """
+        elapsed = self.elapsed_seconds
+        workers = [
+            {
+                "worker": worker,
+                "tasks": int(count),
+                "busy_seconds": busy,
+                "utilization": (busy / elapsed) if elapsed else None,
+            }
+            for worker, (count, busy) in sorted(self._workers.items())
+        ]
+        cells = []
+        for (experiment, topology), durations in sorted(self._cells.items()):
+            ordered = sorted(durations)
+            cells.append(
+                {
+                    "experiment": experiment,
+                    "topology": topology,
+                    "runs": len(ordered),
+                    "total_simulate_seconds": sum(ordered),
+                    "p50_simulate_seconds": _percentile(ordered, 0.50),
+                    "p90_simulate_seconds": _percentile(ordered, 0.90),
+                    "max_simulate_seconds": ordered[-1],
+                }
+            )
+        stragglers = [
+            {"task_key": key, "worker": worker, "simulate_seconds": seconds}
+            for seconds, key, worker in sorted(
+                self._tasks, key=lambda item: (-item[0], item[1])
+            )[:top]
+        ]
+        checkpoint_share = (
+            self._totals["checkpoint_seconds"] / elapsed if elapsed else None
+        )
+        return {
+            "version": self.version,
+            "workers": self.workers,
+            "backend": self.backend,
+            "profile": self.profile,
+            "shard": self.shard,
+            "runs": self.runs,
+            "restored": self.restored,
+            "elapsed_seconds": elapsed,
+            "totals": dict(self._totals),
+            "checkpoint_io_share": checkpoint_share,
+            "worker_utilization": workers,
+            "cells": cells,
+            "stragglers": stragglers,
+            "driver_spans": self.driver_spans,
+            "profile_hotspots": self.profile_hotspots,
+        }
+
+
+class TelemetrySink:
+    """Streams telemetry records to JSONL and keeps the live aggregate.
+
+    Satisfies the ``ResultSink`` protocol so the experiment drivers manage
+    its lifecycle (close on success, abort on failure) exactly like an
+    export sink; the per-run ``emit`` itself is a no-op — telemetry
+    arrives through :meth:`emit_telemetry`, which only the drivers call,
+    so the summary stays derivable from the JSONL alone.
+
+    File handling mirrors :class:`repro.analysis.streaming.JsonlSink`:
+    records go to a ``<path>.partial`` staging file that atomically
+    replaces ``<path>`` on a clean close, so a published telemetry file
+    always describes a *complete* sweep and a crash leaves the previous
+    export untouched (with the partial records on the side for debugging).
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self._path = Path(path)
+        self._staging = self._path.with_name(self._path.name + ".partial")
+        self._handle = None
+        self._closed = False
+        self.aggregator = TelemetryAggregator()
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def _write(self, record: Dict[str, object]) -> None:
+        if self._handle is None:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self._staging.open("w", encoding="utf-8")
+            self._closed = False
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self.aggregator.add(record)
+
+    def begin_sweep(
+        self,
+        *,
+        workers: int,
+        backend: str,
+        profile: Optional[str] = None,
+        shard: Optional[str] = None,
+    ) -> None:
+        """Write the sweep header record (version, pool shape, backend)."""
+        self._write(
+            {
+                "kind": "sweep",
+                "version": TELEMETRY_VERSION,
+                "workers": workers,
+                "backend": backend,
+                "profile": profile,
+                "shard": shard,
+            }
+        )
+
+    def emit_telemetry(self, telemetry: TaskTelemetry) -> None:
+        """Record one completed task (called by the drivers, parent-side)."""
+        self._write(telemetry.as_record())
+
+    def record_driver(
+        self,
+        *,
+        elapsed_seconds: float,
+        restored: int,
+        spans: Dict[str, Dict[str, object]],
+        profile_hotspots: Optional[List[Dict[str, object]]] = None,
+    ) -> None:
+        """Write the closing driver record (sweep elapsed, parent spans)."""
+        record: Dict[str, object] = {
+            "kind": "driver",
+            "elapsed_seconds": elapsed_seconds,
+            "restored": restored,
+            "spans": spans,
+        }
+        if profile_hotspots is not None:
+            record["profile_hotspots"] = profile_hotspots
+        self._write(record)
+
+    def summary(self, top: int = 10) -> Dict[str, object]:
+        return self.aggregator.summary(top)
+
+    # ------------------------------------------------------------------ #
+    # ResultSink protocol
+    # ------------------------------------------------------------------ #
+    def emit(self, spec_name, topology_index, seed_index, result, wall_clock_seconds):
+        """Per-run results are observed but not recorded (see class doc)."""
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        if self._handle is None:
+            # Telemetry on a sweep with zero records (nothing pending and
+            # nothing restored) still publishes a file: "the sweep ran and
+            # measured nothing" must be distinguishable from "no export".
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self._staging.open("w", encoding="utf-8")
+        self._handle.close()
+        self._handle = None
+        self._closed = True
+        os.replace(self._staging, self._path)
+
+    def abort(self) -> None:
+        if self._closed:
+            return
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        self._closed = True
+
+
+def read_telemetry(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Parse a telemetry JSONL export back into record dictionaries."""
+    records: List[Dict[str, object]] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def summarize_telemetry(
+    records: Iterable[Dict[str, object]], top: int = 10
+) -> Dict[str, object]:
+    """Fold records (e.g. from :func:`read_telemetry`) into a summary.
+
+    Feeding a file's records through this reproduces the summary the
+    originating :class:`TelemetrySink` printed live — same aggregator,
+    same fold order, exact JSON float round-trip.
+    """
+    aggregator = TelemetryAggregator()
+    for record in records:
+        aggregator.add(record)
+    return aggregator.summary(top)

@@ -48,6 +48,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from ..core.errors import ConfigurationError
 from ..core.metrics import Metrics, PhaseMetrics
 from ..election.base import ElectionOutcome, LeaderElectionResult
+from ..obs import span
 
 __all__ = [
     "CheckpointStore",
@@ -185,7 +186,10 @@ class CheckpointStore:
             self._loaded = True
             if self.path.exists():
                 try:
-                    payload = json.loads(self.path.read_text(encoding="utf-8"))
+                    # The load is the resume path's I/O cost; the span
+                    # makes it visible in telemetry (no-op when off).
+                    with span("checkpoint.load"):
+                        payload = json.loads(self.path.read_text(encoding="utf-8"))
                 except ValueError as error:
                     raise ConfigurationError(
                         f"checkpoint {self.path} is not valid JSON ({error}); "
@@ -239,15 +243,18 @@ class CheckpointStore:
         """Write the store to disk atomically (write-to-temp + replace)."""
         if not self._dirty and self.path.exists():
             return
-        payload = {"version": FORMAT_VERSION, "runs": self._runs}
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        temp = self.path.with_name(self.path.name + ".tmp")
-        if self.compact_records:
-            text = json.dumps(payload, separators=(",", ":"), sort_keys=True)
-        else:
-            text = json.dumps(payload, indent=1, sort_keys=True)
-        temp.write_text(text, encoding="utf-8")
-        os.replace(temp, self.path)
+        # The whole-file rewrite is the checkpoint layer's dominant I/O;
+        # the span feeds telemetry's checkpoint-I/O share (no-op when off).
+        with span("checkpoint.flush"):
+            payload = {"version": FORMAT_VERSION, "runs": self._runs}
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            temp = self.path.with_name(self.path.name + ".tmp")
+            if self.compact_records:
+                text = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+            else:
+                text = json.dumps(payload, indent=1, sort_keys=True)
+            temp.write_text(text, encoding="utf-8")
+            os.replace(temp, self.path)
         self._dirty = False
         self._last_flush = time.monotonic()
 

@@ -40,9 +40,11 @@ lambdas and closures only work with the in-process backend.
 from __future__ import annotations
 
 import multiprocessing
+import os
+import time
 import traceback
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple, Union
 
 from ..analysis.experiments import (
     ExperimentResult,
@@ -58,9 +60,19 @@ from ..analysis.streaming import (
     abort_sinks,
 )
 from ..core.errors import ConfigurationError, ReproError
-from ..core.simulator import BACKENDS, backend_scope, set_default_backend
+from ..core.simulator import BACKENDS, backend_scope, default_backend, set_default_backend
 from ..election.base import LeaderElectionResult
 from ..graphs.properties import ExpansionProfile
+from ..obs import (
+    ProfileAggregate,
+    Stopwatch,
+    TaskProfiler,
+    TaskTelemetry,
+    TelemetrySink,
+    collect_spans,
+    span,
+    validate_profiler,
+)
 from .checkpoint import (
     CheckpointStore,
     ShardManifest,
@@ -102,6 +114,60 @@ def _execute_task(task: RunTask) -> Tuple[str, LeaderElectionResult, float]:
     return task.key, result, elapsed
 
 
+class _TimedTask(NamedTuple):
+    """A task plus its telemetry context, pickled to the worker as one unit.
+
+    ``submitted`` is the parent's monotonic stamp at dispatch: worker
+    start minus submit is the task's queue wait (both processes share the
+    machine's monotonic clock).  ``profile`` rides along so the opt-in
+    profiler needs no pool-initializer state of its own.
+    """
+
+    task: RunTask
+    submitted: float
+    profile: Optional[str]
+
+
+def _execute_timed_task(
+    timed: _TimedTask,
+) -> Tuple[str, LeaderElectionResult, float, TaskTelemetry, Optional[dict]]:
+    """Telemetry-path worker entry point: run one task, measure everything.
+
+    Wraps :func:`_execute_task` (results are produced by the identical
+    code either way) in a per-task span collector, so the ``"simulate"``
+    span inside :func:`~repro.analysis.experiments.execute_run` — and any
+    deeper spans — are captured per task and shipped home in the
+    :class:`~repro.obs.TaskTelemetry`.  The parent fills the record's
+    fold/checkpoint timings before emitting it.
+    """
+    started = time.monotonic()
+    task = timed.task
+    profiler = TaskProfiler() if timed.profile == "cprofile" else None
+    with collect_spans() as spans:
+        if profiler is not None:
+            with profiler:
+                key, result, elapsed = _execute_task(task)
+        else:
+            key, result, elapsed = _execute_task(task)
+    telemetry = TaskTelemetry(
+        task_key=key,
+        experiment=task.spec_name,
+        topology=task.topology.name,
+        topology_index=task.topology_index,
+        seed=task.seed,
+        seed_index=task.seed_index,
+        worker=f"pid-{os.getpid()}",
+        backend=default_backend(),
+        queue_wait_seconds=max(0.0, started - timed.submitted),
+        simulate_seconds=spans.total_seconds("simulate"),
+        task_seconds=time.monotonic() - started,
+        spans=spans.totals(),
+    )
+    return key, result, elapsed, telemetry, (
+        profiler.payload() if profiler is not None else None
+    )
+
+
 def run_parallel_experiment(
     spec: ExperimentSpec,
     *,
@@ -116,6 +182,8 @@ def run_parallel_experiment(
     shard: Optional[Tuple[int, int]] = None,
     sinks: Sequence[ResultSink] = (),
     backend: str = "auto",
+    telemetry: Optional[TelemetrySink] = None,
+    profile: Optional[str] = None,
 ) -> ExperimentResult:
     """Parallel drop-in for :func:`repro.analysis.experiments.run_experiment`."""
     return run_experiments(
@@ -131,6 +199,8 @@ def run_parallel_experiment(
         shard=shard,
         sinks=sinks,
         backend=backend,
+        telemetry=telemetry,
+        profile=profile,
     )[0]
 
 
@@ -148,6 +218,8 @@ def run_experiments(
     shard: Optional[Tuple[int, int]] = None,
     sinks: Sequence[ResultSink] = (),
     backend: str = "auto",
+    telemetry: Optional[TelemetrySink] = None,
+    profile: Optional[str] = None,
 ) -> List[ExperimentResult]:
     """Run several specs through one worker pool and stream per-cell aggregates.
 
@@ -183,6 +255,19 @@ def run_experiments(
     for every run of the sweep, including pool workers under any start
     method.  It never enters task keys, so checkpoints written under one
     backend resume cleanly under the other.
+
+    ``telemetry`` attaches a :class:`repro.obs.TelemetrySink`: every
+    freshly-executed task ships a timing record back from its worker
+    (queue wait, simulate time, span totals, worker id), the parent adds
+    fold/checkpoint durations, and the sink streams the records to JSONL
+    while building the end-of-sweep utilization/straggler summary.  The
+    sink's lifecycle (close on success, abort on failure) is owned here —
+    do not also pass it in ``sinks``.  Telemetry never enters task keys
+    or seeds, so results are bit-identical with it on or off; with it
+    off this function's hot path is unchanged.  ``profile`` (one of
+    :data:`repro.obs.PROFILERS`; requires ``telemetry``) runs each task
+    under an in-worker profiler and reports pool-wide hotspots through
+    the telemetry summary.
     """
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
@@ -190,6 +275,16 @@ def run_experiments(
         raise ConfigurationError(
             f"unknown simulator backend {backend!r}: expected one of {BACKENDS}"
         )
+    if profile is not None:
+        if telemetry is None:
+            raise ConfigurationError(
+                "profile= requires telemetry=: hotspots are reported "
+                "through the telemetry summary"
+            )
+        try:
+            validate_profiler(profile)
+        except ValueError as error:
+            raise ConfigurationError(str(error)) from error
     names = [spec.name for spec in specs]
     if len(set(names)) != len(names):
         raise ConfigurationError(
@@ -240,6 +335,17 @@ def run_experiments(
     if collector is not None:
         all_sinks.append(collector)
     all_sinks.extend(sinks)
+    if telemetry is not None:
+        # Last in the fan-out so its (no-op) emit never delays real sinks;
+        # close/abort lifecycle is shared with every other sink.
+        all_sinks.append(telemetry)
+        telemetry.begin_sweep(
+            workers=workers,
+            backend=backend,
+            profile=profile,
+            shard=f"{shard[0]}/{shard[1]}" if shard is not None else None,
+        )
+    profile_aggregate = ProfileAggregate() if profile is not None else None
 
     def consume(key: str, result: LeaderElectionResult, elapsed: float) -> None:
         spec_name, topology_index, seed_index = route[key]
@@ -247,19 +353,57 @@ def run_experiments(
             sink.emit(spec_name, topology_index, seed_index, result, elapsed)
 
     try:
-        results = _execute_and_assemble(
-            specs,
-            my_tasks,
-            consume,
-            store=store,
-            workers=workers,
-            start_method=start_method,
-            sharded=shard is not None,
-            profiles=profiles,
-            aggregates=aggregates,
-            collector=collector,
-            backend=backend,
-        )
+        if telemetry is not None:
+            # The driver-side collector catches the parent's own spans
+            # (restore, checkpoint flush I/O) for the closing record; the
+            # stopwatch is the sweep's elapsed wall-clock, the denominator
+            # of every utilization figure.
+            with collect_spans() as driver_spans:
+                stopwatch = Stopwatch()
+                results, restored = _execute_and_assemble(
+                    specs,
+                    my_tasks,
+                    consume,
+                    store=store,
+                    workers=workers,
+                    start_method=start_method,
+                    sharded=shard is not None,
+                    profiles=profiles,
+                    aggregates=aggregates,
+                    collector=collector,
+                    backend=backend,
+                    telemetry=telemetry,
+                    profile=profile,
+                    profile_aggregate=profile_aggregate,
+                )
+                elapsed_seconds = stopwatch.elapsed()
+            telemetry.record_driver(
+                elapsed_seconds=elapsed_seconds,
+                restored=restored,
+                spans=driver_spans.totals(),
+                profile_hotspots=(
+                    profile_aggregate.hotspots()
+                    if profile_aggregate is not None and profile_aggregate
+                    else None
+                ),
+            )
+        else:
+            results, _ = _execute_and_assemble(
+                specs,
+                my_tasks,
+                consume,
+                store=store,
+                workers=workers,
+                start_method=start_method,
+                sharded=shard is not None,
+                profiles=profiles,
+                aggregates=aggregates,
+                collector=collector,
+                backend=backend,
+                telemetry=None,
+                profile=None,
+                profile_aggregate=None,
+            )
     except BaseException:
         # A run raised: abort the sinks — an export sink (JsonlSink)
         # flushes the records of the runs that did complete without
@@ -284,16 +428,41 @@ def _execute_and_assemble(
     aggregates,
     collector,
     backend,
-) -> List[ExperimentResult]:
-    """Run the pending tasks and assemble per-spec results (see caller)."""
+    telemetry,
+    profile,
+    profile_aggregate,
+) -> Tuple[List[ExperimentResult], int]:
+    """Run the pending tasks and assemble per-spec results (see caller).
+
+    Returns ``(results, restored)`` where ``restored`` counts the runs
+    replayed from the checkpoint rather than executed — those carry no
+    per-task telemetry (nothing was measured), so the telemetry summary
+    reports them separately.
+    """
     completed_keys = set()
     if store is not None:
         task_keys = {task.key for task in my_tasks}
-        for key, record in store.load().items():
-            if key in task_keys:
-                result, elapsed = result_from_record(record)
-                consume(key, result, elapsed)
-                completed_keys.add(key)
+        with span("restore"):
+            for key, record in store.load().items():
+                if key in task_keys:
+                    result, elapsed = result_from_record(record)
+                    consume(key, result, elapsed)
+                    completed_keys.add(key)
+
+    def finish(key, result, elapsed, task_telemetry, profile_payload) -> None:
+        # Parent-side epilogue of one telemetry-path task: stamp the two
+        # phases that happen here (checkpoint append, sink fan-out) onto
+        # the worker's record, then emit it.
+        checkpoint_started = time.perf_counter()
+        if store is not None:
+            store.add(key, result_to_record(result, elapsed))
+        fold_started = time.perf_counter()
+        consume(key, result, elapsed)
+        task_telemetry.checkpoint_seconds = fold_started - checkpoint_started
+        task_telemetry.fold_seconds = time.perf_counter() - fold_started
+        if profile_payload is not None:
+            profile_aggregate.merge(profile_payload)
+        telemetry.emit_telemetry(task_telemetry)
 
     pending = [task for task in my_tasks if task.key not in completed_keys]
     try:
@@ -311,21 +480,40 @@ def _execute_and_assemble(
                 # their cells the moment they finish, never queued behind
                 # a slow head-of-line task (the aggregates are exact, so
                 # completion order is irrelevant to the final cells).
-                for key, result, elapsed in pool.imap_unordered(
-                    _execute_task, pending, chunksize=1
-                ):
-                    if store is not None:
-                        store.add(key, result_to_record(result, elapsed))
-                    consume(key, result, elapsed)
+                if telemetry is not None:
+                    # A generator, so each task's submit stamp is taken
+                    # when the pool's feeder dispatches it, not when the
+                    # sweep starts — queue wait measures pool backlog.
+                    timed = (
+                        _TimedTask(task, time.monotonic(), profile)
+                        for task in pending
+                    )
+                    for key, result, elapsed, tel, prof in pool.imap_unordered(
+                        _execute_timed_task, timed, chunksize=1
+                    ):
+                        finish(key, result, elapsed, tel, prof)
+                else:
+                    for key, result, elapsed in pool.imap_unordered(
+                        _execute_task, pending, chunksize=1
+                    ):
+                        if store is not None:
+                            store.add(key, result_to_record(result, elapsed))
+                        consume(key, result, elapsed)
         else:
             with backend_scope(backend):
                 for task in pending:
                     # Same entry point as the pool workers, so failures
                     # carry the same grid-coordinate context either way.
-                    key, result, elapsed = _execute_task(task)
-                    if store is not None:
-                        store.add(key, result_to_record(result, elapsed))
-                    consume(key, result, elapsed)
+                    if telemetry is not None:
+                        key, result, elapsed, tel, prof = _execute_timed_task(
+                            _TimedTask(task, time.monotonic(), profile)
+                        )
+                        finish(key, result, elapsed, tel, prof)
+                    else:
+                        key, result, elapsed = _execute_task(task)
+                        if store is not None:
+                            store.add(key, result_to_record(result, elapsed))
+                        consume(key, result, elapsed)
     finally:
         # Sharded jobs flush even with nothing pending: a shard whose
         # round-robin slice is empty (grid smaller than k) must still
@@ -358,4 +546,4 @@ def _execute_and_assemble(
                 )
             )
         results.append(experiment)
-    return results
+    return results, len(completed_keys)

@@ -86,6 +86,70 @@ class TestCommands:
         assert code == 2
         assert "error:" in capsys.readouterr().err
 
+    def test_elect_trace_under_adversary_exports_fault_events(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        main(
+            [
+                "elect",
+                "--algorithm",
+                "flooding",
+                "--topology",
+                "cycle:8",
+                "--seed",
+                "1",
+                "--adversary",
+                "loss",
+                "--adversary-param",
+                "p=0.3",
+                "--trace",
+                str(trace),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "adversary            : loss(p=0.3)" in out
+        assert "trace events" in out
+        lines = [
+            json.loads(line)
+            for line in trace.read_text(encoding="utf-8").splitlines()
+        ]
+        assert lines[0]["kind"] == "trace"
+        assert lines[0]["events"] == len(lines) - 1 > 0
+        assert any(line["event"] == "message-dropped" for line in lines[1:])
+
+    def test_elect_trace_without_adversary_exports_empty_trace(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "elect",
+                "--algorithm",
+                "flooding",
+                "--topology",
+                "cycle:8",
+                "--trace",
+                str(trace),
+            ]
+        )
+        assert code == 0
+        assert "trace events         : 0" in capsys.readouterr().out
+        assert trace.exists()
+
+    def test_elect_adversary_param_requires_adversary(self, capsys):
+        code = main(
+            [
+                "elect",
+                "--algorithm",
+                "flooding",
+                "--topology",
+                "cycle:8",
+                "--adversary-param",
+                "p=0.3",
+            ]
+        )
+        assert code == 2
+        assert "--adversary-param requires --adversary" in capsys.readouterr().err
+
     def test_compare(self, capsys):
         code = main(
             [

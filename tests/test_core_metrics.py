@@ -85,6 +85,14 @@ class TestMetricsCollector:
         collector.record_congest_violation()
         assert collector.congest_violations == 1
 
+    def test_congest_violations_reject_negative_counts(self):
+        # Same contract as every other record_* method: a negative count
+        # must fail loudly instead of silently un-counting violations.
+        collector = MetricsCollector()
+        with pytest.raises(ValueError):
+            collector.record_congest_violation(-1)
+        assert collector.congest_violations == 0
+
     def test_snapshot_is_a_copy(self):
         collector = MetricsCollector()
         collector.record_message(bits=2)

@@ -296,33 +296,53 @@ class TestRobustnessCurvesHelper:
 # --------------------------------------------------------------------------- #
 
 
+class FakeClock:
+    """A deterministic clock for ProgressSink: advances 2s per reading."""
+
+    def __init__(self, step: float = 2.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        reading, self.now = self.now, self.now + self.step
+        return reading
+
+
 class TestProgressSink:
     def test_reports_every_n_and_final(self):
+        # The Stopwatch reads the clock once at construction, then once
+        # per reported line: readings 0, 2, 4, 6 → elapsed 2, 4, 6.
         stream = io.StringIO()
-        sink = ProgressSink(5, every=2, stream=stream)
+        sink = ProgressSink(5, every=2, stream=stream, clock=FakeClock())
         for index in range(5):
             sink.emit("spec", 0, index, None, 0.0)
         sink.close()
         lines = stream.getvalue().splitlines()
         assert lines == [
-            "progress: 2/5 runs (40.0%)",
-            "progress: 4/5 runs (80.0%)",
-            "progress: 5/5 runs (100.0%)",
+            "progress: 2/5 runs (40.0%) | 2.0s elapsed, 1.0 runs/s, ETA 3.0s",
+            "progress: 4/5 runs (80.0%) | 4.0s elapsed, 1.0 runs/s, ETA 1.0s",
+            "progress: 5/5 runs (100.0%) | 6.0s elapsed, 0.8 runs/s",
         ]
 
     def test_label_and_unknown_total(self):
+        # Unknown total: throughput but no ETA (nothing to extrapolate to).
         stream = io.StringIO()
-        sink = ProgressSink(label="shard 1/4", every=1, stream=stream)
+        sink = ProgressSink(
+            label="shard 1/4", every=1, stream=stream, clock=FakeClock()
+        )
         sink.emit("spec", 0, 0, None, 0.0)
         sink.close()
         assert stream.getvalue().splitlines() == [
-            "progress[shard 1/4]: 1 runs"
+            "progress[shard 1/4]: 1 runs | 2.0s elapsed, 0.5 runs/s"
         ]
 
     def test_empty_slice_still_reports_on_close(self):
+        # Zero runs: no throughput or ETA — a rate of 0/elapsed is noise.
         stream = io.StringIO()
-        ProgressSink(0, label="shard 3/4", stream=stream).close()
-        assert stream.getvalue().splitlines() == ["progress[shard 3/4]: 0 runs"]
+        ProgressSink(0, label="shard 3/4", stream=stream, clock=FakeClock()).close()
+        assert stream.getvalue().splitlines() == [
+            "progress[shard 3/4]: 0 runs | 2.0s elapsed"
+        ]
 
     def test_default_cadence_is_about_five_percent(self):
         stream = io.StringIO()
