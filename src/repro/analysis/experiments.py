@@ -371,6 +371,8 @@ def run_experiment(
     backend: str = "auto",
     telemetry: Optional[TelemetrySink] = None,
     profile: Optional[str] = None,
+    dispatch: str = "adaptive",
+    task_timeout: Optional[float] = None,
 ) -> ExperimentResult:
     """Run every (topology, seed) pair of the spec and aggregate per topology.
 
@@ -409,6 +411,12 @@ def run_experiment(
     under an in-worker profiler (see :data:`repro.obs.PROFILERS`) and
     aggregates pool-wide hotspots into the telemetry.  Both route
     execution through the parallel engine, like ``checkpoint`` does.
+
+    ``dispatch`` and ``task_timeout`` configure the parallel engine's
+    scheduler (see :func:`repro.parallel.runner.run_experiments`):
+    adaptive cost-aware batching with fault-tolerant re-dispatch by
+    default, ``"static"`` for the one-task-per-message baseline.  They
+    only apply when execution routes through the pool.
     """
     if (
         (workers is not None and workers > 1)
@@ -429,6 +437,8 @@ def run_experiment(
             backend=backend,
             telemetry=telemetry,
             profile=profile,
+            dispatch=dispatch,
+            task_timeout=task_timeout,
         )
     if profile is not None:
         raise ConfigurationError(

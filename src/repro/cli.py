@@ -29,6 +29,10 @@ Examples::
     repro-le sweep     --suite mixed --algorithms flooding --seeds 5 \
                        --checkpoint sweep.json --shard 0/4   # one of 4 jobs
     repro-le sweep     --suite mixed --algorithms flooding --seeds 5 \
+                       --checkpoint sweep.json --shard auto  # work-stealing job
+                       # start k of these; each claims blocks from a shared
+                       # lease directory and steals stale ones
+    repro-le sweep     --suite mixed --algorithms flooding --seeds 5 \
                        --workers 4 --telemetry tel.jsonl \
                        --profile cprofile       # sweep telemetry + hotspots
     repro-le stats     tel.jsonl --top 5        # post-hoc telemetry summary
@@ -282,8 +286,31 @@ def _print_telemetry_summary(summary: Dict[str, object], *, title: str) -> None:
     if summary.get("profile"):
         headline["profiler"] = summary["profile"]
     print(render_kv(headline, title=title))
+    dispatch = dict(summary.get("dispatch") or {})
+    # The driver-side scheduler record (batches dispatched, re-dispatches
+    # after worker deaths/timeouts, lease steals) folds into the same
+    # section: one dispatch story, measured from both sides.
+    dispatch.update(summary.get("scheduler") or {})
+    if dispatch:
+        print()
+        print(render_kv(dispatch, title="dispatch"))
+    imbalance = summary.get("load_imbalance")
+    if imbalance:
+        print()
+        print(
+            render_kv(
+                {
+                    "workers": imbalance.get("workers"),
+                    "max busy seconds": imbalance.get("max_busy_seconds"),
+                    "mean busy seconds": imbalance.get("mean_busy_seconds"),
+                    "max/mean imbalance": imbalance.get("imbalance"),
+                },
+                title="load imbalance",
+            )
+        )
     for rows, section in (
         (summary.get("worker_utilization"), "worker utilization"),
+        (summary.get("queue_wait_by_worker"), "queue wait percentiles (per worker, seconds)"),
         (summary.get("cells"), "per-cell simulate latency (seconds)"),
         (summary.get("stragglers"), "top straggler tasks"),
         (summary.get("profile_hotspots"), "profile hotspots (pool-wide)"),
@@ -294,11 +321,13 @@ def _print_telemetry_summary(summary: Dict[str, object], *, title: str) -> None:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    import os
+
     from .analysis import summarize_results
     from .analysis.streaming import JsonlSink, ProgressSink
     from .election.base import SafetyTally
     from .obs import TelemetrySink
-    from .parallel import parse_shard, run_experiments
+    from .parallel import AUTO_SHARD, parse_shard, run_experiments
     from .workloads import DYNAMIC_SCENARIOS, suite_by_name
 
     if args.workers < 1:
@@ -325,42 +354,59 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     topologies = suite_by_name(args.suite)
     specs, adversarial = build_sweep_specs(args, topologies)
+    if shard is not None and shard[0] == AUTO_SHARD:
+        shard_label = "shard auto"
+    elif shard is not None:
+        shard_label = f"shard {shard[0]}/{shard[1]}"
+    else:
+        shard_label = ""
+
+    def slice_path(base: str, default_suffix: str):
+        # Same naming as the per-shard checkpoints: k jobs sharing one
+        # --jsonl/--telemetry spelling must not publish over each other's
+        # slices.  An auto job owns no fixed index, so its per-job files
+        # are keyed by pid instead.
+        from pathlib import Path
+
+        from .parallel import shard_checkpoint_path
+
+        if shard[0] == AUTO_SHARD:
+            base_path = Path(base)
+            suffix = base_path.suffix or default_suffix
+            return base_path.with_name(
+                f"{base_path.stem}.auto-{os.getpid()}{suffix}"
+            )
+        return shard_checkpoint_path(
+            base, shard[0], shard[1], default_suffix=default_suffix
+        )
+
     jsonl = args.jsonl
     if jsonl and shard is not None:
-        # Same naming as the per-shard checkpoints: k jobs sharing one
-        # --jsonl spelling must not publish over each other's slices.
-        from .parallel import shard_checkpoint_path
-
-        jsonl = shard_checkpoint_path(
-            jsonl, shard[0], shard[1], default_suffix=".jsonl"
-        )
-        print(f"shard {shard[0]}/{shard[1]}: writing JSONL export to {jsonl}")
+        jsonl = slice_path(jsonl, ".jsonl")
+        print(f"{shard_label}: writing JSONL export to {jsonl}")
     telemetry_path = args.telemetry
     if telemetry_path and shard is not None:
-        # Same rule as --jsonl: k shard jobs sharing one --telemetry
-        # spelling each publish their own slice's file.
-        from .parallel import shard_checkpoint_path
-
-        telemetry_path = shard_checkpoint_path(
-            telemetry_path, shard[0], shard[1], default_suffix=".jsonl"
-        )
-        print(f"shard {shard[0]}/{shard[1]}: writing telemetry to {telemetry_path}")
+        telemetry_path = slice_path(telemetry_path, ".jsonl")
+        print(f"{shard_label}: writing telemetry to {telemetry_path}")
     telemetry = TelemetrySink(telemetry_path) if telemetry_path else None
     sinks: List[object] = [JsonlSink(jsonl)] if jsonl else []
     if args.progress:
         # Count this job's slice, not the whole grid: a sharded job owns
         # the round-robin slice i, i+k, i+2k, ... of the pooled task list.
+        # An auto job's slice is unknowable up front — it starts at 0 and
+        # the runner grows the total as lease blocks are claimed.
         total = sum(len(spec.topologies) * len(spec.seeds) for spec in specs)
-        label = ""
-        if shard is not None:
+        if shard is not None and shard[0] == AUTO_SHARD:
+            total = 0
+        elif shard is not None:
             total = len(range(shard[0], total, shard[1]))
-            label = f"shard {shard[0]}/{shard[1]}"
-        sinks.append(ProgressSink(total, label=label))
+        sinks.append(ProgressSink(total, label=shard_label))
     results = run_experiments(
         specs,
         workers=args.workers,
         checkpoint=args.checkpoint,
         checkpoint_compact=args.checkpoint_compact,
+        checkpoint_format=args.checkpoint_format,
         start_method=args.start_method,
         derive_seeds=args.derive_seeds,
         base_seed=args.base_seed,
@@ -369,11 +415,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         backend=args.backend,
         telemetry=telemetry,
         profile=args.profile,
+        dispatch=args.dispatch,
+        task_timeout=args.task_timeout,
+        lease_timeout=args.lease_timeout,
     )
     rows = summarize_results(results)
     title = f"sweep over suite {args.suite!r}"
     if shard is not None:
-        title += f" (shard {shard[0]}/{shard[1]}: this job's slice only)"
+        title += f" ({shard_label}: this job's slice only)"
     print(render_table(rows, title=title))
     if telemetry is not None:
         print()
@@ -606,8 +655,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--checkpoint",
         default=None,
-        help="JSON file recording completed runs; an interrupted sweep "
-        "rerun with the same checkpoint resumes instead of restarting",
+        help="file recording completed runs (append-only JSONL by "
+        "default, see --checkpoint-format); an interrupted sweep rerun "
+        "with the same checkpoint resumes instead of restarting",
     )
     sweep.add_argument(
         "--checkpoint-compact",
@@ -618,11 +668,52 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--shard",
         default=None,
-        metavar="I/K",
+        metavar="I/K|auto[/N]",
         help="run only shard I of a deterministic K-way split of the grid "
         "(0-based; requires --checkpoint). K independent jobs with "
         "--shard 0/K .. K-1/K cover the grid; fold their checkpoints "
-        "with `repro-le merge`",
+        "with `repro-le merge`. `auto` (or auto/N for N blocks) turns "
+        "on work stealing instead: any number of concurrent jobs claim "
+        "task blocks from a shared lease directory next to the "
+        "checkpoint, stale blocks are stolen, and the same manifest/"
+        "merge flow folds the results (requires the jsonl checkpoint "
+        "format)",
+    )
+    sweep.add_argument(
+        "--dispatch",
+        default="adaptive",
+        choices=["adaptive", "static"],
+        help="pool dispatch strategy: adaptive batches cheap tasks by "
+        "measured cost over a bounded in-flight window and re-dispatches "
+        "tasks lost to worker deaths or timeouts; static is the legacy "
+        "chunksize=1 baseline. Results are bit-identical either way",
+    )
+    sweep.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="re-dispatch a task whose worker has not reported for this "
+        "many seconds (requires --dispatch adaptive); re-runs are "
+        "deterministic, so duplicated completions are dropped without "
+        "changing results",
+    )
+    sweep.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="with --shard auto: steal a claimed block whose owner has "
+        "not heartbeat for this many seconds (default 300)",
+    )
+    sweep.add_argument(
+        "--checkpoint-format",
+        default="jsonl",
+        choices=["jsonl", "json"],
+        help="checkpoint on-disk format: jsonl appends one record per "
+        "completed run (O(new records) per flush, periodic compaction); "
+        "json rewrites the whole file every flush (legacy baseline). "
+        "Either format reads checkpoints written by the other",
     )
     sweep.add_argument(
         "--adversary",

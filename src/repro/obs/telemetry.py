@@ -51,8 +51,10 @@ __all__ = [
 ]
 
 #: Version stamp written in every sweep header record so offline readers
-#: can detect schema drift.
-TELEMETRY_VERSION = 1
+#: can detect schema drift.  Version 2 added the dispatch fields
+#: (``batch_size``, ``attempt``) when the adaptive scheduler landed;
+#: version-1 files still summarize (the new fields default to 1).
+TELEMETRY_VERSION = 2
 
 #: Fields every ``kind="task"`` record carries (the JSONL schema; CI
 #: validates exported files against it).
@@ -72,6 +74,8 @@ TASK_RECORD_FIELDS = (
     "fold_seconds",
     "checkpoint_seconds",
     "spans",
+    "batch_size",
+    "attempt",
 )
 
 
@@ -104,6 +108,12 @@ class TaskTelemetry:
     spans: Dict[str, Dict[str, object]] = field(default_factory=dict)
     fold_seconds: float = 0.0
     checkpoint_seconds: float = 0.0
+    #: how many tasks shared this task's dispatch batch (1 = singleton;
+    #: the static engine always dispatches singletons)
+    batch_size: int = 1
+    #: which dispatch attempt produced this record (>1 means the task was
+    #: re-dispatched after a worker death or lease timeout)
+    attempt: int = 1
 
     def as_record(self) -> Dict[str, object]:
         """The JSONL ``kind="task"`` record (see ``TASK_RECORD_FIELDS``)."""
@@ -123,6 +133,8 @@ class TaskTelemetry:
             "fold_seconds": self.fold_seconds,
             "checkpoint_seconds": self.checkpoint_seconds,
             "spans": self.spans,
+            "batch_size": self.batch_size,
+            "attempt": self.attempt,
         }
 
 
@@ -160,10 +172,21 @@ class TelemetryAggregator:
         }
         #: worker label -> [task count, busy (in-worker) seconds]
         self._workers: Dict[str, List[float]] = {}
+        #: worker label -> queue waits, in emit order (for the per-worker
+        #: wait percentiles that diagnose dispatch backlog)
+        self._worker_waits: Dict[str, List[float]] = {}
         #: (experiment, topology) -> simulate durations, in emit order
         self._cells: Dict[Tuple[str, str], List[float]] = {}
         #: (simulate seconds, task key, worker) for the straggler ranking
         self._tasks: List[Tuple[float, str, str]] = []
+        #: dispatch facts folded from the task records' batch/attempt
+        #: fields (records from v1 files default to singletons)
+        self._batched_tasks = 0
+        self._max_batch_size = 0
+        self._redispatched_tasks = 0
+        #: the driver's scheduler counters (batches, re-dispatches, lease
+        #: steals), verbatim when present
+        self.scheduler: Optional[Dict[str, object]] = None
 
     def add(self, record: Dict[str, object]) -> None:
         """Fold one JSONL record (any ``kind``) into the aggregate."""
@@ -182,10 +205,19 @@ class TelemetryAggregator:
             stats = self._workers.setdefault(worker, [0, 0.0])
             stats[0] += 1
             stats[1] += float(record.get("task_seconds", 0.0))
+            self._worker_waits.setdefault(worker, []).append(
+                float(record.get("queue_wait_seconds", 0.0))
+            )
             cell = (str(record.get("experiment", "")), str(record.get("topology", "")))
             simulate = float(record.get("simulate_seconds", 0.0))
             self._cells.setdefault(cell, []).append(simulate)
             self._tasks.append((simulate, str(record.get("task_key", "")), worker))
+            batch_size = int(record.get("batch_size", 1))
+            if batch_size > 1:
+                self._batched_tasks += 1
+            self._max_batch_size = max(self._max_batch_size, batch_size)
+            if int(record.get("attempt", 1)) > 1:
+                self._redispatched_tasks += 1
         elif kind == "driver":
             self.elapsed_seconds = float(record.get("elapsed_seconds", 0.0))
             self.restored = int(record.get("restored", 0))
@@ -193,6 +225,9 @@ class TelemetryAggregator:
             hotspots = record.get("profile_hotspots")
             if hotspots is not None:
                 self.profile_hotspots = list(hotspots)
+            scheduler = record.get("scheduler")
+            if scheduler is not None:
+                self.scheduler = dict(scheduler)
 
     def summary(self, top: int = 10) -> Dict[str, object]:
         """The end-of-sweep report: utilization, percentiles, stragglers.
@@ -231,6 +266,36 @@ class TelemetryAggregator:
                 self._tasks, key=lambda item: (-item[0], item[1])
             )[:top]
         ]
+        queue_waits = []
+        for worker, waits in sorted(self._worker_waits.items()):
+            ordered = sorted(waits)
+            queue_waits.append(
+                {
+                    "worker": worker,
+                    "tasks": len(ordered),
+                    "p50_queue_wait_seconds": _percentile(ordered, 0.50),
+                    "p90_queue_wait_seconds": _percentile(ordered, 0.90),
+                    "max_queue_wait_seconds": ordered[-1],
+                }
+            )
+        busy_times = [busy for _, busy in self._workers.values()]
+        if busy_times:
+            mean_busy = sum(busy_times) / len(busy_times)
+            load_imbalance = {
+                "workers": len(busy_times),
+                "max_busy_seconds": max(busy_times),
+                "mean_busy_seconds": mean_busy,
+                # max/mean busy: 1.0 is a perfectly balanced pool; the
+                # ratio a straggling worker (or bad batching) inflates.
+                "imbalance": (max(busy_times) / mean_busy) if mean_busy else None,
+            }
+        else:
+            load_imbalance = None
+        dispatch = {
+            "batched_tasks": self._batched_tasks,
+            "max_batch_size": self._max_batch_size,
+            "redispatched_tasks": self._redispatched_tasks,
+        }
         checkpoint_share = (
             self._totals["checkpoint_seconds"] / elapsed if elapsed else None
         )
@@ -246,6 +311,10 @@ class TelemetryAggregator:
             "totals": dict(self._totals),
             "checkpoint_io_share": checkpoint_share,
             "worker_utilization": workers,
+            "queue_wait_by_worker": queue_waits,
+            "load_imbalance": load_imbalance,
+            "dispatch": dispatch,
+            "scheduler": self.scheduler,
             "cells": cells,
             "stragglers": stragglers,
             "driver_spans": self.driver_spans,
@@ -319,8 +388,11 @@ class TelemetrySink:
         restored: int,
         spans: Dict[str, Dict[str, object]],
         profile_hotspots: Optional[List[Dict[str, object]]] = None,
+        scheduler: Optional[Dict[str, object]] = None,
     ) -> None:
-        """Write the closing driver record (sweep elapsed, parent spans)."""
+        """Write the closing driver record (sweep elapsed, parent spans,
+        and — under the adaptive engine — the scheduler's dispatch/lease
+        counters)."""
         record: Dict[str, object] = {
             "kind": "driver",
             "elapsed_seconds": elapsed_seconds,
@@ -329,6 +401,8 @@ class TelemetrySink:
         }
         if profile_hotspots is not None:
             record["profile_hotspots"] = profile_hotspots
+        if scheduler is not None:
+            record["scheduler"] = scheduler
         self._write(record)
 
     def summary(self, top: int = 10) -> Dict[str, object]:

@@ -8,21 +8,31 @@ contract:
   per-(topology, seed) tasks whose seeds are fixed deterministically in
   the parent process (optionally derived per cell via
   :func:`~repro.parallel.sharding.derive_cell_seed`);
+* :mod:`~repro.parallel.scheduler` dispatches the tasks adaptively —
+  cost-aware batching over a bounded in-flight window, fault-tolerant
+  re-dispatch of tasks lost to worker deaths or timeouts — and
+  coordinates work-stealing ``--shard auto`` jobs through a filesystem
+  lease directory;
 * :mod:`~repro.parallel.runner` executes the tasks on a
   ``multiprocessing`` pool and streams each completed run into exact
   per-cell aggregates (:mod:`repro.analysis.streaming`), reassembling
   cells byte-identically to the serial backend (wall-clock readings
   aside) without ever retaining the full run list;
-* :mod:`~repro.parallel.checkpoint` persists completed runs to JSON so
-  interrupted sweeps resume instead of restarting, and — for multi-machine
-  sweeps — splits one grid across per-shard checkpoint files plus a
-  deterministic shard manifest (``--shard i/k``), merged back together by
-  :func:`~repro.parallel.checkpoint.merge_shard_checkpoints`.
+* :mod:`~repro.parallel.checkpoint` persists completed runs so
+  interrupted sweeps resume instead of restarting, and — for
+  multi-machine sweeps — splits one grid across per-shard checkpoint
+  files plus a deterministic shard manifest (``--shard i/k`` or the
+  work-stealing ``--shard auto``), merged back together by
+  :func:`~repro.parallel.checkpoint.merge_shard_checkpoints`;
+* :mod:`~repro.parallel.store` is the default on-disk format: an
+  append-only JSONL checkpoint store (O(new records) per flush) that
+  reads legacy whole-file JSON checkpoints transparently.
 
 The engine is wired in as ``run_experiment(..., workers=N,
 checkpoint=...)``, as the ``repro-le sweep`` CLI command, and as the
 backend of ``benchmarks/bench_parallel_sweep.py``; the equivalence and
-determinism guarantees are pinned down by ``tests/test_parallel_runner.py``.
+determinism guarantees are pinned down by ``tests/test_parallel_runner.py``,
+``tests/test_scheduler.py`` and ``tests/test_checkpoint_store.py``.
 """
 
 from .checkpoint import (
@@ -35,21 +45,48 @@ from .checkpoint import (
     result_to_record,
     shard_checkpoint_path,
 )
-from .runner import TaskExecutionError, run_experiments, run_parallel_experiment
+from .runner import (
+    CHECKPOINT_FORMATS,
+    DISPATCH_MODES,
+    TaskExecutionError,
+    run_experiments,
+    run_parallel_experiment,
+)
+from .scheduler import (
+    DEFAULT_AUTO_BLOCKS,
+    DEFAULT_LEASE_TIMEOUT,
+    DEFAULT_MAX_BATCH,
+    AdaptiveScheduler,
+    DispatchStats,
+    LeaseDirectory,
+)
 from .sharding import (
+    AUTO_SHARD,
     RunTask,
     derive_cell_seed,
     expand_run_tasks,
     parse_shard,
     select_shard,
     shard_round_robin,
+    split_blocks,
     task_key,
     topology_fingerprint,
     validate_shard,
 )
+from .store import JsonlCheckpointStore
 
 __all__ = [
+    "AUTO_SHARD",
+    "AdaptiveScheduler",
+    "CHECKPOINT_FORMATS",
     "CheckpointStore",
+    "DEFAULT_AUTO_BLOCKS",
+    "DEFAULT_LEASE_TIMEOUT",
+    "DEFAULT_MAX_BATCH",
+    "DISPATCH_MODES",
+    "DispatchStats",
+    "JsonlCheckpointStore",
+    "LeaseDirectory",
     "RunTask",
     "ShardManifest",
     "TaskExecutionError",
@@ -66,6 +103,7 @@ __all__ = [
     "select_shard",
     "shard_checkpoint_path",
     "shard_round_robin",
+    "split_blocks",
     "task_key",
     "topology_fingerprint",
     "validate_shard",

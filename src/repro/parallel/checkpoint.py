@@ -39,6 +39,7 @@ through an ordinary unsharded sweep.
 from __future__ import annotations
 
 import json
+import math
 import os
 import time
 from dataclasses import dataclass
@@ -173,6 +174,14 @@ class CheckpointStore:
         # not hours into a sweep when the first flush fires.
         if self.path.parent and not self.path.parent.exists():
             self.path.parent.mkdir(parents=True, exist_ok=True)
+        # Fail at construction, not mid-sweep: a negative interval would
+        # flush on every add (probably a unit slip), and NaN comparisons
+        # are always False, silently disabling throttled flushing.
+        if math.isnan(flush_interval_seconds) or flush_interval_seconds < 0:
+            raise ConfigurationError(
+                f"flush_interval_seconds must be a non-negative number, "
+                f"got {flush_interval_seconds}"
+            )
         self.flush_interval_seconds = flush_interval_seconds
         self.compact_records = compact
         self._runs: Dict[str, Dict[str, object]] = {}
@@ -315,6 +324,12 @@ class ShardManifest:
     shard_files: Tuple[str, ...]
     #: task keys per shard, in task order
     shard_tasks: Tuple[Tuple[str, ...], ...]
+    #: how the split was assigned: ``"static"`` (fixed round-robin
+    #: ``i/k`` slices) or ``"auto"`` (contiguous blocks claimed at
+    #: runtime from a lease directory).  The merge never cares — it only
+    #: reads files and keys — but the mode documents the sweep and keeps
+    #: a static resume from colliding with an auto lease directory.
+    mode: str = "static"
 
     @classmethod
     def plan(
@@ -340,10 +355,40 @@ class ShardManifest:
             shard_tasks=tuple(tuple(bucket) for bucket in buckets),
         )
 
+    @classmethod
+    def plan_auto(
+        cls, base: Union[str, Path], task_keys: Sequence[str], block_count: int
+    ) -> "ShardManifest":
+        """Build the manifest of a work-stealing ``--shard auto`` split:
+        ``block_count`` contiguous task-key blocks checkpointed next to
+        ``base``, claimed at runtime rather than assigned up front.
+
+        Deliberately the same manifest shape as a static split (a block
+        is a shard whose job is chosen late), so ``repro-le merge``
+        handles both without knowing which scheduler produced the files.
+        """
+        from .sharding import split_blocks
+
+        if block_count < 1:
+            raise ConfigurationError(
+                f"block count must be >= 1, got {block_count}"
+            )
+        blocks = split_blocks(list(task_keys), block_count)
+        return cls(
+            shard_count=block_count,
+            shard_files=tuple(
+                shard_checkpoint_path(base, index, block_count).name
+                for index in range(block_count)
+            ),
+            shard_tasks=tuple(tuple(block) for block in blocks),
+            mode="auto",
+        )
+
     def as_payload(self) -> Dict[str, object]:
         return {
             "version": FORMAT_VERSION,
             "kind": MANIFEST_KIND,
+            "mode": self.mode,
             "shard_count": self.shard_count,
             "shards": [
                 {"index": index, "file": name, "tasks": list(tasks)}
@@ -373,6 +418,8 @@ class ShardManifest:
             shard_tasks=tuple(
                 tuple(str(key) for key in entry["tasks"]) for entry in shards
             ),
+            # Manifests written before work stealing existed are static.
+            mode=str(payload.get("mode", "static")),
         )
 
     @classmethod
@@ -457,6 +504,11 @@ def merge_shard_checkpoints(
     Returns a summary dict (shards seen, records merged, coverage counts)
     that the CLI renders.
     """
+    # Shard files may be legacy JSON (old sweeps) or JSONL (current
+    # engine); the JSONL store reads both.  Imported here — the store
+    # module builds on this one.
+    from .store import JsonlCheckpointStore
+
     manifest_file = Path(manifest_file)
     manifest = ShardManifest.load(manifest_file)
     expected = manifest.expected_keys()
@@ -468,7 +520,7 @@ def merge_shard_checkpoints(
         if not shard_path.exists():
             missing_shards.append(shard_path.name)
             continue
-        for key, record in CheckpointStore(shard_path).load().items():
+        for key, record in JsonlCheckpointStore(shard_path).load().items():
             if key not in expected:
                 extraneous += 1
                 continue
@@ -498,13 +550,14 @@ def merge_shard_checkpoints(
             f"the shard jobs or pass --allow-partial"
         )
 
-    store = CheckpointStore(output, compact=compact)
+    store = JsonlCheckpointStore(output, compact=compact)
     store._loaded = True  # fresh merge output: never resume an existing file
     store._runs = {
         key: (compact_record(record) if compact else record)
         for key, record in sorted(merged.items())
     }
     store._dirty = True
+    store._needs_rewrite = True  # one deterministic whole-file write
     store.flush()
     return {
         "shards": manifest.shard_count,

@@ -5,11 +5,20 @@ Execution model
 
 The engine expands every spec into per-(topology, seed) :class:`~repro.parallel.sharding.RunTask`
 units in the parent process (seeds fixed at expansion time), dispatches the
-tasks to a ``multiprocessing`` pool with ``chunksize=1`` for load balance,
-and *streams* every completed run into per-cell
-:class:`~repro.analysis.streaming.CellAggregate` accumulators (plus any
-caller-supplied sinks) the moment it arrives — no backend retains the full
-run list, so memory is O(cells), not O(runs × nodes).
+tasks to a ``multiprocessing`` pool, and *streams* every completed run into
+per-cell :class:`~repro.analysis.streaming.CellAggregate` accumulators
+(plus any caller-supplied sinks) the moment it arrives — no backend
+retains the full run list, so memory is O(cells), not O(runs × nodes).
+
+Dispatch is **adaptive** by default (see
+:class:`~repro.parallel.scheduler.AdaptiveScheduler`): a bounded in-flight
+window of ``apply_async`` batches whose size tracks measured task cost —
+cheap tasks are batched to amortize the IPC round-trip, expensive tasks
+ship alone for load balance — with fault-tolerant re-dispatch when a
+worker dies or a task exceeds ``task_timeout``.  ``dispatch="static"``
+keeps the original one-task-per-message ``imap_unordered(chunksize=1)``
+path (it is also the benchmark baseline the adaptive engine is measured
+against).
 
 Determinism guarantees
 ----------------------
@@ -17,18 +26,25 @@ Determinism guarantees
 * **Scheduling-independent results.**  Each task's seed is decided before
   the pool exists, and the cell aggregates use exact arithmetic (see
   :mod:`repro.analysis.streaming`), so the assembled cells are identical
-  for any worker count, start method, or completion order.  Only
-  wall-clock readings differ from a serial run.
+  for any worker count, start method, dispatch mode, batch size, or
+  completion order — including completions duplicated by fault-recovery
+  re-dispatch, which are deduplicated by task key.  Only wall-clock
+  readings differ from a serial run.
 * **Checkpoint-transparent results.**  Completed runs are persisted via
-  :class:`~repro.parallel.checkpoint.CheckpointStore`; a resumed sweep
-  replays the stored runs and computes the same cells an uninterrupted
-  sweep would (per-node diagnostic payloads may be dropped if they are not
-  JSON-encodable).
+  the append-only :class:`~repro.parallel.store.JsonlCheckpointStore`
+  (which reads legacy whole-file JSON checkpoints transparently; pass
+  ``checkpoint_format="json"`` for the old rewrite store); a resumed
+  sweep replays the stored runs and computes the same cells an
+  uninterrupted sweep would (per-node diagnostic payloads may be dropped
+  if they are not JSON-encodable).
 * **Shard-transparent results.**  ``shard=(i, k)`` restricts execution to
   a deterministic round-robin slice of the grid and persists it to a
-  per-shard checkpoint plus a shard manifest; merging the k shard
-  checkpoints (:func:`~repro.parallel.checkpoint.merge_shard_checkpoints`)
-  and replaying yields cells bit-identical to an unsharded sweep.
+  per-shard checkpoint plus a shard manifest; ``shard="auto"`` instead
+  lets any number of concurrent jobs claim contiguous task blocks from a
+  lease directory, stealing stale blocks from dead jobs.  Either way,
+  merging the shard checkpoints
+  (:func:`~repro.parallel.checkpoint.merge_shard_checkpoints`) and
+  replaying yields cells bit-identical to an unsharded sweep.
 * **Profile consistency.**  Expansion profiles are computed in the parent
   with the same cache-and-compute-on-demand policy as the serial driver.
 
@@ -41,16 +57,15 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import sys
 import time
-import traceback
 from pathlib import Path
-from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple, Union
 
 from ..analysis.experiments import (
     ExperimentResult,
     ExperimentSpec,
     cell_from_aggregate,
-    execute_run,
     resolve_profile,
 )
 from ..analysis.streaming import (
@@ -59,7 +74,7 @@ from ..analysis.streaming import (
     ResultSink,
     abort_sinks,
 )
-from ..core.errors import ConfigurationError, ReproError
+from ..core.errors import ConfigurationError
 from ..core.simulator import BACKENDS, backend_scope, default_backend, set_default_backend
 from ..election.base import LeaderElectionResult
 from ..graphs.properties import ExpansionProfile
@@ -81,37 +96,39 @@ from .checkpoint import (
     result_to_record,
     shard_checkpoint_path,
 )
-from .sharding import RunTask, expand_run_tasks, select_shard, validate_shard
+from .scheduler import (
+    DEFAULT_AUTO_BLOCKS,
+    DEFAULT_LEASE_TIMEOUT,
+    DEFAULT_MAX_BATCH,
+    AdaptiveScheduler,
+    LeaseDirectory,
+    TaskExecutionError,
+    _execute_task,
+    _validate_timeout,
+)
+from .sharding import (
+    AUTO_SHARD,
+    RunTask,
+    expand_run_tasks,
+    select_shard,
+    split_blocks,
+    validate_shard,
+)
+from .store import JsonlCheckpointStore
 
-__all__ = ["TaskExecutionError", "run_parallel_experiment", "run_experiments"]
+__all__ = [
+    "CHECKPOINT_FORMATS",
+    "DISPATCH_MODES",
+    "TaskExecutionError",
+    "run_parallel_experiment",
+    "run_experiments",
+]
 
-
-class TaskExecutionError(ReproError):
-    """One run of an experiment grid failed.
-
-    Raised in place of the bare exception that killed the run, with the
-    failing (spec, topology, seed) grid coordinates in the message — a
-    multiprocessing traceback alone does not say which of ten thousand
-    runs died.  The original traceback is appended (exception chaining
-    does not survive the worker-to-parent pickle hop).
-    """
-
-
-def _execute_task(task: RunTask) -> Tuple[str, LeaderElectionResult, float]:
-    """Pool worker entry point: run one task and return (key, result, time)."""
-    try:
-        result, elapsed = execute_run(task.runner, task.topology, task.seed)
-    except Exception as error:
-        adversary = f" under adversary {task.adversary}" if task.adversary else ""
-        protocol = f" with protocol {task.protocol}" if task.protocol else ""
-        raise TaskExecutionError(
-            f"run failed in spec {task.spec_name!r} on topology "
-            f"{task.topology.name!r} (grid index {task.topology_index}, "
-            f"seed {task.seed}){protocol}{adversary}: "
-            f"{type(error).__name__}: {error}\n"
-            f"{traceback.format_exc()}"
-        ) from error
-    return task.key, result, elapsed
+#: Dispatch strategies of the pool engine (see module docstring).
+DISPATCH_MODES = ("adaptive", "static")
+#: On-disk checkpoint formats: append-only JSONL (the default) and the
+#: legacy whole-file-rewrite JSON store.
+CHECKPOINT_FORMATS = ("jsonl", "json")
 
 
 class _TimedTask(NamedTuple):
@@ -133,10 +150,11 @@ def _execute_timed_task(
 ) -> Tuple[str, LeaderElectionResult, float, TaskTelemetry, Optional[dict]]:
     """Telemetry-path worker entry point: run one task, measure everything.
 
-    Wraps :func:`_execute_task` (results are produced by the identical
-    code either way) in a per-task span collector, so the ``"simulate"``
-    span inside :func:`~repro.analysis.experiments.execute_run` — and any
-    deeper spans — are captured per task and shipped home in the
+    Wraps :func:`~repro.parallel.scheduler._execute_task` (results are
+    produced by the identical code either way) in a per-task span
+    collector, so the ``"simulate"`` span inside
+    :func:`~repro.analysis.experiments.execute_run` — and any deeper
+    spans — are captured per task and shipped home in the
     :class:`~repro.obs.TaskTelemetry`.  The parent fills the record's
     fold/checkpoint timings before emitting it.
     """
@@ -168,6 +186,143 @@ def _execute_timed_task(
     )
 
 
+#: The unified completion callback: (key, result, elapsed, telemetry,
+#: profile payload) — the last two are ``None`` off the telemetry path.
+_FinishFn = Callable[
+    [str, LeaderElectionResult, float, Optional[TaskTelemetry], Optional[dict]],
+    None,
+]
+
+
+class _PoolEngine:
+    """One sweep's worker pool and the dispatch strategy driving it.
+
+    The pool is created lazily on the first execute call that actually
+    needs one (sized to ``min(workers, first pending count)``) and kept
+    for every later call — an auto-sharded job executes one claimed
+    block after another through the same pool, and the adaptive
+    scheduler's cost model likewise persists across blocks.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int,
+        start_method: Optional[str],
+        backend: str,
+        dispatch: str,
+        telemetry_on: bool,
+        profile: Optional[str],
+        task_timeout: Optional[float],
+        max_batch: int,
+    ) -> None:
+        self._workers = workers
+        self._start_method = start_method
+        self._backend = backend
+        self._dispatch = dispatch
+        self._telemetry_on = telemetry_on
+        self._profile = profile
+        self._task_timeout = task_timeout
+        self._max_batch = max_batch
+        self._pool = None
+        self._scheduler: Optional[AdaptiveScheduler] = None
+
+    def __enter__(self) -> "_PoolEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool = None
+
+    def _ensure_pool(self, size_hint: int):
+        if self._pool is None:
+            context = multiprocessing.get_context(self._start_method)
+            # set_default_backend as initializer: the backend choice must
+            # reach the workers under "spawn" too, where the parent's
+            # in-process scope stack does not survive the fork-less hop.
+            self._pool = context.Pool(
+                processes=min(self._workers, max(1, size_hint)),
+                initializer=set_default_backend,
+                initargs=(self._backend,),
+            )
+        return self._pool
+
+    def execute(self, pending: Sequence[RunTask], finish: _FinishFn) -> None:
+        """Run ``pending`` to completion, calling ``finish`` per task."""
+        if not pending:
+            return
+        if self._workers > 1 and (len(pending) > 1 or self._pool is not None):
+            pool = self._ensure_pool(len(pending))
+            if self._dispatch == "adaptive":
+                if self._scheduler is None:
+                    self._scheduler = AdaptiveScheduler(
+                        pool,
+                        self._workers,
+                        telemetry=self._telemetry_on,
+                        profile=self._profile,
+                        task_timeout=self._task_timeout,
+                        max_batch=self._max_batch,
+                    )
+                self._scheduler.run(pending, finish)
+            else:
+                self._execute_static(pool, pending, finish)
+        else:
+            self._execute_inline(pending, finish)
+
+    def _execute_static(self, pool, pending, finish: _FinishFn) -> None:
+        # The original engine: one task per IPC message, runs folded the
+        # moment they finish.  No batching, no re-dispatch — kept both
+        # for comparison benchmarks and as the conservative fallback.
+        if self._telemetry_on:
+            # A generator, so each task's submit stamp is taken when the
+            # pool's feeder dispatches it, not when the sweep starts —
+            # queue wait measures pool backlog.
+            timed = (
+                _TimedTask(task, time.monotonic(), self._profile)
+                for task in pending
+            )
+            for key, result, elapsed, tel, prof in pool.imap_unordered(
+                _execute_timed_task, timed, chunksize=1
+            ):
+                finish(key, result, elapsed, tel, prof)
+        else:
+            for key, result, elapsed in pool.imap_unordered(
+                _execute_task, pending, chunksize=1
+            ):
+                finish(key, result, elapsed, None, None)
+
+    def _execute_inline(self, pending, finish: _FinishFn) -> None:
+        with backend_scope(self._backend):
+            for task in pending:
+                # Same entry point as the pool workers, so failures
+                # carry the same grid-coordinate context either way.
+                if self._telemetry_on:
+                    key, result, elapsed, tel, prof = _execute_timed_task(
+                        _TimedTask(task, time.monotonic(), self._profile)
+                    )
+                    finish(key, result, elapsed, tel, prof)
+                else:
+                    key, result, elapsed = _execute_task(task)
+                    finish(key, result, elapsed, None, None)
+
+    def scheduler_stats(self) -> Optional[Dict[str, int]]:
+        """The adaptive scheduler's dispatch counters (``None`` when the
+        sweep never went through the scheduler)."""
+        if self._scheduler is None:
+            return None
+        return self._scheduler.stats.as_dict()
+
+
+class _AutoPlan(NamedTuple):
+    """Everything a work-stealing job needs: the shared lease directory,
+    the deterministic block partition, and where each block checkpoints."""
+
+    leases: LeaseDirectory
+    blocks: List[List[RunTask]]
+    block_paths: List[Path]
+
+
 def run_parallel_experiment(
     spec: ExperimentSpec,
     *,
@@ -179,11 +334,17 @@ def run_parallel_experiment(
     keep_results: bool = False,
     derive_seeds: bool = False,
     base_seed: Optional[int] = None,
-    shard: Optional[Tuple[int, int]] = None,
+    shard=None,
     sinks: Sequence[ResultSink] = (),
     backend: str = "auto",
     telemetry: Optional[TelemetrySink] = None,
     profile: Optional[str] = None,
+    dispatch: str = "adaptive",
+    task_timeout: Optional[float] = None,
+    max_batch: Optional[int] = None,
+    lease_timeout: Optional[float] = None,
+    checkpoint_format: str = "jsonl",
+    checkpoint_flush_interval: Optional[float] = None,
 ) -> ExperimentResult:
     """Parallel drop-in for :func:`repro.analysis.experiments.run_experiment`."""
     return run_experiments(
@@ -201,6 +362,12 @@ def run_parallel_experiment(
         backend=backend,
         telemetry=telemetry,
         profile=profile,
+        dispatch=dispatch,
+        task_timeout=task_timeout,
+        max_batch=max_batch,
+        lease_timeout=lease_timeout,
+        checkpoint_format=checkpoint_format,
+        checkpoint_flush_interval=checkpoint_flush_interval,
     )[0]
 
 
@@ -215,11 +382,17 @@ def run_experiments(
     keep_results: bool = False,
     derive_seeds: bool = False,
     base_seed: Optional[int] = None,
-    shard: Optional[Tuple[int, int]] = None,
+    shard=None,
     sinks: Sequence[ResultSink] = (),
     backend: str = "auto",
     telemetry: Optional[TelemetrySink] = None,
     profile: Optional[str] = None,
+    dispatch: str = "adaptive",
+    task_timeout: Optional[float] = None,
+    max_batch: Optional[int] = None,
+    lease_timeout: Optional[float] = None,
+    checkpoint_format: str = "jsonl",
+    checkpoint_flush_interval: Optional[float] = None,
 ) -> List[ExperimentResult]:
     """Run several specs through one worker pool and stream per-cell aggregates.
 
@@ -229,8 +402,24 @@ def run_experiments(
     deterministic seed derived from ``base_seed`` (see
     :func:`repro.parallel.sharding.derive_cell_seed`); leave it off for
     results identical to the serial backend's.  ``checkpoint_compact``
-    stores checkpoint records without per-node diagnostic payloads (and as
-    compact JSON) so resume files of very large grids stay small.
+    stores checkpoint records without per-node diagnostic payloads so
+    resume files of very large grids stay small.
+
+    ``dispatch`` selects the pool strategy: ``"adaptive"`` (the default —
+    cost-adaptive batching with fault-tolerant re-dispatch, see
+    :class:`~repro.parallel.scheduler.AdaptiveScheduler`) or ``"static"``
+    (the original ``imap_unordered(chunksize=1)``).  ``task_timeout``
+    (adaptive only) bounds one task's lease: an expired lease — straggler
+    or dead worker — is re-dispatched; worker *death* is detected and
+    recovered even without a timeout.  ``max_batch`` caps the adaptive
+    batch size.  Results are bit-identical across all of these knobs.
+
+    ``checkpoint_format`` picks the on-disk store: ``"jsonl"`` (the
+    default — append-only, O(new records) per flush, reads legacy JSON
+    checkpoints transparently and migrates them on first flush) or
+    ``"json"`` (the legacy whole-file rewrite).
+    ``checkpoint_flush_interval`` overrides the store's flush throttle
+    (seconds between on-disk writes; 0 flushes after every run).
 
     ``shard=(i, k)`` runs only shard ``i`` of a deterministic ``k``-way
     round-robin split of the pooled task list.  A sharded run requires a
@@ -242,6 +431,16 @@ def run_experiments(
     :func:`repro.parallel.checkpoint.merge_shard_checkpoints`.  The
     returned results contain only the cells this shard touched (cells
     with zero local runs are omitted).
+
+    ``shard="auto"`` (or ``(AUTO_SHARD, block_count)``) is the
+    work-stealing variant: the grid is split into contiguous task blocks
+    and any number of concurrent jobs sharing the checkpoint directory
+    claim blocks from a lease directory (``<base>.leases/``) until the
+    grid is covered — fast jobs claim more, and a block whose owner died
+    (no lease heartbeat for ``lease_timeout`` seconds) is stolen and
+    re-executed.  Each block checkpoints to its own shard file named by
+    the same manifest ``merge`` already understands.  The returned
+    results contain only the cells whose blocks *this* job executed.
 
     ``keep_results`` composes a
     :class:`~repro.analysis.streaming.CollectingSink` that retains every
@@ -258,13 +457,15 @@ def run_experiments(
 
     ``telemetry`` attaches a :class:`repro.obs.TelemetrySink`: every
     freshly-executed task ships a timing record back from its worker
-    (queue wait, simulate time, span totals, worker id), the parent adds
-    fold/checkpoint durations, and the sink streams the records to JSONL
-    while building the end-of-sweep utilization/straggler summary.  The
-    sink's lifecycle (close on success, abort on failure) is owned here —
-    do not also pass it in ``sinks``.  Telemetry never enters task keys
-    or seeds, so results are bit-identical with it on or off; with it
-    off this function's hot path is unchanged.  ``profile`` (one of
+    (queue wait, simulate time, span totals, worker id, batch size,
+    dispatch attempt), the parent adds fold/checkpoint durations, and the
+    sink streams the records to JSONL while building the end-of-sweep
+    utilization/straggler summary; the closing driver record carries the
+    scheduler's dispatch/lease counters.  The sink's lifecycle (close on
+    success, abort on failure) is owned here — do not also pass it in
+    ``sinks``.  Telemetry never enters task keys or seeds, so results
+    are bit-identical with it on or off; with it off this function's hot
+    path is unchanged.  ``profile`` (one of
     :data:`repro.obs.PROFILERS`; requires ``telemetry``) runs each task
     under an in-worker profiler and reports pool-wide hotspots through
     the telemetry summary.
@@ -275,6 +476,23 @@ def run_experiments(
         raise ConfigurationError(
             f"unknown simulator backend {backend!r}: expected one of {BACKENDS}"
         )
+    if dispatch not in DISPATCH_MODES:
+        raise ConfigurationError(
+            f"unknown dispatch mode {dispatch!r}: expected one of {DISPATCH_MODES}"
+        )
+    if checkpoint_format not in CHECKPOINT_FORMATS:
+        raise ConfigurationError(
+            f"unknown checkpoint format {checkpoint_format!r}: expected one "
+            f"of {CHECKPOINT_FORMATS}"
+        )
+    if task_timeout is not None and dispatch != "adaptive":
+        raise ConfigurationError(
+            "task_timeout= requires dispatch='adaptive': the static engine "
+            "cannot re-dispatch a timed-out task"
+        )
+    _validate_timeout("task_timeout", task_timeout)
+    if max_batch is None:
+        max_batch = DEFAULT_MAX_BATCH
     if profile is not None:
         if telemetry is None:
             raise ConfigurationError(
@@ -290,12 +508,28 @@ def run_experiments(
         raise ConfigurationError(
             f"experiment specs must have unique names, got {names}"
         )
+    auto_shard = False
+    auto_blocks: Optional[int] = None
     if shard is not None:
-        shard_index, shard_count = validate_shard(*shard)
+        if isinstance(shard, str):
+            from .sharding import parse_shard
+
+            shard = parse_shard(shard)
+        if shard[0] == AUTO_SHARD:
+            auto_shard = True
+            auto_blocks = shard[1]
+        else:
+            shard_index, shard_count = validate_shard(*shard)
         if checkpoint is None:
             raise ConfigurationError(
                 "a sharded sweep requires a checkpoint: shard results must "
                 "be persisted to be merged (pass checkpoint=/--checkpoint)"
+            )
+        if auto_shard and checkpoint_format != "jsonl":
+            raise ConfigurationError(
+                "shard='auto' requires the JSONL checkpoint format: block "
+                "stealing stages appends per writer, which the rewrite "
+                "store cannot do"
             )
 
     per_spec_tasks: List[List[RunTask]] = [
@@ -310,24 +544,52 @@ def run_experiments(
         for task in all_tasks
     }
 
-    if shard is not None:
+    def make_store(path, *, staged: bool = False):
+        kwargs: Dict[str, object] = {"compact": checkpoint_compact}
+        if checkpoint_flush_interval is not None:
+            kwargs["flush_interval_seconds"] = checkpoint_flush_interval
+        if checkpoint_format == "jsonl":
+            return JsonlCheckpointStore(path, staged=staged, **kwargs)
+        return CheckpointStore(path, **kwargs)
+
+    auto: Optional[_AutoPlan] = None
+    store = None
+    if auto_shard:
+        # Work stealing: same manifest/merge machinery as a static split,
+        # but with contiguous blocks whose owners are decided at runtime
+        # by the lease directory rather than up front.
+        keys = [task.key for task in all_tasks]
+        block_count = max(1, min(auto_blocks or DEFAULT_AUTO_BLOCKS, len(keys)))
+        manifest = ShardManifest.plan_auto(checkpoint, keys, block_count)
+        manifest.write(manifest_path(checkpoint))
+        my_tasks = all_tasks
+        auto = _AutoPlan(
+            leases=LeaseDirectory(
+                checkpoint,
+                block_count,
+                lease_timeout=(
+                    DEFAULT_LEASE_TIMEOUT if lease_timeout is None else lease_timeout
+                ),
+            ),
+            blocks=split_blocks(all_tasks, block_count),
+            block_paths=[
+                shard_checkpoint_path(checkpoint, index, block_count)
+                for index in range(block_count)
+            ],
+        )
+    elif shard is not None:
         manifest = ShardManifest.plan(
             checkpoint, [task.key for task in all_tasks], shard_count
         )
         manifest.write(manifest_path(checkpoint))
         my_tasks = select_shard(all_tasks, shard_index, shard_count)
-        store_path: Optional[Union[str, Path]] = shard_checkpoint_path(
-            checkpoint, shard_index, shard_count
+        store = make_store(
+            shard_checkpoint_path(checkpoint, shard_index, shard_count)
         )
     else:
         my_tasks = all_tasks
-        store_path = checkpoint
-
-    store = (
-        CheckpointStore(store_path, compact=checkpoint_compact)
-        if store_path is not None
-        else None
-    )
+        if checkpoint is not None:
+            store = make_store(checkpoint)
 
     aggregates = CellAggregatingSink()
     collector = CollectingSink() if keep_results else None
@@ -339,11 +601,17 @@ def run_experiments(
         # Last in the fan-out so its (no-op) emit never delays real sinks;
         # close/abort lifecycle is shared with every other sink.
         all_sinks.append(telemetry)
+        if auto_shard:
+            shard_label: Optional[str] = AUTO_SHARD
+        elif shard is not None:
+            shard_label = f"{shard[0]}/{shard[1]}"
+        else:
+            shard_label = None
         telemetry.begin_sweep(
             workers=workers,
             backend=backend,
             profile=profile,
-            shard=f"{shard[0]}/{shard[1]}" if shard is not None else None,
+            shard=shard_label,
         )
     profile_aggregate = ProfileAggregate() if profile is not None else None
 
@@ -351,6 +619,30 @@ def run_experiments(
         spec_name, topology_index, seed_index = route[key]
         for sink in all_sinks:
             sink.emit(spec_name, topology_index, seed_index, result, elapsed)
+
+    def execute():
+        return _execute_and_assemble(
+            specs,
+            my_tasks,
+            consume,
+            store=store,
+            auto=auto,
+            make_store=make_store,
+            workers=workers,
+            start_method=start_method,
+            sharded=shard is not None,
+            profiles=profiles,
+            aggregates=aggregates,
+            collector=collector,
+            backend=backend,
+            telemetry=telemetry,
+            profile=profile,
+            profile_aggregate=profile_aggregate,
+            dispatch=dispatch,
+            task_timeout=task_timeout,
+            max_batch=max_batch,
+            all_sinks=all_sinks,
+        )
 
     try:
         if telemetry is not None:
@@ -360,23 +652,11 @@ def run_experiments(
             # of every utilization figure.
             with collect_spans() as driver_spans:
                 stopwatch = Stopwatch()
-                results, restored = _execute_and_assemble(
-                    specs,
-                    my_tasks,
-                    consume,
-                    store=store,
-                    workers=workers,
-                    start_method=start_method,
-                    sharded=shard is not None,
-                    profiles=profiles,
-                    aggregates=aggregates,
-                    collector=collector,
-                    backend=backend,
-                    telemetry=telemetry,
-                    profile=profile,
-                    profile_aggregate=profile_aggregate,
-                )
+                results, restored, scheduler_stats = execute()
                 elapsed_seconds = stopwatch.elapsed()
+            if auto is not None:
+                scheduler_stats = dict(scheduler_stats or {})
+                scheduler_stats.update(auto.leases.summary())
             telemetry.record_driver(
                 elapsed_seconds=elapsed_seconds,
                 restored=restored,
@@ -386,24 +666,10 @@ def run_experiments(
                     if profile_aggregate is not None and profile_aggregate
                     else None
                 ),
+                scheduler=scheduler_stats,
             )
         else:
-            results, _ = _execute_and_assemble(
-                specs,
-                my_tasks,
-                consume,
-                store=store,
-                workers=workers,
-                start_method=start_method,
-                sharded=shard is not None,
-                profiles=profiles,
-                aggregates=aggregates,
-                collector=collector,
-                backend=backend,
-                telemetry=None,
-                profile=None,
-                profile_aggregate=None,
-            )
+            results, _, _ = execute()
     except BaseException:
         # A run raised: abort the sinks — an export sink (JsonlSink)
         # flushes the records of the runs that did complete without
@@ -412,6 +678,15 @@ def run_experiments(
         raise
     for sink in all_sinks:
         sink.close()
+    if auto is not None:
+        # The job's one operational closing line (to stderr, like the
+        # progress sink's): how much of the shared grid it ended up with.
+        leases = auto.leases
+        print(
+            f"shard auto: claimed {leases.claimed}/{leases.block_count} "
+            f"block(s) ({leases.stolen} stolen)",
+            file=sys.stderr,
+        )
     return results
 
 
@@ -421,6 +696,8 @@ def _execute_and_assemble(
     consume,
     *,
     store,
+    auto: Optional[_AutoPlan],
+    make_store,
     workers,
     start_method,
     sharded,
@@ -431,96 +708,119 @@ def _execute_and_assemble(
     telemetry,
     profile,
     profile_aggregate,
-) -> Tuple[List[ExperimentResult], int]:
+    dispatch,
+    task_timeout,
+    max_batch,
+    all_sinks,
+) -> Tuple[List[ExperimentResult], int, Optional[Dict[str, int]]]:
     """Run the pending tasks and assemble per-spec results (see caller).
 
-    Returns ``(results, restored)`` where ``restored`` counts the runs
-    replayed from the checkpoint rather than executed — those carry no
-    per-task telemetry (nothing was measured), so the telemetry summary
-    reports them separately.
+    Returns ``(results, restored, scheduler_stats)`` where ``restored``
+    counts the runs replayed from checkpoints rather than executed —
+    those carry no per-task telemetry (nothing was measured), so the
+    telemetry summary reports them separately — and ``scheduler_stats``
+    is the adaptive scheduler's counter dict (``None`` when every task
+    ran inline or through static dispatch).
     """
-    completed_keys = set()
-    if store is not None:
-        task_keys = {task.key for task in my_tasks}
+
+    def restore(from_store, tasks) -> set:
+        """Replay ``tasks``' completed runs out of ``from_store``."""
+        completed = set()
+        task_keys = {task.key for task in tasks}
         with span("restore"):
-            for key, record in store.load().items():
+            for key, record in from_store.load().items():
                 if key in task_keys:
                     result, elapsed = result_from_record(record)
                     consume(key, result, elapsed)
-                    completed_keys.add(key)
+                    completed.add(key)
+        return completed
 
-    def finish(key, result, elapsed, task_telemetry, profile_payload) -> None:
-        # Parent-side epilogue of one telemetry-path task: stamp the two
-        # phases that happen here (checkpoint append, sink fan-out) onto
-        # the worker's record, then emit it.
-        checkpoint_started = time.perf_counter()
-        if store is not None:
-            store.add(key, result_to_record(result, elapsed))
-        fold_started = time.perf_counter()
-        consume(key, result, elapsed)
-        task_telemetry.checkpoint_seconds = fold_started - checkpoint_started
-        task_telemetry.fold_seconds = time.perf_counter() - fold_started
-        if profile_payload is not None:
-            profile_aggregate.merge(profile_payload)
-        telemetry.emit_telemetry(task_telemetry)
+    def make_finish(
+        to_store, heartbeat: Optional[Callable[[], None]] = None
+    ) -> _FinishFn:
+        def finish(key, result, elapsed, task_telemetry, profile_payload):
+            # Parent-side epilogue of one task.  On the telemetry path,
+            # stamp the two phases that happen here (checkpoint append,
+            # sink fan-out) onto the worker's record, then emit it.
+            if task_telemetry is not None:
+                checkpoint_started = time.perf_counter()
+                if to_store is not None:
+                    to_store.add(key, result_to_record(result, elapsed))
+                fold_started = time.perf_counter()
+                consume(key, result, elapsed)
+                task_telemetry.checkpoint_seconds = fold_started - checkpoint_started
+                task_telemetry.fold_seconds = time.perf_counter() - fold_started
+                if profile_payload is not None:
+                    profile_aggregate.merge(profile_payload)
+                telemetry.emit_telemetry(task_telemetry)
+            else:
+                if to_store is not None:
+                    to_store.add(key, result_to_record(result, elapsed))
+                consume(key, result, elapsed)
+            if heartbeat is not None:
+                heartbeat()
 
-    pending = [task for task in my_tasks if task.key not in completed_keys]
-    try:
-        if workers > 1 and len(pending) > 1:
-            context = multiprocessing.get_context(start_method)
-            # set_default_backend as initializer: the backend choice must
-            # reach the workers under "spawn" too, where the parent's
-            # in-process scope stack does not survive the fork-less hop.
-            with context.Pool(
-                processes=min(workers, len(pending)),
-                initializer=set_default_backend,
-                initargs=(backend,),
-            ) as pool:
-                # imap_unordered: runs are checkpointed and folded into
-                # their cells the moment they finish, never queued behind
-                # a slow head-of-line task (the aggregates are exact, so
-                # completion order is irrelevant to the final cells).
-                if telemetry is not None:
-                    # A generator, so each task's submit stamp is taken
-                    # when the pool's feeder dispatches it, not when the
-                    # sweep starts — queue wait measures pool backlog.
-                    timed = (
-                        _TimedTask(task, time.monotonic(), profile)
-                        for task in pending
-                    )
-                    for key, result, elapsed, tel, prof in pool.imap_unordered(
-                        _execute_timed_task, timed, chunksize=1
-                    ):
-                        finish(key, result, elapsed, tel, prof)
-                else:
-                    for key, result, elapsed in pool.imap_unordered(
-                        _execute_task, pending, chunksize=1
-                    ):
-                        if store is not None:
-                            store.add(key, result_to_record(result, elapsed))
-                        consume(key, result, elapsed)
+        return finish
+
+    restored = 0
+    engine = _PoolEngine(
+        workers=workers,
+        start_method=start_method,
+        backend=backend,
+        dispatch=dispatch,
+        telemetry_on=telemetry is not None,
+        profile=profile,
+        task_timeout=task_timeout,
+        max_batch=max_batch,
+    )
+    with engine:
+        if auto is None:
+            completed_keys = restore(store, my_tasks) if store is not None else set()
+            restored = len(completed_keys)
+            pending = [task for task in my_tasks if task.key not in completed_keys]
+            try:
+                engine.execute(pending, make_finish(store))
+            finally:
+                # Sharded jobs flush even with nothing pending: a shard
+                # whose round-robin slice is empty (grid smaller than k)
+                # must still leave its (empty) checkpoint file behind, or
+                # the merge would report the fully-executed split as
+                # missing a shard.
+                if store is not None and (pending or sharded):
+                    store.flush()
         else:
-            with backend_scope(backend):
-                for task in pending:
-                    # Same entry point as the pool workers, so failures
-                    # carry the same grid-coordinate context either way.
-                    if telemetry is not None:
-                        key, result, elapsed, tel, prof = _execute_timed_task(
-                            _TimedTask(task, time.monotonic(), profile)
-                        )
-                        finish(key, result, elapsed, tel, prof)
-                    else:
-                        key, result, elapsed = _execute_task(task)
-                        if store is not None:
-                            store.add(key, result_to_record(result, elapsed))
-                        consume(key, result, elapsed)
-    finally:
-        # Sharded jobs flush even with nothing pending: a shard whose
-        # round-robin slice is empty (grid smaller than k) must still
-        # leave its (empty) checkpoint file behind, or the merge would
-        # report the fully-executed split as missing a shard.
-        if store is not None and (pending or sharded):
-            store.flush()
+            # Work-stealing loop: claim a block, resume whatever any
+            # previous owner persisted (published file and/or a dead
+            # job's partial), execute the rest, publish atomically, mark
+            # done, repeat until no block is claimable.
+            while True:
+                claim = auto.leases.claim_next()
+                if claim is None:
+                    break
+                index, _stolen = claim
+                block = auto.blocks[index]
+                for sink in all_sinks:
+                    # Progress sinks can't know the job's total up front
+                    # (blocks are claimed at runtime); let them grow it.
+                    extend = getattr(sink, "extend_total", None)
+                    if extend is not None:
+                        extend(len(block))
+                block_store = make_store(auto.block_paths[index], staged=True)
+                completed_keys = restore(block_store, block)
+                restored += len(completed_keys)
+                pending = [
+                    task for task in block if task.key not in completed_keys
+                ]
+                engine.execute(
+                    pending,
+                    make_finish(
+                        block_store,
+                        heartbeat=lambda i=index: auto.leases.heartbeat(i),
+                    ),
+                )
+                block_store.publish()
+                auto.leases.mark_done(index)
+        scheduler_stats = engine.scheduler_stats()
 
     profiles = dict(profiles or {})
     results: List[ExperimentResult] = []
@@ -530,7 +830,7 @@ def _execute_and_assemble(
             aggregate = aggregates.aggregate_for(spec.name, topology_index)
             if aggregate is None:
                 # Possible only under sharding: none of this cell's runs
-                # landed in our shard slice.
+                # landed in our shard slice (or claimed blocks).
                 continue
             experiment.cells.append(
                 cell_from_aggregate(
@@ -546,4 +846,4 @@ def _execute_and_assemble(
                 )
             )
         results.append(experiment)
-    return results, len(completed_keys)
+    return results, restored, scheduler_stats

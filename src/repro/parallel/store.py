@@ -1,0 +1,323 @@
+"""Append-only JSONL checkpoint store.
+
+:class:`~repro.parallel.checkpoint.CheckpointStore` rewrites the whole
+JSON file on every flush — O(N) per flush, O(N²) file I/O over a sweep
+that checkpoints as it goes.  Harmless at thousands of runs, ruinous at
+millions.  :class:`JsonlCheckpointStore` keeps the same interface, the
+same deterministic task keys and the same atomic-publish discipline, but
+appends **one line per completed run**:
+
+* line 1 is a header (``{"kind": "checkpoint", "format": "jsonl", ...}``)
+  identifying the format;
+* every further line is ``{"key": <task key>, "record": {...}}`` — the
+  exact record :func:`~repro.parallel.checkpoint.result_to_record`
+  produces, so restore/merge semantics are unchanged.
+
+A flush appends only the runs completed since the last flush: O(new
+records), independent of how many are already on disk.  A sweep killed
+mid-append leaves at most one truncated trailing line, which the loader
+drops (those runs simply re-execute); every earlier line is intact.
+
+**Legacy transparency.**  ``load`` sniffs the format: a whole-file JSON
+checkpoint written by the rewrite store loads transparently and is
+migrated to JSONL on the first flush, so old checkpoints resume into the
+new store with nothing re-executed.  **Compaction** bounds the file when
+records are superseded (re-added keys, ``compact=True`` stripping
+per-node payloads): once enough dead lines accumulate, the next flush
+rewrites the file atomically — sorted by key, so a fully-compacted store
+is byte-deterministic.
+
+**Staged mode** exists for the work-stealing shard path, where a stolen
+block can briefly have *two* jobs writing it.  A staged store appends to
+a writer-unique ``<path>.<pid>.partial`` sidecar (incremental durability
+without interleaving two writers' lines in one file) and
+:meth:`~JsonlCheckpointStore.publish` atomically replaces the real path
+with the full contents once the block completes; ``load`` folds in any
+leftover partials from a dead job, so a thief resumes the victim's
+partial progress instead of redoing the whole block.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from ..core.errors import ConfigurationError
+from ..obs import span
+from .checkpoint import CheckpointStore, compact_record
+
+__all__ = ["JSONL_FORMAT", "JsonlCheckpointStore"]
+
+JSONL_FORMAT = "jsonl"
+JSONL_FORMAT_VERSION = 1
+_HEADER_KIND = "checkpoint"
+
+
+def _header_line() -> str:
+    return json.dumps(
+        {
+            "format": JSONL_FORMAT,
+            "kind": _HEADER_KIND,
+            "version": JSONL_FORMAT_VERSION,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def _record_line(key: str, record: Dict[str, object]) -> str:
+    # Always compact separators: a JSONL record must be one line.
+    return json.dumps(
+        {"key": key, "record": record}, sort_keys=True, separators=(",", ":")
+    )
+
+
+def _is_jsonl_header(line: str) -> bool:
+    try:
+        payload = json.loads(line)
+    except ValueError:
+        return False
+    return (
+        isinstance(payload, dict)
+        and payload.get("kind") == _HEADER_KIND
+        and payload.get("format") == JSONL_FORMAT
+    )
+
+
+class JsonlCheckpointStore(CheckpointStore):
+    """Drop-in :class:`CheckpointStore` with append-only JSONL persistence.
+
+    Same constructor, same ``load``/``add``/``flush``/``compact``
+    surface, same throttled-flush discipline — only the file format and
+    the flush cost change.  See the module docstring for the format, the
+    legacy migration and the staged mode.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        *,
+        flush_interval_seconds: float = 1.0,
+        compact: bool = False,
+        staged: bool = False,
+    ) -> None:
+        super().__init__(
+            path, flush_interval_seconds=flush_interval_seconds, compact=compact
+        )
+        self._staged = staged
+        #: (key, record) completions not yet appended to disk
+        self._pending: List[Tuple[str, Dict[str, object]]] = []
+        #: superseded lines sitting in the file (duplicate keys, compacted
+        #: records); when they outnumber the live records the next flush
+        #: rewrites instead of appending
+        self._dead_lines = 0
+        #: force the next flush to be an atomic whole-file rewrite —
+        #: set by legacy migration and :meth:`compact`
+        self._needs_rewrite = False
+        self._appended_since_rewrite = False
+
+    # ------------------------------------------------------------------ #
+    # loading (format sniff + tolerant JSONL parse)
+    # ------------------------------------------------------------------ #
+    def load(self) -> Dict[str, Dict[str, object]]:
+        if self._loaded:
+            return self._runs
+        self._loaded = True
+        with span("checkpoint.load"):
+            if self.path.exists():
+                self._load_file(self.path, tolerate_trailing=True)
+            if self._staged:
+                # Fold in partials left by writers of this path — ours
+                # from a previous life, or a dead job's whose block we
+                # are stealing.  Their records are deterministic re-runs
+                # of the same tasks, so merge order cannot matter.
+                for partial in sorted(self.path.parent.glob(f"{self.path.name}.*.partial")):
+                    self._load_file(partial, tolerate_trailing=True, jsonl_only=True)
+        if self.compact_records:
+            self.compact()
+        return self._runs
+
+    def _load_file(
+        self, path: Path, *, tolerate_trailing: bool, jsonl_only: bool = False
+    ) -> None:
+        text = path.read_text(encoding="utf-8")
+        lines = text.split("\n")
+        if not jsonl_only and not _is_jsonl_header(lines[0] if lines else ""):
+            self._load_legacy(path, text)
+            return
+        parsed = 0
+        for number, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                payload = json.loads(line)
+            except ValueError as error:
+                if tolerate_trailing and number == len(lines):
+                    # A writer died mid-append; drop the torn line (its
+                    # runs re-execute) and keep everything before it.
+                    self._needs_rewrite = True
+                    self._dirty = True
+                    continue
+                raise ConfigurationError(
+                    f"checkpoint {path} line {number} is not valid JSON "
+                    f"({error}); the file is corrupt — delete or move it "
+                    f"to start from scratch"
+                ) from error
+            if not isinstance(payload, dict):
+                raise ConfigurationError(
+                    f"checkpoint {path} line {number} is not a JSON object"
+                )
+            if payload.get("kind") == _HEADER_KIND:
+                version = payload.get("version")
+                if version != JSONL_FORMAT_VERSION:
+                    raise ConfigurationError(
+                        f"checkpoint {path} has JSONL format version "
+                        f"{version!r}; this build reads version "
+                        f"{JSONL_FORMAT_VERSION}"
+                    )
+                continue
+            try:
+                key = payload["key"]
+                record = payload["record"]
+            except KeyError as error:
+                raise ConfigurationError(
+                    f"checkpoint {path} line {number} is missing the "
+                    f"{error.args[0]!r} field"
+                ) from error
+            if key in self._runs:
+                self._dead_lines += 1
+            self._runs[str(key)] = dict(record)
+            parsed += 1
+        if path != self.path:
+            # Records recovered from a partial are not in the real file
+            # yet; make sure they end up there even if no new run is
+            # ever added (publish/flush must persist them).
+            self._dirty = True
+            self._needs_rewrite = True
+
+    def _load_legacy(self, path: Path, text: str) -> None:
+        """Read a whole-file JSON checkpoint written by the rewrite store."""
+        from .checkpoint import FORMAT_VERSION
+
+        try:
+            payload = json.loads(text)
+        except ValueError as error:
+            raise ConfigurationError(
+                f"checkpoint {path} is neither a JSONL checkpoint nor valid "
+                f"JSON ({error}); delete or move it to start the sweep from "
+                f"scratch"
+            ) from error
+        if not isinstance(payload, dict) or "runs" not in payload:
+            raise ConfigurationError(
+                f"checkpoint {path} is valid JSON but not a checkpoint "
+                f"(no 'runs' table)"
+            )
+        version = payload.get("version")
+        if version != FORMAT_VERSION:
+            raise ConfigurationError(
+                f"checkpoint {path} has format version {version!r}; "
+                f"this build reads version {FORMAT_VERSION}"
+            )
+        self._runs.update(payload.get("runs", {}))
+        # Migrate on the next flush: one last whole-file write, after
+        # which every flush is an append.
+        self._needs_rewrite = True
+        self._dirty = True
+
+    # ------------------------------------------------------------------ #
+    # writing (append by default, atomic rewrite when compacting)
+    # ------------------------------------------------------------------ #
+    def add(self, key: str, record: Dict[str, object]) -> None:
+        self.load()
+        if self.compact_records:
+            record = compact_record(record)
+        existing = self._runs.get(key)
+        if existing == record:
+            return  # identical re-measurement: nothing new to persist
+        if existing is not None:
+            self._dead_lines += 1
+        self._runs[key] = record
+        self._pending.append((key, record))
+        self._dirty = True
+        if time.monotonic() - self._last_flush >= self.flush_interval_seconds:
+            self.flush()
+
+    def compact(self) -> int:
+        compacted = super().compact()
+        if compacted:
+            # Superseded full records are dead lines in the file; force
+            # the next flush to rewrite rather than append-after.
+            self._needs_rewrite = True
+            self._pending = [
+                (key, self._runs[key]) for key, _ in self._pending
+            ]
+        return compacted
+
+    def _compaction_due(self) -> bool:
+        return self._dead_lines > max(64, len(self._runs))
+
+    def flush(self) -> None:
+        if not self._dirty and (self._staged or self.path.exists()):
+            return
+        target = self._partial_path() if self._staged else self.path
+        with span("checkpoint.flush"):
+            if not self._staged and (self._needs_rewrite or self._compaction_due()):
+                self._rewrite(self.path)
+            else:
+                self._append(target)
+        self._dirty = False
+        self._last_flush = time.monotonic()
+
+    def publish(self) -> None:
+        """Atomically publish a staged store's full contents to its path.
+
+        Rewrites ``path`` from the in-memory table (everything loaded
+        plus everything added) and removes every partial sidecar —
+        including a dead previous writer's, whose records were folded in
+        by ``load``.  Called once per completed work-stealing block; a
+        no-op for non-staged stores beyond an ordinary flush.
+        """
+        self.load()
+        if not self._staged:
+            self.flush()
+            return
+        with span("checkpoint.flush"):
+            self._rewrite(self.path)
+            for partial in self.path.parent.glob(f"{self.path.name}.*.partial"):
+                try:
+                    partial.unlink()
+                except OSError:
+                    pass
+        self._dirty = False
+        self._last_flush = time.monotonic()
+
+    def _partial_path(self) -> Path:
+        return self.path.with_name(f"{self.path.name}.{os.getpid()}.partial")
+
+    def _append(self, target: Path) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        write_header = not target.exists() or target.stat().st_size == 0
+        with open(target, "a", encoding="utf-8") as handle:
+            if write_header:
+                handle.write(_header_line() + "\n")
+            for key, record in self._pending:
+                handle.write(_record_line(key, record) + "\n")
+        self._pending = []
+        self._appended_since_rewrite = True
+
+    def _rewrite(self, target: Path) -> None:
+        """One atomic whole-file write: header + live records sorted by key."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        temp = target.with_name(f"{target.name}.{os.getpid()}.tmp")
+        with open(temp, "w", encoding="utf-8") as handle:
+            handle.write(_header_line() + "\n")
+            for key in sorted(self._runs):
+                handle.write(_record_line(key, self._runs[key]) + "\n")
+        os.replace(temp, target)
+        self._pending = []
+        self._dead_lines = 0
+        self._needs_rewrite = False
+        self._appended_since_rewrite = False

@@ -374,11 +374,11 @@ class TestSweepDynamics:
             self.BASE + ["--checkpoint", str(checkpoint), "--checkpoint-compact"]
         )
         assert code == 0
-        payload = json.loads(checkpoint.read_text())
-        assert payload["runs"]
-        assert all(
-            "node_results" not in record for record in payload["runs"].values()
-        )
+        from repro.parallel import JsonlCheckpointStore
+
+        runs = JsonlCheckpointStore(checkpoint).load()
+        assert runs
+        assert all("node_results" not in record for record in runs.values())
         capsys.readouterr()
 
     def test_sweep_creates_missing_checkpoint_directories(self, capsys, tmp_path):

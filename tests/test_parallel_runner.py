@@ -28,6 +28,7 @@ from repro.core.errors import ConfigurationError
 from repro.graphs import cycle, grid_2d, random_regular, star
 from repro.parallel import (
     CheckpointStore,
+    JsonlCheckpointStore,
     TaskExecutionError,
     compact_record,
     derive_cell_seed,
@@ -67,6 +68,11 @@ def _comparable(cells):
         row.pop("mean_wall_clock_seconds")
         rows.append(row)
     return rows
+
+
+def _stored_runs(path):
+    """Read a checkpoint's run records regardless of on-disk format."""
+    return JsonlCheckpointStore(path).load()
 
 
 def count_file_runner(topology, seed):
@@ -276,8 +282,8 @@ class TestCheckpointing:
             spec, workers=2, checkpoint=tmp_path / "sweep.json"
         )
         assert _comparable(checkpointed.cells) == _comparable(plain.cells)
-        payload = json.loads((tmp_path / "sweep.json").read_text())
-        assert len(payload["runs"]) == len(spec.topologies) * len(SEEDS)
+        runs = _stored_runs(tmp_path / "sweep.json")
+        assert len(runs) == len(spec.topologies) * len(SEEDS)
 
     def test_resume_runs_only_missing_tasks(self, tmp_path, monkeypatch):
         count_file = tmp_path / "invocations.log"
@@ -347,8 +353,8 @@ class TestCheckpointing:
         )
         result = run_experiment(other, workers=1, checkpoint=checkpoint)
         assert result.cells[0].runs == 1
-        payload = json.loads(checkpoint.read_text())
-        assert len(payload["runs"]) == len(spec.topologies) * len(SEEDS) + 1
+        runs = _stored_runs(checkpoint)
+        assert len(runs) == len(spec.topologies) * len(SEEDS) + 1
 
     def test_wrong_format_version_rejected(self, tmp_path):
         path = tmp_path / "bad.json"
@@ -397,9 +403,9 @@ class TestCheckpointCompaction:
             checkpoint_compact=True,
         )
         assert _comparable(compacted.cells) == _comparable(plain.cells)
-        payload = json.loads((tmp_path / "sweep.json").read_text())
+        runs = _stored_runs(tmp_path / "sweep.json")
         assert all(
-            "node_results" not in record for record in payload["runs"].values()
+            "node_results" not in record for record in runs.values()
         )
         # A resume from the compacted checkpoint replays the same cells.
         resumed = run_experiment(
@@ -420,7 +426,7 @@ class TestCheckpointCompaction:
     def test_in_place_compaction_of_existing_checkpoint(self, tmp_path):
         spec = _spec()
         plain = run_experiment(spec, checkpoint=tmp_path / "ck.json")
-        store = CheckpointStore(tmp_path / "ck.json")
+        store = JsonlCheckpointStore(tmp_path / "ck.json")
         compacted = store.compact()
         store.flush()
         assert compacted == len(spec.topologies) * len(SEEDS)
@@ -485,10 +491,9 @@ class TestWorkerErrorContext:
         checkpoint = tmp_path / "ck.json"
         with pytest.raises(TaskExecutionError):
             run_experiment(self._failing_spec(), workers=1, checkpoint=checkpoint)
-        payload = json.loads(checkpoint.read_text())
         # The serial backend completed everything scheduled before the
         # failing run; the checkpoint holds those, so a fixed rerun resumes.
-        assert len(payload["runs"]) >= 1
+        assert len(_stored_runs(checkpoint)) >= 1
 
 
 class TestProtocolGridParallel:
@@ -534,7 +539,7 @@ class TestProtocolGridParallel:
         checkpoint = tmp_path / "grid.json"
         specs = self._grid_specs()
         run_experiments(specs, workers=1, checkpoint=checkpoint)
-        keys = list(json.loads(checkpoint.read_text())["runs"])
+        keys = list(_stored_runs(checkpoint))
         assert len(keys) == 2 * 2 * len(SEEDS)
         assert all(
             key.endswith("|flooding:c=2.0") or key.endswith("|flooding:c=3.0")

@@ -1,0 +1,584 @@
+"""Adaptive dispatch and work-stealing shard tests.
+
+The acceptance pin of the elastic sweep engine: the adaptive scheduler
+(cost-aware batching, timeout/death re-dispatch) and the ``--shard auto``
+work-stealing path must produce results bit-identical to the serial
+driver and the static engine for any worker count, start method, batch
+size and kill/timeout schedule.  Wall-clock readings are the one
+legitimate difference, so cell comparisons drop
+``mean_wall_clock_seconds`` — everything else must match exactly.
+
+Fault injection is deterministic here: stub pools that drop dispatches
+on the floor (timeout re-dispatch without real stragglers) and a runner
+that SIGKILLs its own pool worker exactly once (death re-dispatch).
+"""
+
+import json
+import multiprocessing
+import os
+import signal
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import ExperimentSpec, run_experiment
+from repro.analysis.runners import flooding_runner
+from repro.core.errors import ConfigurationError
+from repro.graphs import cycle, grid_2d, star
+from repro.obs import TelemetrySink, read_telemetry, summarize_telemetry
+from repro.parallel import (
+    AUTO_SHARD,
+    AdaptiveScheduler,
+    JsonlCheckpointStore,
+    LeaseDirectory,
+    ShardManifest,
+    TaskExecutionError,
+    expand_run_tasks,
+    manifest_path,
+    merge_shard_checkpoints,
+    parse_shard,
+    run_experiments,
+    shard_checkpoint_path,
+    split_blocks,
+)
+
+SEEDS = (0, 1, 2)
+
+#: Always test the boundary pool sizes; CI adds odd/oversubscribed counts
+#: through REPRO_TEST_WORKERS.
+WORKER_COUNTS = sorted({1, 2, 4} | {int(os.environ.get("REPRO_TEST_WORKERS", 2))})
+
+
+def _spec(name="flooding", seeds=SEEDS, runner=flooding_runner):
+    return ExperimentSpec(
+        name=name,
+        runner=runner,
+        topologies=[cycle(8), star(8), grid_2d(3, 3)],
+        seeds=seeds,
+        collect_profile=False,
+    )
+
+
+def _comparable(cells):
+    rows = []
+    for cell in cells:
+        row = cell.as_dict()
+        row.pop("mean_wall_clock_seconds")
+        rows.append(row)
+    return rows
+
+
+def _comparable_results(results):
+    return [_comparable(result.cells) for result in results]
+
+
+def _kill_worker_once(topology, seed):
+    """SIGKILL our own pool worker on one specific task, exactly once.
+
+    The marker file makes the kill one-shot: the re-dispatched attempt
+    (and every other task) runs normally, so a sweep that survives the
+    kill must still produce exactly the serial results.
+    """
+    marker = Path(os.environ["REPRO_TEST_KILL_MARKER"])
+    if seed == 1 and topology.name.startswith("cycle") and not marker.exists():
+        marker.write_text("killed", encoding="utf-8")
+        os.kill(os.getpid(), signal.SIGKILL)
+    return flooding_runner(topology, seed)
+
+
+def _failing_runner(topology, seed):
+    raise ValueError(f"deterministic failure on {topology.name} seed {seed}")
+
+
+class _InlinePool:
+    """Pool stub: apply_async executes synchronously in the caller.
+
+    No ``_pool`` attribute, so the scheduler's worker-death watch
+    degrades to lease timeouts alone — exactly the degradation the
+    docstring promises for exotic pools.
+    """
+
+    def apply_async(self, func, args, callback=None, error_callback=None):
+        try:
+            value = func(*args)
+        except Exception as error:  # noqa: BLE001 - mirrors Pool semantics
+            error_callback(error)
+        else:
+            callback(value)
+
+
+class _DroppyPool(_InlinePool):
+    """Pool stub that loses the first ``drop`` dispatches entirely.
+
+    A dropped dispatch never completes and never errors — the shape of a
+    worker that died mid-task (or hung forever) as seen from the parent.
+    """
+
+    def __init__(self, drop):
+        self.drop = drop
+        self.calls = 0
+
+    def apply_async(self, func, args, callback=None, error_callback=None):
+        self.calls += 1
+        if self.calls <= self.drop:
+            return
+        super().apply_async(
+            func, args, callback=callback, error_callback=error_callback
+        )
+
+
+# --------------------------------------------------------------------------- #
+# adaptive dispatch == serial == static
+# --------------------------------------------------------------------------- #
+
+
+class TestAdaptiveEquivalence:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_adaptive_matches_serial_and_static(self, workers):
+        serial = run_experiment(_spec())
+        adaptive = run_experiment(_spec(), workers=workers, dispatch="adaptive")
+        static = run_experiment(_spec(), workers=workers, dispatch="static")
+        assert _comparable(adaptive.cells) == _comparable(serial.cells)
+        assert _comparable(static.cells) == _comparable(serial.cells)
+
+    @pytest.mark.parametrize("max_batch", [1, 2, 7, 32])
+    def test_any_batch_size_is_identical(self, max_batch):
+        serial = run_experiment(_spec())
+        batched = run_experiments(
+            [_spec()], workers=2, dispatch="adaptive", max_batch=max_batch
+        )[0]
+        assert _comparable(batched.cells) == _comparable(serial.cells)
+
+    def test_spawn_start_method_matches_serial(self):
+        serial = run_experiment(_spec())
+        spawned = run_experiment(
+            _spec(), workers=2, dispatch="adaptive", start_method="spawn"
+        )
+        assert _comparable(spawned.cells) == _comparable(serial.cells)
+
+    def test_deterministic_task_error_propagates(self):
+        with pytest.raises(TaskExecutionError, match="deterministic failure"):
+            run_experiments(
+                [_spec(runner=_failing_runner, seeds=(0,))],
+                workers=2,
+                dispatch="adaptive",
+            )
+
+
+class TestSchedulerUnit:
+    """Drive AdaptiveScheduler directly against stub pools: the fault
+    paths (timeout re-dispatch, attempt exhaustion) and the batching
+    policy, all deterministic."""
+
+    def _tasks(self, seeds=SEEDS):
+        return expand_run_tasks(_spec(seeds=seeds))
+
+    def _run(self, scheduler, tasks):
+        finished = {}
+        scheduler.run(
+            tasks,
+            lambda key, result, elapsed, telemetry, profile: finished.setdefault(
+                key, result
+            ),
+        )
+        return finished
+
+    def test_inline_pool_completes_everything(self):
+        tasks = self._tasks()
+        scheduler = AdaptiveScheduler(_InlinePool(), workers=2)
+        finished = self._run(scheduler, tasks)
+        assert set(finished) == {task.key for task in tasks}
+        assert scheduler.stats.dispatched_tasks == len(tasks)
+
+    def test_dropped_dispatch_is_redispatched_after_timeout(self):
+        tasks = self._tasks()
+        scheduler = AdaptiveScheduler(
+            _DroppyPool(drop=2),
+            workers=1,
+            task_timeout=0.02,
+            poll_seconds=0.005,
+        )
+        finished = self._run(scheduler, tasks)
+        assert set(finished) == {task.key for task in tasks}
+        assert scheduler.stats.redispatched_tasks >= 2
+        # The re-run results are the results: compare against serial.
+        serial = {
+            task.key: task.runner(task.topology, task.seed) for task in tasks
+        }
+        for key, result in finished.items():
+            assert result.as_dict() == serial[key].as_dict()
+
+    def test_attempts_exhausted_raises_with_task_key(self):
+        tasks = self._tasks(seeds=(0,))
+        scheduler = AdaptiveScheduler(
+            _DroppyPool(drop=10**9),
+            workers=1,
+            task_timeout=0.005,
+            poll_seconds=0.002,
+            max_attempts=2,
+        )
+        with pytest.raises(TaskExecutionError, match="dispatched 2 times"):
+            self._run(scheduler, tasks)
+
+    def test_cheap_tasks_get_batched_after_first_measurements(self):
+        # A huge target makes every measured task "cheap", so once the
+        # first singleton per cell has taught the cost model, the rest
+        # of the queue ships in multi-task batches.
+        tasks = expand_run_tasks(
+            ExperimentSpec(
+                name="flooding",
+                runner=flooding_runner,
+                topologies=[cycle(6)],
+                seeds=tuple(range(12)),
+                collect_profile=False,
+            )
+        )
+        scheduler = AdaptiveScheduler(
+            _InlinePool(), workers=1, target_batch_seconds=10.0, max_batch=8
+        )
+        finished = self._run(scheduler, tasks)
+        assert len(finished) == 12
+        assert scheduler.stats.batched_tasks > 0
+        assert 1 < scheduler.stats.max_batch_size <= 8
+        assert scheduler.stats.batches < len(tasks)
+
+    def test_duplicate_completions_are_dropped(self):
+        # Timeout fires while the "lost" dispatch is replayed late: both
+        # the original and the re-dispatch complete, finish() must see
+        # each key exactly once.
+        class _LatePool(_InlinePool):
+            def __init__(self):
+                self.held = []
+
+            def apply_async(self, func, args, callback=None, error_callback=None):
+                if not self.held:
+                    # Hold the first dispatch; replay it after the
+                    # re-dispatch already completed.
+                    self.held.append((func, args, callback))
+                    return
+                super().apply_async(
+                    func, args, callback=callback, error_callback=error_callback
+                )
+                while self.held:
+                    func, args, callback = self.held.pop()
+                    callback(func(*args))
+
+        calls = []
+        tasks = self._tasks(seeds=(0,))
+        scheduler = AdaptiveScheduler(
+            _LatePool(), workers=1, task_timeout=0.01, poll_seconds=0.005
+        )
+        scheduler.run(
+            tasks,
+            lambda key, *rest: calls.append(key),
+        )
+        assert sorted(calls) == sorted(task.key for task in tasks)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="max_batch"):
+            AdaptiveScheduler(_InlinePool(), workers=1, max_batch=0)
+        with pytest.raises(ConfigurationError, match="max_attempts"):
+            AdaptiveScheduler(_InlinePool(), workers=1, max_attempts=0)
+        with pytest.raises(ConfigurationError, match="task_timeout"):
+            AdaptiveScheduler(_InlinePool(), workers=1, task_timeout=-1.0)
+        with pytest.raises(ConfigurationError, match="task_timeout"):
+            AdaptiveScheduler(
+                _InlinePool(), workers=1, task_timeout=float("nan")
+            )
+
+
+class TestWorkerDeathRecovery:
+    def test_killed_worker_redispatches_bit_identically(
+        self, tmp_path, monkeypatch
+    ):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("SIGKILL self-test requires the fork start method")
+        monkeypatch.setenv(
+            "REPRO_TEST_KILL_MARKER", str(tmp_path / "killed.marker")
+        )
+        serial = run_experiment(_spec())
+        survived = run_experiment(
+            _spec(runner=_kill_worker_once),
+            workers=2,
+            dispatch="adaptive",
+            start_method="fork",
+        )
+        assert (tmp_path / "killed.marker").exists(), "kill never fired"
+        assert _comparable(survived.cells) == _comparable(serial.cells)
+
+    def test_timeout_requires_adaptive_dispatch(self):
+        with pytest.raises(ConfigurationError, match="adaptive"):
+            run_experiments(
+                [_spec()], workers=2, dispatch="static", task_timeout=1.0
+            )
+
+    def test_bad_timeout_rejected_up_front(self):
+        for bad in (0.0, -5.0, float("nan")):
+            with pytest.raises(ConfigurationError, match="task_timeout"):
+                run_experiments(
+                    [_spec()], workers=2, dispatch="adaptive", task_timeout=bad
+                )
+
+    def test_unknown_dispatch_mode_rejected(self):
+        with pytest.raises(ConfigurationError, match="dispatch"):
+            run_experiments([_spec()], workers=2, dispatch="bogus")
+
+
+# --------------------------------------------------------------------------- #
+# dispatch telemetry (batch_size / attempt / scheduler record)
+# --------------------------------------------------------------------------- #
+
+
+class TestDispatchTelemetry:
+    def test_task_records_carry_batch_and_attempt(self, tmp_path):
+        telemetry_path = tmp_path / "tel.jsonl"
+        run_experiments(
+            [_spec()],
+            workers=2,
+            dispatch="adaptive",
+            telemetry=TelemetrySink(telemetry_path),
+        )
+        records = read_telemetry(telemetry_path)
+        tasks = [r for r in records if r.get("kind") == "task"]
+        assert len(tasks) == 3 * len(SEEDS)
+        assert all(r["batch_size"] >= 1 and r["attempt"] >= 1 for r in tasks)
+        drivers = [r for r in records if r.get("kind") == "driver"]
+        assert len(drivers) == 1
+        scheduler = drivers[0]["scheduler"]
+        assert scheduler["dispatched_tasks"] == 3 * len(SEEDS)
+        assert scheduler["redispatched_tasks"] == 0
+
+    def test_summary_gains_queue_wait_and_imbalance_sections(self, tmp_path):
+        telemetry_path = tmp_path / "tel.jsonl"
+        run_experiments(
+            [_spec()],
+            workers=2,
+            dispatch="adaptive",
+            telemetry=TelemetrySink(telemetry_path),
+        )
+        summary = summarize_telemetry(read_telemetry(telemetry_path))
+        waits = summary["queue_wait_by_worker"]
+        assert waits and all(
+            set(row)
+            >= {
+                "worker",
+                "tasks",
+                "p50_queue_wait_seconds",
+                "p90_queue_wait_seconds",
+                "max_queue_wait_seconds",
+            }
+            for row in waits
+        )
+        imbalance = summary["load_imbalance"]
+        assert imbalance["workers"] == len(waits)
+        assert imbalance["max_busy_seconds"] >= imbalance["mean_busy_seconds"] > 0
+        assert imbalance["imbalance"] >= 1.0
+        assert summary["dispatch"]["redispatched_tasks"] == 0
+        assert summary["scheduler"]["dispatched_tasks"] == 3 * len(SEEDS)
+
+
+# --------------------------------------------------------------------------- #
+# --shard auto: work stealing over the lease directory
+# --------------------------------------------------------------------------- #
+
+
+class TestAutoShard:
+    def test_single_job_covers_grid_and_merge_matches_serial(self, tmp_path):
+        serial = run_experiments([_spec()], workers=1)
+        base = tmp_path / "sweep.json"
+        auto = run_experiments(
+            [_spec()], workers=2, checkpoint=base, shard="auto/4"
+        )
+        assert _comparable_results(auto) == _comparable_results(serial)
+        payload = json.loads(manifest_path(base).read_text())
+        assert payload["mode"] == "auto"
+        summary = merge_shard_checkpoints(
+            manifest_path(base), tmp_path / "merged.json"
+        )
+        assert summary["tasks_merged"] == summary["tasks_expected"] == 9
+        replay = run_experiments(
+            [_spec()], workers=1, checkpoint=tmp_path / "merged.json"
+        )
+        assert _comparable_results(replay) == _comparable_results(serial)
+
+    def test_late_job_claims_nothing(self, tmp_path):
+        base = tmp_path / "sweep.json"
+        run_experiments([_spec()], workers=1, checkpoint=base, shard="auto/4")
+        second = run_experiments(
+            [_spec()], workers=1, checkpoint=base, shard="auto/4"
+        )
+        assert all(not result.cells for result in second)
+
+    def test_concurrent_jobs_partition_the_grid(self, tmp_path):
+        serial = run_experiments([_spec()], workers=1)
+        base = tmp_path / "sweep.json"
+        errors = []
+
+        def job():
+            try:
+                run_experiments(
+                    [_spec()], workers=1, checkpoint=base, shard=("auto", 9)
+                )
+            except Exception as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        threads = [threading.Thread(target=job) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        summary = merge_shard_checkpoints(
+            manifest_path(base), tmp_path / "merged.json"
+        )
+        assert summary["tasks_merged"] == summary["tasks_expected"] == 9
+        replay = run_experiments(
+            [_spec()], workers=1, checkpoint=tmp_path / "merged.json"
+        )
+        assert _comparable_results(replay) == _comparable_results(serial)
+
+    def test_stale_lease_is_stolen(self, tmp_path, capfd):
+        serial = run_experiments([_spec()], workers=1)
+        base = tmp_path / "sweep.json"
+        # A dead job claimed block 0 an hour ago and never heartbeat.
+        dead = LeaseDirectory(base, 4, owner="dead-job")
+        assert dead.claim_next() == (0, False)
+        stale = time.time() - 3600
+        os.utime(dead.lease_path(0), (stale, stale))
+        run_experiments(
+            [_spec()],
+            workers=1,
+            checkpoint=base,
+            shard=("auto", 4),
+            lease_timeout=60.0,
+        )
+        assert "(1 stolen)" in capfd.readouterr().err
+        summary = merge_shard_checkpoints(
+            manifest_path(base), tmp_path / "merged.json"
+        )
+        assert summary["tasks_merged"] == summary["tasks_expected"] == 9
+        replay = run_experiments(
+            [_spec()], workers=1, checkpoint=tmp_path / "merged.json"
+        )
+        assert _comparable_results(replay) == _comparable_results(serial)
+
+    def test_live_lease_is_not_stolen(self, tmp_path):
+        base = tmp_path / "sweep.json"
+        other = LeaseDirectory(base, 4, owner="live-job")
+        assert other.claim_next() == (0, False)
+        results = run_experiments(
+            [_spec()], workers=1, checkpoint=base, shard=("auto", 4)
+        )
+        # Blocks 1-3 execute here; block 0 stays with its live owner.
+        executed = sum(cell.runs for result in results for cell in result.cells)
+        keys = [task.key for task in expand_run_tasks(_spec())]
+        blocks = split_blocks(keys, 4)
+        assert executed == sum(len(block) for block in blocks[1:])
+        assert not other.is_done(0)
+
+    def test_auto_requires_checkpoint(self):
+        with pytest.raises(ConfigurationError, match="checkpoint"):
+            run_experiments([_spec()], workers=1, shard="auto")
+
+    def test_auto_requires_jsonl_format(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="JSONL"):
+            run_experiments(
+                [_spec()],
+                workers=1,
+                checkpoint=tmp_path / "sweep.json",
+                shard="auto",
+                checkpoint_format="json",
+            )
+
+
+class TestLeaseDirectory:
+    def test_claims_are_exclusive_and_ordered(self, tmp_path):
+        base = tmp_path / "ck.json"
+        a = LeaseDirectory(base, 3, owner="a")
+        b = LeaseDirectory(base, 3, owner="b")
+        assert a.claim_next() == (0, False)
+        assert b.claim_next() == (1, False)
+        assert a.claim_next() == (2, False)
+        assert b.claim_next() is None
+        assert a.summary() == {
+            "blocks": 3,
+            "leases_claimed": 2,
+            "leases_stolen": 0,
+        }
+
+    def test_done_blocks_are_never_reclaimed(self, tmp_path):
+        base = tmp_path / "ck.json"
+        a = LeaseDirectory(base, 2, owner="a")
+        assert a.claim_next() == (0, False)
+        a.mark_done(0)
+        stale = time.time() - 3600
+        os.utime(a.lease_path(0), (stale, stale))
+        b = LeaseDirectory(base, 2, owner="b")
+        assert b.claim_next() == (1, False)
+        assert b.claim_next() is None
+
+    def test_heartbeat_prevents_theft(self, tmp_path):
+        base = tmp_path / "ck.json"
+        a = LeaseDirectory(base, 1, lease_timeout=0.05, owner="a")
+        assert a.claim_next() == (0, False)
+        b = LeaseDirectory(base, 1, lease_timeout=0.05, owner="b")
+        a.heartbeat(0)
+        assert b.claim_next() is None  # freshly touched: not stale
+        time.sleep(0.06)
+        assert b.claim_next() == (0, True)  # now stale: stolen
+        assert b.summary()["leases_stolen"] == 1
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="block count"):
+            LeaseDirectory(tmp_path / "ck.json", 0)
+        with pytest.raises(ConfigurationError, match="lease_timeout"):
+            LeaseDirectory(tmp_path / "ck.json", 1, lease_timeout=0.0)
+        with pytest.raises(ConfigurationError, match="lease_timeout"):
+            LeaseDirectory(
+                tmp_path / "ck.json", 1, lease_timeout=float("nan")
+            )
+
+
+# --------------------------------------------------------------------------- #
+# block splitting and shard-spec parsing
+# --------------------------------------------------------------------------- #
+
+
+class TestBlockPlanning:
+    def test_split_blocks_is_contiguous_and_near_even(self):
+        items = list(range(10))
+        blocks = split_blocks(items, 3)
+        assert blocks == [[0, 1, 2, 3], [4, 5, 6], [7, 8, 9]]
+        assert split_blocks(items, 1) == [items]
+        # More blocks than items: trailing blocks are empty, nothing lost.
+        blocks = split_blocks([1, 2], 4)
+        assert [item for block in blocks for item in block] == [1, 2]
+        assert len(blocks) == 4
+
+    def test_parse_shard_auto_spellings(self):
+        assert parse_shard("auto") == (AUTO_SHARD, None)
+        assert parse_shard("auto/4") == (AUTO_SHARD, 4)
+        assert parse_shard("0/2") == (0, 2)
+        with pytest.raises(ConfigurationError):
+            parse_shard("auto/0")
+        with pytest.raises(ConfigurationError):
+            parse_shard("auto/x")
+
+    def test_plan_auto_manifest_round_trips(self, tmp_path):
+        base = tmp_path / "sweep.json"
+        keys = [task.key for task in expand_run_tasks(_spec())]
+        manifest = ShardManifest.plan_auto(base, keys, 4)
+        assert manifest.mode == "auto"
+        assert len(manifest.shard_files) == 4
+        assert manifest.shard_files[0] == shard_checkpoint_path(base, 0, 4).name
+        restored = ShardManifest.from_payload(manifest.as_payload(), "test")
+        assert restored.mode == "auto"
+        assert restored.as_payload() == manifest.as_payload()
+        # Static manifests (and pre-auto payloads) default to "static".
+        static = ShardManifest.plan(base, keys, 2)
+        assert static.mode == "static"
+        payload = static.as_payload()
+        payload.pop("mode")
+        assert ShardManifest.from_payload(payload, "test").mode == "static"

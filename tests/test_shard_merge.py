@@ -30,6 +30,7 @@ from repro.core.errors import ConfigurationError
 from repro.graphs import cycle, grid_2d, star
 from repro.parallel import (
     CheckpointStore,
+    JsonlCheckpointStore,
     ShardManifest,
     compact_record,
     expand_run_tasks,
@@ -311,8 +312,8 @@ class TestMergeValidation:
         base = _sharded_run(tmp_path)
         # Copy one record of shard 0 into shard 1: an overlap from a
         # re-run, with identical measurements — legal, deduplicated.
-        store0 = CheckpointStore(shard_checkpoint_path(base, 0, 2))
-        store1 = CheckpointStore(shard_checkpoint_path(base, 1, 2))
+        store0 = JsonlCheckpointStore(shard_checkpoint_path(base, 0, 2))
+        store1 = JsonlCheckpointStore(shard_checkpoint_path(base, 1, 2))
         key, record = next(iter(store0.load().items()))
         store1.add(key, record)
         store1.flush()
@@ -321,8 +322,8 @@ class TestMergeValidation:
 
     def test_conflicting_records_rejected(self, tmp_path):
         base = _sharded_run(tmp_path)
-        store0 = CheckpointStore(shard_checkpoint_path(base, 0, 2))
-        store1 = CheckpointStore(shard_checkpoint_path(base, 1, 2))
+        store0 = JsonlCheckpointStore(shard_checkpoint_path(base, 0, 2))
+        store1 = JsonlCheckpointStore(shard_checkpoint_path(base, 1, 2))
         key, record = next(iter(store0.load().items()))
         forged = dict(record)
         forged["metrics"] = dict(forged["metrics"])
@@ -349,15 +350,15 @@ class TestMergeValidation:
 
     def test_compact_and_full_copies_of_one_record_are_not_a_conflict(self, tmp_path):
         base = _sharded_run(tmp_path)
-        store0 = CheckpointStore(shard_checkpoint_path(base, 0, 2))
-        store1 = CheckpointStore(shard_checkpoint_path(base, 1, 2))
+        store0 = JsonlCheckpointStore(shard_checkpoint_path(base, 0, 2))
+        store1 = JsonlCheckpointStore(shard_checkpoint_path(base, 1, 2))
         key, record = next(iter(store0.load().items()))
         store1.add(key, compact_record(record))
         store1.flush()
         summary = merge_shard_checkpoints(manifest_path(base), tmp_path / "m.json")
         assert summary["tasks_merged"] == summary["tasks_expected"]
         # The fuller record survives the dedupe.
-        merged = CheckpointStore(tmp_path / "m.json").load()
+        merged = JsonlCheckpointStore(tmp_path / "m.json").load()
         assert "node_results" in merged[key]
 
     def test_stale_records_from_other_adversary_token_dropped(self, tmp_path):
@@ -377,14 +378,14 @@ class TestMergeValidation:
         )
         base = _sharded_run(tmp_path)
         stale_keys = [task.key for task in expand_run_tasks(adversarial)]
-        store0 = CheckpointStore(shard_checkpoint_path(base, 0, 2))
+        store0 = JsonlCheckpointStore(shard_checkpoint_path(base, 0, 2))
         result = flooding_runner(cycle(8), 0)
         store0.add(stale_keys[0], result_to_record(result, 0.1))
         store0.flush()
         summary = merge_shard_checkpoints(manifest_path(base), tmp_path / "m.json")
         assert summary["extraneous_records_dropped"] == 1
         assert summary["tasks_missing"] == 0
-        assert stale_keys[0] not in CheckpointStore(tmp_path / "m.json").load()
+        assert stale_keys[0] not in JsonlCheckpointStore(tmp_path / "m.json").load()
 
 
 # --------------------------------------------------------------------------- #
