@@ -132,13 +132,14 @@ def _backend_workload():
 
 def _timed_backend(backend, workload):
     """Run the workload under one core; return (fingerprints, seconds)."""
+    # repro: disable=REP102 — backend speedup is a wall-clock measurement
     started = time.perf_counter()
     fingerprints = []
     with backend_scope(backend):
         for family, topology, config in workload:
             result = run_irrevocable_election(topology, seed=SEED, config=config)
             fingerprints.append((family, topology.num_nodes, result.as_dict()))
-    return fingerprints, time.perf_counter() - started
+    return fingerprints, time.perf_counter() - started  # repro: disable=REP102 — measurand
 
 
 @pytest.mark.benchmark(group=BACKEND_EXPERIMENT_ID)

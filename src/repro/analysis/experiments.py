@@ -18,7 +18,6 @@ parallel engine (:mod:`repro.parallel`) retains the full run list.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
@@ -36,7 +35,7 @@ from typing import (
 from ..core.errors import ConfigurationError
 from ..core.simulator import backend_scope
 from ..election.base import LeaderElectionResult, SafetyTally
-from ..obs import TelemetrySink, span
+from ..obs import Stopwatch, TelemetrySink, span
 from ..graphs.properties import ExpansionProfile, expansion_profile
 from ..graphs.topology import Topology
 from .streaming import (
@@ -257,12 +256,14 @@ def execute_run(
     guarantees both backends run cells identically.  The ``"simulate"``
     span covers the protocol execution itself wherever a run happens —
     with telemetry off it degrades to a shared no-op (see
-    :func:`repro.obs.span`).
+    :func:`repro.obs.span`), and the wall-clock reading goes through the
+    injectable-clock layer (:class:`repro.obs.Stopwatch`) like every
+    other timing in the repo.
     """
-    started = time.perf_counter()
+    stopwatch = Stopwatch()
     with span("simulate"):
         result = runner(topology, seed)
-    return result, time.perf_counter() - started
+    return result, stopwatch.elapsed()
 
 
 def cell_from_aggregate(

@@ -284,10 +284,12 @@ class _CellFold:
         self.safe_runs += (
             cell.safety.safe_runs if cell.safety is not None else cell.runs
         )
-        self.sum_messages += Fraction(cell.mean_messages) * cell.runs
-        self.sum_rounds += Fraction(cell.mean_rounds) * cell.runs
-        self.sum_dropped += Fraction(cell.mean_dropped_messages) * cell.runs
-        self.sum_delayed += Fraction(cell.mean_delayed_messages) * cell.runs
+        # int() asserts the run count is integral, so Fraction * int stays
+        # a Fraction and the accumulation is exact (REP106's contract).
+        self.sum_messages += Fraction(cell.mean_messages) * int(cell.runs)
+        self.sum_rounds += Fraction(cell.mean_rounds) * int(cell.runs)
+        self.sum_dropped += Fraction(cell.mean_dropped_messages) * int(cell.runs)
+        self.sum_delayed += Fraction(cell.mean_delayed_messages) * int(cell.runs)
 
     def point(self, p: float) -> CurvePoint:
         runs = self.runs or 1

@@ -534,6 +534,36 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint import (
+        lint_paths,
+        load_baseline,
+        render_json,
+        render_text,
+        rule_table,
+        write_baseline,
+    )
+
+    if args.list_rules:
+        print(render_table(rule_table(), title="repro.lint rules"))
+        return 0
+    baseline = None
+    if args.baseline and not args.write_baseline:
+        baseline = load_baseline(args.baseline)
+    report = lint_paths(args.paths, baseline=baseline)
+    if args.write_baseline:
+        if not args.baseline:
+            raise ReproError("--write-baseline requires --baseline <file>")
+        written = write_baseline(args.baseline, report.findings)
+        print(f"baseline: recorded {written} finding(s) to {args.baseline}")
+        return 0
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report, show_suppressed=args.show_suppressed))
+    return report.exit_code
+
+
 def _cmd_impossibility(args: argparse.Namespace) -> int:
     report = demonstrate_impossibility(
         args.n, num_witnesses=args.witnesses, seeds=range(args.trials)
@@ -850,6 +880,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="how many straggler tasks to list (default 10)",
     )
     stats.set_defaults(func=_cmd_stats)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="static determinism & contract analysis (REP101-REP108) over "
+        "python sources; exits 1 on any unsuppressed finding",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--format",
+        default="text",
+        choices=["text", "json"],
+        help="report format: text prints path:line:col lines, json emits "
+        "the full machine-readable report (all findings with rule id, "
+        "path, line, col, message, suppressed/baselined flags)",
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="tolerate findings recorded in FILE and fail only on new "
+        "ones (adopt the pass incrementally); create/refresh the file "
+        "with --write-baseline",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record the current unsuppressed findings to --baseline and "
+        "exit 0 (subsequent runs with --baseline fail only on new "
+        "findings)",
+    )
+    lint.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="include suppressed findings (with their justifications) in "
+        "the text report",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table (id, title, rationale) and exit",
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     impossibility = subparsers.add_parser(
         "impossibility", help="run the Theorem 2 pumping-wheel demonstration"

@@ -306,6 +306,8 @@ class Topology:
     def edge_boundary(self, subset: Iterable[int]) -> int:
         """Number of edges with exactly one endpoint in ``subset`` (``|∂S|``)."""
         inside = set(subset)
+        # repro: disable=REP103 — validation only: each element is checked
+        # independently and the loop has no ordered effect
         for u in inside:
             self._check_node(u)
         count = 0

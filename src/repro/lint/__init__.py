@@ -1,0 +1,65 @@
+"""Static analysis for the reproduction's determinism & contract discipline.
+
+``repro.lint`` is a stdlib-only, AST-based lint pass (``repro-le lint``)
+encoding the invariants every bit-equivalence guarantee in this repo
+rests on — seeded randomness, injectable clocks, ordered iteration,
+picklable registries, conformant duck-typed implementers, exact
+accumulators — as static rules checked at commit time instead of by a
+cross-backend diff hours into a sweep.
+
+The pieces:
+
+* :mod:`repro.lint.engine` — rule registry, file walk, inline
+  ``# repro: disable=REPxxx — reason`` suppressions, baseline diffing,
+  exit codes;
+* :mod:`repro.lint.rules_determinism` — REP101 unseeded RNG, REP102
+  wall-clock access, REP103 unordered iteration, REP106 inexact
+  accumulation, REP107 mutable defaults, REP108 swallowed exceptions;
+* :mod:`repro.lint.rules_contracts` — REP104 pickle-safety of registry
+  entries and pool initializers, REP105 conformance of
+  ``ResultSink``/``FaultAdversary``/``ProtocolNode`` implementers;
+* :mod:`repro.lint.report` — text and ``--format json`` rendering.
+
+Rules register themselves at import time (:func:`register_rule`), so a
+plug-in module imported before :func:`lint_paths` participates like a
+built-in.
+"""
+
+from .engine import (
+    BASELINE_VERSION,
+    BaseRule,
+    ENGINE_RULE,
+    LintReport,
+    RULES,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    register_rule,
+    write_baseline,
+)
+from .findings import Finding
+from .report import JSON_REPORT_VERSION, render_json, render_text, rule_table
+
+# Importing the rule modules registers the built-in rules.
+from . import rules_contracts as _rules_contracts  # noqa: F401
+from . import rules_determinism as _rules_determinism  # noqa: F401
+
+__all__ = [
+    "BASELINE_VERSION",
+    "BaseRule",
+    "ENGINE_RULE",
+    "Finding",
+    "JSON_REPORT_VERSION",
+    "LintReport",
+    "RULES",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "register_rule",
+    "render_json",
+    "render_text",
+    "rule_table",
+    "write_baseline",
+]

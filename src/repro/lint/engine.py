@@ -1,0 +1,346 @@
+"""The lint engine: rule registry, file walk, suppressions, baseline.
+
+The engine is deliberately small: a rule is any object with an ``id``, a
+one-line ``rationale`` and a ``check(context)`` generator — everything
+else (discovering files, resolving imports, honouring inline
+suppressions, diffing against a baseline, exit codes) lives here, so
+adding a rule is ~30 lines in :mod:`repro.lint.rules_determinism` or a
+plug-in registered through :func:`register_rule`.
+
+Exit-code contract (what CI keys on):
+
+* ``0`` — every finding is suppressed or baselined (or there are none);
+* ``1`` — at least one finding counts;
+* ``2`` — usage/configuration error (missing path, bad baseline file),
+  raised as :class:`~repro.core.errors.ConfigurationError` and mapped by
+  the CLI's normal error path.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Protocol, Sequence, Tuple
+
+from ..core.errors import ConfigurationError
+from .context import ModuleContext
+from .findings import Finding
+
+__all__ = [
+    "BASELINE_VERSION",
+    "BaseRule",
+    "ENGINE_RULE",
+    "LintReport",
+    "LintRule",
+    "RULES",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "register_rule",
+    "write_baseline",
+]
+
+#: Engine-level diagnostics (parse failures, reasonless suppressions)
+#: are reported under this pseudo-rule id so they flow through the same
+#: output/baseline machinery as real rules.
+ENGINE_RULE = "REP100"
+
+BASELINE_VERSION = 1
+
+
+class LintRule(Protocol):
+    """Structural interface of a rule (duck-typed, like the repo's sinks)."""
+
+    id: str
+    title: str
+    rationale: str
+
+    def applies_to(self, display_path: str) -> bool: ...
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]: ...
+
+
+class BaseRule:
+    """Convenience base for rules: applies everywhere unless overridden."""
+
+    id: str = ""
+    title: str = ""
+    rationale: str = ""
+
+    def applies_to(self, display_path: str) -> bool:
+        return True
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+    def finding(
+        self, context: ModuleContext, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=context.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+#: Rule id -> rule instance.  Populated by :func:`register_rule` at import
+#: time of the rule modules; external plug-ins may register more.
+RULES: Dict[str, LintRule] = {}
+
+
+def register_rule(rule_cls):
+    """Class decorator: instantiate and register a rule by its ``id``."""
+    rule = rule_cls()
+    if not getattr(rule, "id", None):
+        raise ConfigurationError(f"lint rule {rule_cls.__name__} has no id")
+    if rule.id in RULES:
+        raise ConfigurationError(f"duplicate lint rule id {rule.id}")
+    RULES[rule.id] = rule
+    return rule_cls
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint pass."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def counting(self) -> List[Finding]:
+        return [finding for finding in self.findings if finding.counts]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return [finding for finding in self.findings if finding.suppressed]
+
+    @property
+    def baselined(self) -> List[Finding]:
+        return [finding for finding in self.findings if finding.baselined]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.counting else 0
+
+
+# --------------------------------------------------------------------------- #
+# file discovery
+# --------------------------------------------------------------------------- #
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache", "results"}
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths`` in deterministic order."""
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise ConfigurationError(f"lint path does not exist: {raw}")
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            if any(part in _SKIP_DIRS or part.startswith(".") for part in candidate.parts):
+                continue
+            yield candidate
+
+
+def _display_path(path: Path) -> str:
+    """POSIX path relative to the working directory when possible.
+
+    Relative paths keep findings (and baseline entries) portable across
+    checkouts; files outside the tree keep their absolute spelling.
+    """
+    try:
+        return path.resolve().relative_to(Path.cwd().resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+# --------------------------------------------------------------------------- #
+# the pass itself
+# --------------------------------------------------------------------------- #
+
+
+def _selected_rules(select: Optional[Iterable[str]]) -> List[LintRule]:
+    if select is None:
+        return [RULES[rule_id] for rule_id in sorted(RULES)]
+    rules = []
+    for rule_id in select:
+        if rule_id not in RULES:
+            raise ConfigurationError(
+                f"unknown lint rule {rule_id!r}; available: {sorted(RULES)}"
+            )
+        rules.append(RULES[rule_id])
+    return rules
+
+
+def _check_module(
+    context: ModuleContext, rules: Sequence[LintRule]
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for rule in rules:
+        if not rule.applies_to(context.display_path):
+            continue
+        findings.extend(rule.check(context))
+    # Reasonless suppressions are findings themselves: the justification
+    # is the audit trail the suppression syntax exists to capture.
+    for suppression in context.suppressions:
+        if not suppression.valid:
+            findings.append(
+                Finding(
+                    rule=ENGINE_RULE,
+                    path=context.display_path,
+                    line=suppression.line,
+                    col=0,
+                    message=(
+                        "suppression without a justification: write "
+                        "'# repro: disable="
+                        + ",".join(suppression.rules)
+                        + " — <reason>' (a reasonless suppression "
+                        "suppresses nothing)"
+                    ),
+                )
+            )
+    # Apply suppressions (valid ones only).
+    for finding in findings:
+        suppression = context.suppression_for(finding.line, finding.rule)
+        if suppression is not None and suppression.valid:
+            finding.suppressed = True
+            finding.reason = suppression.reason
+    return findings
+
+
+def lint_source(
+    source: str,
+    *,
+    path: str = "<string>",
+    rules: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint one in-memory module (the unit the rule fixtures test)."""
+    selected = _selected_rules(rules)
+    try:
+        context = ModuleContext.build(Path(path), source, path)
+    except SyntaxError as error:
+        return [
+            Finding(
+                rule=ENGINE_RULE,
+                path=path,
+                line=error.lineno or 1,
+                col=error.offset or 0,
+                message=f"file does not parse: {error.msg}",
+            )
+        ]
+    return sorted(_check_module(context, selected), key=Finding.sort_key)
+
+
+def lint_paths(
+    paths: Sequence[str],
+    *,
+    rules: Optional[Iterable[str]] = None,
+    baseline: Optional[Dict[Tuple[str, str, str], int]] = None,
+) -> LintReport:
+    """Run the lint pass over files/directories and return the report."""
+    selected = _selected_rules(rules)
+    report = LintReport()
+    for path in iter_python_files(paths):
+        display = _display_path(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as error:
+            raise ConfigurationError(f"cannot read {display}: {error}") from error
+        try:
+            context = ModuleContext.build(path, source, display)
+        except SyntaxError as error:
+            report.findings.append(
+                Finding(
+                    rule=ENGINE_RULE,
+                    path=display,
+                    line=error.lineno or 1,
+                    col=error.offset or 0,
+                    message=f"file does not parse: {error.msg}",
+                )
+            )
+            report.files_checked += 1
+            continue
+        report.findings.extend(_check_module(context, selected))
+        report.files_checked += 1
+    report.findings.sort(key=Finding.sort_key)
+    if baseline:
+        _apply_baseline(report.findings, baseline)
+    return report
+
+
+# --------------------------------------------------------------------------- #
+# baseline
+# --------------------------------------------------------------------------- #
+
+
+def _baseline_key(finding: Finding) -> Tuple[str, str, str]:
+    # Line numbers are deliberately not part of the identity: unrelated
+    # edits move findings around without making them "new".
+    return (finding.rule, finding.path, finding.message)
+
+
+def _apply_baseline(
+    findings: List[Finding], baseline: Dict[Tuple[str, str, str], int]
+) -> None:
+    budget = Counter(baseline)
+    for finding in findings:
+        if finding.suppressed:
+            continue
+        key = _baseline_key(finding)
+        if budget[key] > 0:
+            budget[key] -= 1
+            finding.baselined = True
+
+
+def load_baseline(path: str) -> Dict[Tuple[str, str, str], int]:
+    """Read a baseline file into a ``(rule, path, message) -> count`` map."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as error:
+        raise ConfigurationError(f"cannot read baseline {path}: {error}") from error
+    except ValueError as error:
+        raise ConfigurationError(f"baseline {path} is not valid JSON: {error}") from error
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise ConfigurationError(
+            f"baseline {path} has unsupported format (expected version "
+            f"{BASELINE_VERSION})"
+        )
+    counts: Counter = Counter()
+    for entry in payload.get("findings", []):
+        counts[(entry["rule"], entry["path"], entry["message"])] += 1
+    return dict(counts)
+
+
+def write_baseline(path: str, findings: Iterable[Finding]) -> int:
+    """Record the current *counting* findings; returns how many were written.
+
+    Suppressed findings are excluded (their audit trail is inline), so a
+    baseline captures exactly the debt ``--baseline`` later tolerates.
+    """
+    entries = [
+        {
+            "rule": finding.rule,
+            "path": finding.path,
+            "line": finding.line,
+            "message": finding.message,
+        }
+        for finding in findings
+        if not finding.suppressed
+    ]
+    entries.sort(key=lambda entry: (entry["path"], entry["line"], entry["rule"]))
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    target = Path(path)
+    if target.parent != Path(""):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return len(entries)

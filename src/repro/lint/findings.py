@@ -1,0 +1,65 @@
+"""The unit of lint output: one :class:`Finding` per rule violation.
+
+A finding is produced by a rule, then *annotated* by the engine: an
+inline ``# repro: disable=REPxxx — reason`` marks it suppressed, a
+baseline file marks it baselined.  Only findings that are neither count
+against the exit code, so the three states stay visible in the JSON
+export (``repro-le lint --format json``) for tooling that wants the full
+picture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = ["Finding"]
+
+
+@dataclass
+class Finding:
+    """One rule violation at a source location.
+
+    ``path`` is stored in POSIX form relative to the lint invocation's
+    working directory whenever possible, so findings (and therefore
+    baseline entries) are stable across machines and checkouts.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    #: Set by the engine when an inline suppression covers this finding.
+    suppressed: bool = False
+    #: The justification text of the suppression (mandatory in the
+    #: suppression syntax, so always non-empty when ``suppressed``).
+    reason: Optional[str] = None
+    #: Set by the engine when a ``--baseline`` entry absorbs this finding.
+    baselined: bool = False
+
+    @property
+    def counts(self) -> bool:
+        """Whether this finding fails the lint pass."""
+        return not self.suppressed and not self.baselined
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def as_dict(self) -> Dict[str, object]:
+        """The JSON-export schema: rule id, location, message, flags."""
+        record: Dict[str, object] = {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+        }
+        if self.reason is not None:
+            record["reason"] = self.reason
+        return record
+
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.rule, self.message)

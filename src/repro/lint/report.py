@@ -1,0 +1,69 @@
+"""Render a lint report as text or JSON.
+
+Text output is one ``path:line:col: RULE message`` line per counting
+finding (the compiler-error shape editors and CI log scrapers already
+understand) plus a summary line.  JSON output is the machine schema the
+CI job archives: every finding — including suppressed and baselined ones
+— with its rule id, location, message and flags, so downstream tooling
+sees the full picture, not just the failures.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .engine import RULES, LintReport
+from .findings import Finding
+
+__all__ = ["render_json", "render_text", "rule_table"]
+
+JSON_REPORT_VERSION = 1
+
+
+def render_text(report: LintReport, *, show_suppressed: bool = False) -> str:
+    """The human-facing report: counting findings + a summary line."""
+    lines: List[str] = []
+    for finding in report.findings:
+        if finding.counts:
+            lines.append(f"{finding.location()}: {finding.rule} {finding.message}")
+        elif show_suppressed and finding.suppressed:
+            lines.append(
+                f"{finding.location()}: {finding.rule} [suppressed: "
+                f"{finding.reason}] {finding.message}"
+            )
+    counting = len(report.counting)
+    summary = (
+        f"{counting} finding(s) in {report.files_checked} file(s)"
+        f" ({len(report.suppressed)} suppressed, "
+        f"{len(report.baselined)} baselined)"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """The machine-facing report (``repro-le lint --format json``)."""
+    payload: Dict[str, object] = {
+        "version": JSON_REPORT_VERSION,
+        "files_checked": report.files_checked,
+        "findings": [finding.as_dict() for finding in report.findings],
+        "summary": {
+            "counting": len(report.counting),
+            "suppressed": len(report.suppressed),
+            "baselined": len(report.baselined),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def rule_table() -> List[Dict[str, str]]:
+    """Rule id/title/rationale rows (``repro-le lint --list-rules``)."""
+    return [
+        {
+            "rule": rule_id,
+            "title": RULES[rule_id].title,
+            "rationale": RULES[rule_id].rationale,
+        }
+        for rule_id in sorted(RULES)
+    ]

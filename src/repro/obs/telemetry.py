@@ -35,10 +35,13 @@ that down.
 from __future__ import annotations
 
 import json
+import math
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from ..core.errors import ConfigurationError
 
 __all__ = [
     "TASK_RECORD_FIELDS",
@@ -144,6 +147,24 @@ def _percentile(sorted_values: List[float], q: float) -> float:
     return sorted_values[min(rank, len(sorted_values)) - 1]
 
 
+def _validate_top(top) -> int:
+    """``top`` (straggler list length) must be a positive integer.
+
+    A negative ``[:top]`` slice would silently drop the *slowest* tasks —
+    the exact ones the straggler table exists to show — so reject early,
+    in the same style as the scheduler's timeout validation.
+    """
+    if isinstance(top, float) and (math.isnan(top) or not top.is_integer()):
+        raise ConfigurationError(f"top must be a positive integer, got {top}")
+    try:
+        value = int(top)
+    except (TypeError, ValueError):
+        raise ConfigurationError(f"top must be a positive integer, got {top!r}")
+    if value < 1:
+        raise ConfigurationError(f"top must be a positive integer, got {top}")
+    return value
+
+
 class TelemetryAggregator:
     """Streaming fold of telemetry records into an end-of-sweep summary.
 
@@ -236,6 +257,7 @@ class TelemetryAggregator:
         task key / cell name, so two reads of one JSONL file (or the live
         sink and a post-hoc ``repro-le stats``) produce equal summaries.
         """
+        top = _validate_top(top)
         elapsed = self.elapsed_seconds
         workers = [
             {
@@ -457,6 +479,7 @@ def summarize_telemetry(
     originating :class:`TelemetrySink` printed live — same aggregator,
     same fold order, exact JSON float round-trip.
     """
+    top = _validate_top(top)  # fail before consuming the records iterable
     aggregator = TelemetryAggregator()
     for record in records:
         aggregator.add(record)

@@ -491,6 +491,7 @@ def run_experiments(
             "cannot re-dispatch a timed-out task"
         )
     _validate_timeout("task_timeout", task_timeout)
+    _validate_timeout("lease_timeout", lease_timeout)
     if max_batch is None:
         max_batch = DEFAULT_MAX_BATCH
     if profile is not None:
@@ -741,15 +742,17 @@ def _execute_and_assemble(
         def finish(key, result, elapsed, task_telemetry, profile_payload):
             # Parent-side epilogue of one task.  On the telemetry path,
             # stamp the two phases that happen here (checkpoint append,
-            # sink fan-out) onto the worker's record, then emit it.
+            # sink fan-out) onto the worker's record, then emit it.  The
+            # stamps go through the injectable-clock Stopwatch — the same
+            # layer every other telemetry timing uses.
             if task_telemetry is not None:
-                checkpoint_started = time.perf_counter()
+                stopwatch = Stopwatch()
                 if to_store is not None:
                     to_store.add(key, result_to_record(result, elapsed))
-                fold_started = time.perf_counter()
+                task_telemetry.checkpoint_seconds = stopwatch.elapsed()
+                stopwatch.restart()
                 consume(key, result, elapsed)
-                task_telemetry.checkpoint_seconds = fold_started - checkpoint_started
-                task_telemetry.fold_seconds = time.perf_counter() - fold_started
+                task_telemetry.fold_seconds = stopwatch.elapsed()
                 if profile_payload is not None:
                     profile_aggregate.merge(profile_payload)
                 telemetry.emit_telemetry(task_telemetry)

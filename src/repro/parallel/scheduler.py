@@ -588,6 +588,9 @@ class LeaseDirectory:
             descriptor = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
         except FileExistsError:
             try:
+                # repro: disable=REP102 — lease staleness compares against
+                # st_mtime, which is epoch wall-clock by definition; never
+                # enters any result path
                 age = time.time() - path.stat().st_mtime
             except OSError:
                 # The lease vanished between exists and stat: its block

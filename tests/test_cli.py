@@ -218,6 +218,16 @@ class TestCommands:
         assert code == 2
         assert "error:" in capsys.readouterr().err
 
+    def test_sweep_rejects_non_positive_timeouts(self, capsys):
+        base = ["sweep", "--suite", "tiny", "--algorithms", "flooding"]
+        for flag, name in (
+            ("--lease-timeout", "lease_timeout"),
+            ("--task-timeout", "task_timeout"),
+        ):
+            for bad in ("0", "-2.5", "nan"):
+                assert main(base + [flag, bad]) == 2
+                assert name in capsys.readouterr().err
+
     def test_sweep_derive_seeds(self, capsys):
         code = main(
             [

@@ -389,6 +389,17 @@ class TestStatsCommand:
         bad.write_text("not json\n", encoding="utf-8")
         assert main(["stats", str(bad)]) != 0
 
+    def test_summarize_rejects_non_positive_top(self):
+        for bad in (0, -3, float("nan"), 2.5):
+            with pytest.raises(ConfigurationError, match="top"):
+                summarize_telemetry([], top=bad)
+
+    def test_stats_cli_rejects_non_positive_top(self, tmp_path, capsys):
+        path = tmp_path / "tel.jsonl"
+        path.write_text("", encoding="utf-8")
+        assert main(["stats", str(path), "--top", "0"]) == 2
+        assert "top" in capsys.readouterr().err
+
     def test_sweep_telemetry_flag_exports_and_prints(self, tmp_path, capsys):
         path = tmp_path / "tel.jsonl"
         code = main(

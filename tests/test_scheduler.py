@@ -321,6 +321,13 @@ class TestWorkerDeathRecovery:
                     [_spec()], workers=2, dispatch="adaptive", task_timeout=bad
                 )
 
+    def test_bad_lease_timeout_rejected_up_front(self):
+        # lease_timeout only matters for sharded runs, but a bad value is
+        # rejected before any work starts — same contract as task_timeout.
+        for bad in (0.0, -5.0, float("nan")):
+            with pytest.raises(ConfigurationError, match="lease_timeout"):
+                run_experiments([_spec()], workers=2, lease_timeout=bad)
+
     def test_unknown_dispatch_mode_rejected(self):
         with pytest.raises(ConfigurationError, match="dispatch"):
             run_experiments([_spec()], workers=2, dispatch="bogus")
