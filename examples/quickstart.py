@@ -15,9 +15,8 @@ from __future__ import annotations
 
 import sys
 
+from repro import api
 from repro.analysis import render_kv, render_table
-from repro.baselines import run_flooding_election
-from repro.election import run_irrevocable_election
 from repro.graphs import expansion_profile, random_regular
 
 
@@ -27,8 +26,8 @@ def main(n: int = 64, seed: int = 42) -> int:
     print(render_kv(profile.as_dict(), title=f"== topology: {topology.name} =="))
     print()
 
-    ours = run_irrevocable_election(topology, seed=seed)
-    flooding = run_flooding_election(topology, seed=seed)
+    ours = api.run("irrevocable", topology, seed=seed)
+    flooding = api.run("flooding", topology, seed=seed)
 
     rows = []
     for result in (ours, flooding):

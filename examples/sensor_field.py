@@ -19,9 +19,8 @@ from __future__ import annotations
 
 import sys
 
+from repro import api
 from repro.analysis import render_comparison_table, render_kv
-from repro.baselines import run_flooding_election, run_gilbert_election
-from repro.election import run_irrevocable_election
 from repro.graphs import expansion_profile, torus_2d
 
 
@@ -32,9 +31,9 @@ def main(side: int = 8, seed: int = 7) -> int:
     print()
 
     runs = {
-        "this work (Thm 1)": run_irrevocable_election(field, seed=seed),
-        "Gilbert et al. [10]": run_gilbert_election(field, seed=seed),
-        "flooding [16]": run_flooding_election(field, seed=seed),
+        "this work (Thm 1)": api.run("irrevocable", field, seed=seed),
+        "Gilbert et al. [10]": api.run("gilbert", field, seed=seed),
+        "flooding [16]": api.run("flooding", field, seed=seed),
     }
 
     cells = {

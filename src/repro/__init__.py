@@ -12,6 +12,10 @@ The package is organised as:
 * :mod:`repro.baselines` — prior-work comparators from Table 1;
 * :mod:`repro.impossibility` — the pumping-wheel construction of Theorem 2;
 * :mod:`repro.analysis` — experiment runner, complexity fitting, reports;
+* :mod:`repro.api` — the supported library facade: ``run``, ``sweep``,
+  ``query``, ``serve`` behind one :class:`~repro.api.SweepConfig`;
+* :mod:`repro.archive` — persistent content-addressed result archive
+  and the memoized query layer over it;
 * :mod:`repro.dynamics` — adversarial network dynamics: fault injection,
   link churn, and robustness sweeps over the execution model;
 * :mod:`repro.obs` — observability of the sweep machinery itself: span
@@ -35,6 +39,8 @@ Quickstart::
 
 from . import (
     analysis,
+    api,
+    archive,
     baselines,
     core,
     dynamics,
@@ -46,7 +52,7 @@ from . import (
     workloads,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "core",
@@ -55,6 +61,8 @@ __all__ = [
     "baselines",
     "impossibility",
     "analysis",
+    "api",
+    "archive",
     "dynamics",
     "obs",
     "protocols",

@@ -18,6 +18,7 @@ parallel engine (:mod:`repro.parallel`) retains the full run list.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
@@ -67,6 +68,17 @@ __all__ = [
 ElectionRunner = Callable[[Topology, int], LeaderElectionResult]
 
 
+def warn_keep_results(stacklevel: int = 2) -> None:
+    """Emit the ``keep_results=True`` deprecation (shared by both drivers)."""
+    warnings.warn(
+        "keep_results=True is deprecated; compose a CollectingSink "
+        "(sinks=[CollectingSink()], see repro.analysis.streaming) to "
+        "retain per-run results explicitly",
+        DeprecationWarning,
+        stacklevel=stacklevel + 1,
+    )
+
+
 @dataclass(frozen=True)
 class ExperimentSpec:
     """A named sweep of one algorithm over topologies and seeds.
@@ -107,6 +119,15 @@ class ExperimentSpec:
             raise ConfigurationError(
                 "pass either runner= or protocol=, not both (the protocol "
                 "spec decides the runner)"
+            )
+        if self.runner is not None:
+            warnings.warn(
+                "ExperimentSpec(runner=...) is deprecated; pass "
+                "protocol=... (a ProtocolSpec or 'name:k=v,...' string) "
+                "so the configuration is validated against the protocol's "
+                "schema and enters checkpoint/archive task keys",
+                DeprecationWarning,
+                stacklevel=3,
             )
         if not self.topologies:
             raise ConfigurationError("an experiment needs at least one topology")
@@ -419,6 +440,8 @@ def run_experiment(
     default, ``"static"`` for the one-task-per-message baseline.  They
     only apply when execution routes through the pool.
     """
+    if keep_results:
+        warn_keep_results()
     if (
         (workers is not None and workers > 1)
         or checkpoint is not None

@@ -1,0 +1,33 @@
+"""Persistent result archive + memoized query layer.
+
+The deterministic task keys the checkpoint layer assigns every run make
+results *content-addressable*: the same (spec, topology, seed,
+adversary, protocol) cell always folds from the same records, no matter
+which sweep, worker count or shard layout produced them.  This package
+builds the "sweep results as a service" story on top of that:
+
+* :class:`~repro.archive.store.ResultArchive` — a schema-versioned
+  SQLite archive, one row per run record, append-merge by task key;
+* :class:`~repro.archive.sink.ArchiveSink` — archive live during a
+  sweep (``repro-le sweep --archive``);
+* :func:`~repro.archive.query.query_experiments` — answer a grid from
+  the archive, simulate only the misses, write them back
+  (``repro-le query``, :func:`repro.api.query`);
+* :mod:`repro.archive.service` — the stdlib HTTP endpoint
+  (``repro-le serve``, :func:`repro.api.serve`).
+"""
+
+from .query import QueryReport, QueryResult, query_experiments
+from .sink import ArchiveSink
+from .store import SCHEMA_VERSION, ResultArchive, TaskCoordinates, parse_task_key
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ArchiveSink",
+    "QueryReport",
+    "QueryResult",
+    "ResultArchive",
+    "TaskCoordinates",
+    "parse_task_key",
+    "query_experiments",
+]

@@ -1,0 +1,171 @@
+"""Memoized experiment queries: archive hits + simulated misses.
+
+``query_experiments(specs, archive=...)`` answers an experiment grid the
+way a cache answers reads: it expands the specs into their deterministic
+task keys, serves every key the archive holds, and dispatches *only the
+missing runs* through :func:`repro.parallel.runner.run_experiments` —
+the adaptive scheduler, any worker count.  Newly simulated runs are
+written back, so archives only ever grow and the second identical query
+simulates nothing.
+
+The fold is not reimplemented here.  Archive hits are staged into a
+temporary checkpoint and the grid is run *against that checkpoint*: the
+engine's restore path replays the hits and executes the misses through
+the exact same streaming accumulators as any other sweep, which is what
+pins query results bit-identical to a from-scratch ``run_experiments``
+(wall-clock column aside — a hit replays the wall-clock measured when
+the run actually executed).
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Set, Tuple, Union
+
+from ..analysis.experiments import ExperimentResult, ExperimentSpec
+from ..analysis.streaming import ResultSink
+from ..core.errors import ConfigurationError
+from ..parallel.runner import run_experiments
+from ..parallel.sharding import expand_run_tasks
+from ..parallel.store import JsonlCheckpointStore
+from .store import ResultArchive
+
+__all__ = ["QueryReport", "QueryResult", "query_experiments"]
+
+#: ``run_experiments`` knobs a query may not override: the query layer
+#: owns the staging checkpoint, and sharding/retention belong to the
+#: populate sweeps, not the read path.
+_RESERVED_KWARGS = (
+    "checkpoint",
+    "checkpoint_compact",
+    "checkpoint_format",
+    "checkpoint_flush_interval",
+    "shard",
+    "keep_results",
+)
+
+
+@dataclass(frozen=True)
+class QueryReport:
+    """Cache accounting of one query."""
+
+    #: total runs the grid wants
+    requested_runs: int
+    #: runs served from the archive
+    archived_runs: int
+    #: runs actually executed (requested - archived)
+    simulated_runs: int
+    #: distinct (spec, topology) cells that needed at least one simulation
+    simulated_cells: int
+    #: runs newly written back to the archive
+    archive_added: int
+
+    @property
+    def hit_rate(self) -> float:
+        if self.requested_runs == 0:
+            return 0.0
+        return self.archived_runs / self.requested_runs
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "requested_runs": self.requested_runs,
+            "archived_runs": self.archived_runs,
+            "simulated_runs": self.simulated_runs,
+            "simulated_cells": self.simulated_cells,
+            "archive_added": self.archive_added,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class QueryResult:
+    """A query's folded results plus its cache accounting."""
+
+    results: List[ExperimentResult]
+    report: QueryReport
+
+
+def query_experiments(
+    specs: Sequence[ExperimentSpec],
+    *,
+    archive: Union[str, Path, ResultArchive],
+    sinks: Sequence[ResultSink] = (),
+    **runner_kwargs,
+) -> QueryResult:
+    """Answer an experiment grid from the archive, simulating only misses.
+
+    ``runner_kwargs`` pass through to
+    :func:`~repro.parallel.runner.run_experiments` (``workers``,
+    ``backend``, ``dispatch``, ``derive_seeds``/``base_seed``, ...) for
+    the runs that do execute; checkpointing and sharding knobs are
+    reserved — the query stages its own checkpoint, and sharded populate
+    belongs to ``sweep``.
+    """
+    for reserved in _RESERVED_KWARGS:
+        if reserved in runner_kwargs:
+            raise ConfigurationError(
+                f"query_experiments() does not accept {reserved!r}: the "
+                f"query layer stages its own checkpoint; populate the "
+                f"archive with sweep/archive-add instead"
+            )
+    derive_seeds = bool(runner_kwargs.get("derive_seeds", False))
+    base_seed = runner_kwargs.get("base_seed")
+
+    wanted: Set[str] = set()
+    cell_of_key: Dict[str, Tuple[str, int]] = {}
+    for spec in specs:
+        for task in expand_run_tasks(
+            spec, derive_seeds=derive_seeds, base_seed=base_seed
+        ):
+            wanted.add(task.key)
+            cell_of_key[task.key] = (task.spec_name, task.topology_index)
+
+    if isinstance(archive, ResultArchive):
+        opened = None
+        store = archive
+    else:
+        opened = ResultArchive(archive)
+        store = opened
+    try:
+        hits = store.fetch(sorted(wanted))
+        missing = wanted - set(hits)
+        staging_dir = Path(tempfile.mkdtemp(prefix="repro-query-"))
+        try:
+            staging = staging_dir / "query-checkpoint.jsonl"
+            seed_store = JsonlCheckpointStore(staging, flush_interval_seconds=0.0)
+            seed_store.load()
+            for key in sorted(hits):
+                seed_store.add(key, hits[key])
+            seed_store.flush()
+
+            results = run_experiments(
+                specs,
+                checkpoint=staging,
+                sinks=sinks,
+                **runner_kwargs,
+            )
+
+            executed = JsonlCheckpointStore(staging).load()
+            new_records = {
+                key: record
+                for key, record in executed.items()
+                if key in missing
+            }
+        finally:
+            shutil.rmtree(staging_dir, ignore_errors=True)
+        added = store.add_records(new_records)
+    finally:
+        if opened is not None:
+            opened.close()
+
+    report = QueryReport(
+        requested_runs=len(wanted),
+        archived_runs=len(hits),
+        simulated_runs=len(missing),
+        simulated_cells=len({cell_of_key[key] for key in missing}),
+        archive_added=added,
+    )
+    return QueryResult(results=results, report=report)

@@ -1,0 +1,175 @@
+"""A minimal stdlib HTTP endpoint over a result archive.
+
+``repro-le serve --archive results.sqlite`` answers three GET routes
+with JSON:
+
+* ``/health`` — liveness plus the archive's run count;
+* ``/stats`` — the archive summary
+  (:meth:`repro.archive.store.ResultArchive.stats`);
+* ``/query`` — the memoized query surface.  Parameters mirror the
+  ``sweep``/``query`` CLI spelling: ``suite``, ``algorithms``
+  (comma-separated), ``scenario``, ``adversary``, ``adversary_param``
+  (repeatable), ``seeds``.  The response carries the cache accounting
+  (``report``), the per-cell measurement rows (``cells``) and the
+  robustness curves (``curves``); a repeated query is served entirely
+  from the archive (``report.simulated_cells == 0``).
+
+``ThreadingHTTPServer`` + per-request SQLite connections keep this
+dependency-free and safe for concurrent readers; it is an operational
+convenience for sharing an archive, not a hardened public frontend.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Dict, Optional, Union
+from urllib.parse import parse_qs, urlsplit
+
+from ..core.errors import ReproError
+from .store import ResultArchive
+
+__all__ = ["ArchiveHTTPServer", "make_server"]
+
+
+class ArchiveHTTPServer(ThreadingHTTPServer):
+    """An HTTP server bound to one archive path and one execution config."""
+
+    #: threads may outlive a shutdown mid-request; daemon threads keep
+    #: test processes from hanging on them
+    daemon_threads = True
+
+    def __init__(self, address, *, archive_path, config):
+        self.archive_path = str(archive_path)
+        self.config = config
+        super().__init__(address, _ArchiveRequestHandler)
+
+
+class _ArchiveRequestHandler(BaseHTTPRequestHandler):
+    server: ArchiveHTTPServer
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 - http.server contract
+        url = urlsplit(self.path)
+        params = parse_qs(url.query)
+        try:
+            if url.path == "/health":
+                self._respond(200, self._health())
+            elif url.path == "/stats":
+                self._respond(200, self._stats())
+            elif url.path == "/query":
+                self._respond(200, self._query(params))
+            else:
+                self._respond(
+                    404,
+                    {
+                        "error": f"unknown path {url.path!r}",
+                        "paths": ["/health", "/stats", "/query"],
+                    },
+                )
+        except ReproError as error:
+            self._respond(400, {"error": str(error)})
+        except ValueError as error:
+            self._respond(400, {"error": f"bad query parameter: {error}"})
+
+    # ------------------------------------------------------------------ #
+    # handlers
+    # ------------------------------------------------------------------ #
+    def _health(self) -> Dict[str, object]:
+        with ResultArchive(self.server.archive_path) as archive:
+            runs = len(archive)
+        return {
+            "status": "ok",
+            "archive": self.server.archive_path,
+            "runs": runs,
+        }
+
+    def _stats(self) -> Dict[str, object]:
+        with ResultArchive(self.server.archive_path) as archive:
+            return archive.stats()
+
+    def _query(self, params: Dict[str, list]) -> Dict[str, object]:
+        from .. import api
+        from ..analysis.experiments import summarize_results
+        from ..analysis.robustness import curves_as_dicts, fold_experiments
+
+        algorithms = None
+        if "algorithms" in params:
+            algorithms = [
+                name
+                for raw in params["algorithms"]
+                for name in raw.split(",")
+                if name
+            ]
+        seeds = int(_single(params, "seeds", "3"))
+        specs, adversarial = api.plan_sweep(
+            suite=_single(params, "suite", None),
+            algorithms=algorithms,
+            scenario=_single(params, "scenario", None),
+            adversary=_single(params, "adversary", None),
+            adversary_params=params.get("adversary_param"),
+            seeds=seeds,
+            collect_profile=_single(params, "profile", "0") in ("1", "true"),
+        )
+        answer = api.query(
+            specs, archive=self.server.archive_path, config=self.server.config
+        )
+        return {
+            "report": answer.report.as_dict(),
+            "adversarial": adversarial,
+            "cells": summarize_results(answer.results),
+            "curves": curves_as_dicts(fold_experiments(specs, answer.results)),
+        }
+
+    # ------------------------------------------------------------------ #
+    # plumbing
+    # ------------------------------------------------------------------ #
+    def _respond(self, status: int, payload: Dict[str, object]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:
+        # The default logger stamps wall-clock dates on stderr per
+        # request; a query service embedded in tests and sweep scripts
+        # stays quiet instead.
+        pass
+
+
+def _single(params: Dict[str, list], name: str, default: Optional[str]):
+    values = params.get(name)
+    if not values:
+        return default
+    if len(values) > 1:
+        raise ReproError(f"parameter {name!r} given more than once")
+    return values[0]
+
+
+def make_server(
+    *,
+    archive: Union[str, Path],
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    config=None,
+) -> ArchiveHTTPServer:
+    """Build (and bind, but not run) the archive HTTP server.
+
+    Opening the archive up front validates the path and schema version
+    before the socket accepts anything; ``port=0`` binds an ephemeral
+    port (see ``server.server_address``).
+    """
+    from ..api import SweepConfig
+
+    with ResultArchive(archive):
+        pass
+    return ArchiveHTTPServer(
+        (host, port),
+        archive_path=archive,
+        config=config if config is not None else SweepConfig(),
+    )

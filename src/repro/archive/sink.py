@@ -1,0 +1,91 @@
+"""A :class:`~repro.analysis.streaming.ResultSink` that archives live.
+
+``repro-le sweep --archive results.sqlite`` composes this sink into the
+sweep's pipeline: every completed run's checkpoint record lands in the
+archive as the sweep progresses, so the sweep *is* the populate step —
+no separate ``archive add`` pass over its checkpoint afterwards.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..analysis.experiments import ExperimentSpec
+from ..analysis.streaming import ResultSink
+from ..core.errors import ConfigurationError
+from ..parallel.checkpoint import result_to_record
+from ..parallel.sharding import expand_run_tasks
+from .store import ResultArchive
+
+__all__ = ["ArchiveSink"]
+
+
+class ArchiveSink(ResultSink):
+    """Stream completed runs into a :class:`~repro.archive.store.ResultArchive`.
+
+    The sink is constructed with the sweep's specs so it can translate
+    each emitted run's grid coordinates back into its deterministic task
+    key (the same :func:`~repro.parallel.sharding.expand_run_tasks`
+    expansion the engine schedules from); ``derive_seeds``/``base_seed``
+    must match the sweep's so the keys do too.
+
+    Records buffer and flush in batches (one archive transaction each).
+    ``abort`` flushes too: unlike an export file, completed runs are
+    real measurements worth keeping even when the sweep died mid-grid —
+    the next query or resumed sweep picks them up as cache hits.
+    """
+
+    def __init__(
+        self,
+        archive: Union[str, Path, ResultArchive],
+        specs: Sequence[ExperimentSpec],
+        *,
+        derive_seeds: bool = False,
+        base_seed: Optional[int] = None,
+        flush_every: int = 64,
+    ) -> None:
+        if isinstance(archive, ResultArchive):
+            self._archive: Optional[ResultArchive] = archive
+            self._owns_archive = False
+        else:
+            self._archive = ResultArchive(archive)
+            self._owns_archive = True
+        self._flush_every = max(1, int(flush_every))
+        self._pending: Dict[str, Dict[str, object]] = {}
+        self._keys: Dict[Tuple[str, int, int], str] = {}
+        for spec in specs:
+            for task in expand_run_tasks(
+                spec, derive_seeds=derive_seeds, base_seed=base_seed
+            ):
+                self._keys[
+                    (task.spec_name, task.topology_index, task.seed_index)
+                ] = task.key
+
+    def emit(self, spec_name, topology_index, seed_index, result, wall_clock_seconds):
+        key = self._keys.get((spec_name, topology_index, seed_index))
+        if key is None:
+            raise ConfigurationError(
+                f"ArchiveSink received a run outside its specs: "
+                f"{spec_name!r} topology {topology_index} seed index "
+                f"{seed_index} (was the sink built from the same specs "
+                f"and derive_seeds/base_seed as the sweep?)"
+            )
+        self._pending[key] = result_to_record(result, wall_clock_seconds)
+        if len(self._pending) >= self._flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        if self._pending and self._archive is not None:
+            self._archive.add_records(self._pending)
+            self._pending = {}
+
+    def close(self) -> None:
+        self.flush()
+        if self._owns_archive and self._archive is not None:
+            self._archive.close()
+            self._archive = None
+
+    def abort(self) -> None:
+        # Completed runs are deterministic measurements: keep them.
+        self.close()

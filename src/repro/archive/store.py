@@ -1,0 +1,337 @@
+"""Persistent, content-addressed archive of completed runs (SQLite).
+
+The checkpoint layer already gives every run a deterministic task key
+(:func:`repro.parallel.sharding.task_key`): the spec name, grid
+coordinates, topology structure fingerprint, seed, adversary token and
+protocol token — everything that decides the run's result, and nothing
+that doesn't (backend, worker count and shard layout never enter a key).
+:class:`ResultArchive` stores one checkpoint record
+(:func:`repro.parallel.checkpoint.result_to_record`) per task key in a
+single SQLite file, so completed sweeps *accumulate*: absorbing a second
+checkpoint merges by key instead of appending duplicates, and any future
+query that wants a run someone already measured gets the archived record
+back bit-for-bit.
+
+Why SQLite and not another JSONL file: an archive outlives any one sweep
+and is queried by key *set* ("which of these 4000 task keys do you
+hold?"), which the indexed ``runs`` table answers without loading
+everything — the columnar-archive direction the ROADMAP's cross-machine
+item names.  Concurrency safety comes from the same discipline the JSONL
+store gets from staged partials, provided here by the engine itself:
+every write happens inside a transaction (an interrupted writer rolls
+back to the last complete batch, never a torn tail), writers serialize
+on the database lock (``timeout_seconds`` bounds the wait), and
+``INSERT OR REPLACE`` keyed on the task key makes overlapping writers —
+two shard jobs archiving the same grid — converge to last-write-wins
+per key instead of conflicting.
+
+The schema is versioned: an archive written by a future incompatible
+build is *refused* (:class:`~repro.core.errors.ConfigurationError`), not
+misread.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from ..core.errors import ConfigurationError
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "TaskCoordinates",
+    "ResultArchive",
+    "parse_task_key",
+]
+
+#: Version of the on-disk layout.  Bump on any incompatible change to the
+#: tables below; old builds must refuse newer archives rather than
+#: misinterpret them.
+SCHEMA_VERSION = 1
+
+#: Keys are fetched in bounded ``IN (...)`` chunks: SQLite caps bound
+#: parameters per statement (999 in older builds), and a query's wanted
+#: set can be arbitrarily large.
+_FETCH_CHUNK = 500
+
+
+@dataclass(frozen=True)
+class TaskCoordinates:
+    """The parsed components of one deterministic task key."""
+
+    spec_name: str
+    topology_index: int
+    topology_name: str
+    fingerprint: str
+    seed_index: int
+    seed: int
+    adversary: str
+    protocol: str
+
+
+def parse_task_key(key: str) -> TaskCoordinates:
+    """Split a task key back into its components.
+
+    The key format (see :func:`repro.parallel.sharding.task_key`) is
+    ``spec|topology_index|topology_name|fingerprint|seed_index|seed|``
+    ``adversary`` with ``|protocol`` appended only when the spec carries a
+    protocol token — 7 or 8 segments, none of which contain ``|``.
+    """
+    parts = key.split("|")
+    if len(parts) == 7:
+        parts.append("")
+    if len(parts) != 8:
+        raise ConfigurationError(
+            f"malformed task key {key!r}: expected 7 or 8 |-separated "
+            f"segments, got {len(parts)}"
+        )
+    try:
+        topology_index = int(parts[1])
+        seed_index = int(parts[4])
+        seed = int(parts[5])
+    except ValueError as error:
+        raise ConfigurationError(
+            f"malformed task key {key!r}: non-integer grid coordinate "
+            f"({error})"
+        ) from error
+    return TaskCoordinates(
+        spec_name=parts[0],
+        topology_index=topology_index,
+        topology_name=parts[2],
+        fingerprint=parts[3],
+        seed_index=seed_index,
+        seed=seed,
+        adversary=parts[6],
+        protocol=parts[7],
+    )
+
+
+class ResultArchive:
+    """A SQLite archive of completed runs, keyed by deterministic task key.
+
+    ``add_records`` absorbs checkpoint records (append-merge: replacing a
+    key is idempotent because re-runs are deterministic), ``fetch``
+    answers a wanted-key set with the archived records, and ``stats``
+    summarises what the archive holds.  Open archives are context
+    managers::
+
+        with ResultArchive("results.sqlite") as archive:
+            archive.add_records(store.load())
+            hits = archive.fetch(wanted_keys)
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        *,
+        timeout_seconds: float = 30.0,
+    ) -> None:
+        self.path = Path(path)
+        if self.path.parent and not self.path.parent.exists():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(str(self.path), timeout=timeout_seconds)
+        try:
+            self._init_schema()
+        except sqlite3.DatabaseError as error:
+            self._conn.close()
+            raise ConfigurationError(
+                f"{self.path} is not a result archive (unreadable as a "
+                f"SQLite database: {error}); if a writer died mid-create, "
+                f"delete the file and re-populate with `repro-le archive "
+                f"add`"
+            ) from error
+
+    # ------------------------------------------------------------------ #
+    # schema
+    # ------------------------------------------------------------------ #
+    def _init_schema(self) -> None:
+        have_meta = self._conn.execute(
+            "SELECT name FROM sqlite_master WHERE type='table' "
+            "AND name='archive_meta'"
+        ).fetchone()
+        if have_meta is None:
+            foreign = self._conn.execute(
+                "SELECT name FROM sqlite_master WHERE type='table'"
+            ).fetchone()
+            if foreign is not None:
+                raise ConfigurationError(
+                    f"{self.path} is a SQLite database but not a result "
+                    f"archive (no archive_meta table; found table "
+                    f"{foreign[0]!r}) — refusing to write into a foreign "
+                    f"database"
+                )
+        with self._conn:
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS archive_meta ("
+                "  key TEXT PRIMARY KEY,"
+                "  value TEXT NOT NULL"
+                ")"
+            )
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS runs ("
+                "  task_key TEXT PRIMARY KEY,"
+                "  spec_name TEXT NOT NULL,"
+                "  topology_index INTEGER NOT NULL,"
+                "  topology_name TEXT NOT NULL,"
+                "  fingerprint TEXT NOT NULL,"
+                "  seed_index INTEGER NOT NULL,"
+                "  seed INTEGER NOT NULL,"
+                "  adversary TEXT NOT NULL,"
+                "  protocol TEXT NOT NULL,"
+                "  record TEXT NOT NULL"
+                ")"
+            )
+            self._conn.execute(
+                "CREATE INDEX IF NOT EXISTS runs_by_spec "
+                "ON runs (spec_name, topology_index)"
+            )
+            self._conn.execute(
+                "INSERT OR IGNORE INTO archive_meta (key, value) "
+                "VALUES ('schema_version', ?)",
+                (str(SCHEMA_VERSION),),
+            )
+        row = self._conn.execute(
+            "SELECT value FROM archive_meta WHERE key='schema_version'"
+        ).fetchone()
+        stored = row[0] if row else None
+        if stored != str(SCHEMA_VERSION):
+            raise ConfigurationError(
+                f"archive {self.path} has schema version {stored}; this "
+                f"build reads version {SCHEMA_VERSION} — use a matching "
+                f"build or re-populate a fresh archive"
+            )
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ResultArchive":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return int(self._conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0])
+
+    def __contains__(self, key: str) -> bool:
+        row = self._conn.execute(
+            "SELECT 1 FROM runs WHERE task_key = ?", (key,)
+        ).fetchone()
+        return row is not None
+
+    # ------------------------------------------------------------------ #
+    # writes
+    # ------------------------------------------------------------------ #
+    def add_records(self, records: Mapping[str, Mapping[str, object]]) -> int:
+        """Absorb checkpoint records keyed by task key; return the newly added count.
+
+        Existing keys are *replaced* (runs are deterministic, so any two
+        records for one key describe the same measurement — last write
+        wins and overlapping writers converge).  The whole batch commits
+        in one transaction: an interrupted add leaves the archive at its
+        previous complete state.
+        """
+        if not records:
+            return 0
+        keys = list(records.keys())
+        existing = 0
+        for chunk in _chunks(keys, _FETCH_CHUNK):
+            placeholders = ",".join("?" for _ in chunk)
+            existing += int(
+                self._conn.execute(
+                    f"SELECT COUNT(*) FROM runs WHERE task_key IN ({placeholders})",
+                    chunk,
+                ).fetchone()[0]
+            )
+        rows = []
+        for key in keys:
+            coords = parse_task_key(key)
+            rows.append(
+                (
+                    key,
+                    coords.spec_name,
+                    coords.topology_index,
+                    coords.topology_name,
+                    coords.fingerprint,
+                    coords.seed_index,
+                    coords.seed,
+                    coords.adversary,
+                    coords.protocol,
+                    json.dumps(records[key], sort_keys=True),
+                )
+            )
+        with self._conn:
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO runs (task_key, spec_name, "
+                "topology_index, topology_name, fingerprint, seed_index, "
+                "seed, adversary, protocol, record) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                rows,
+            )
+        return len(keys) - existing
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+    def fetch(self, keys: Iterable[str]) -> Dict[str, Dict[str, object]]:
+        """The archived records of ``keys`` (missing keys simply absent)."""
+        wanted = list(keys)
+        hits: Dict[str, Dict[str, object]] = {}
+        for chunk in _chunks(wanted, _FETCH_CHUNK):
+            placeholders = ",".join("?" for _ in chunk)
+            for key, payload in self._conn.execute(
+                f"SELECT task_key, record FROM runs "
+                f"WHERE task_key IN ({placeholders})",
+                chunk,
+            ):
+                hits[key] = json.loads(payload)
+        return hits
+
+    def keys(self) -> List[str]:
+        """Every archived task key, in sorted order."""
+        return [
+            row[0]
+            for row in self._conn.execute(
+                "SELECT task_key FROM runs ORDER BY task_key"
+            )
+        ]
+
+    def stats(self) -> Dict[str, object]:
+        """Summary of the archive's contents (for ``archive stats`` and ``/stats``)."""
+        specs = [
+            {"spec": row[0], "runs": row[1]}
+            for row in self._conn.execute(
+                "SELECT spec_name, COUNT(*) FROM runs "
+                "GROUP BY spec_name ORDER BY spec_name"
+            )
+        ]
+        adversaries = int(
+            self._conn.execute(
+                "SELECT COUNT(DISTINCT adversary) FROM runs WHERE adversary != ''"
+            ).fetchone()[0]
+        )
+        protocols = int(
+            self._conn.execute(
+                "SELECT COUNT(DISTINCT protocol) FROM runs WHERE protocol != ''"
+            ).fetchone()[0]
+        )
+        return {
+            "path": str(self.path),
+            "schema_version": SCHEMA_VERSION,
+            "runs": len(self),
+            "specs": len(specs),
+            "distinct_adversaries": adversaries,
+            "distinct_protocols": protocols,
+            "per_spec": specs,
+        }
+
+
+def _chunks(items: List[str], size: int) -> Iterable[List[str]]:
+    for start in range(0, len(items), size):
+        yield items[start : start + size]

@@ -37,6 +37,13 @@ Examples::
                        --profile cprofile       # sweep telemetry + hotspots
     repro-le stats     tel.jsonl --top 5        # post-hoc telemetry summary
     repro-le merge     --manifest sweep.manifest.json --output sweep.json
+    repro-le sweep     --suite tiny --algorithms flooding --seeds 3 \
+                       --archive results.sqlite # archive runs live
+    repro-le archive   add sweep.json --archive results.sqlite
+    repro-le archive   stats --archive results.sqlite
+    repro-le query     --suite tiny --algorithms flooding --seeds 3 \
+                       --archive results.sqlite # hits replay, misses run
+    repro-le serve     --archive results.sqlite --port 8765
     repro-le impossibility --n 6 --witnesses 4 --trials 10
 
 Topology specifications are ``family:arg[:arg...]`` using the generator
@@ -60,7 +67,7 @@ from .election.explicit import extend_to_explicit
 from .graphs import Topology, expansion_profile
 from .graphs.generators import GENERATORS
 from .impossibility import demonstrate_impossibility
-from .protocols import ProtocolSpec, describe_protocols, protocol_runner
+from .protocols import ProtocolSpec, describe_protocols
 
 __all__ = ["main", "parse_topology", "build_parser"]
 
@@ -116,29 +123,30 @@ def _cmd_protocols(args: argparse.Namespace) -> int:
 
 
 def _cmd_elect(args: argparse.Namespace) -> int:
+    from .api import run as run_election
+
     if args.adversary_param and not args.adversary:
         raise ReproError("--adversary-param requires --adversary")
     topology = parse_topology(args.topology, seed=args.topology_seed)
     spec = ProtocolSpec.parse(args.algorithm)
-    runner = protocol_runner(spec)
     adversary = None
     if args.adversary:
         from .dynamics import parse_adversary_params, spec_from_cli
-        from .dynamics.runners import AdversarialRunner
 
         adversary = spec_from_cli(
             args.adversary, parse_adversary_params(args.adversary_param or [])
         )
-        runner = AdversarialRunner(runner, adversary)
     recorder = None
     if args.trace:
         from .core.tracing import TraceRecorder, trace_scope
 
         recorder = TraceRecorder(max_events=args.trace_max_events)
         with trace_scope(recorder):
-            result = runner(topology, args.seed)
+            result = run_election(
+                spec, topology, seed=args.seed, adversary=adversary
+            )
     else:
-        result = runner(topology, args.seed)
+        result = run_election(spec, topology, seed=args.seed, adversary=adversary)
     summary = {
         "algorithm": result.algorithm,
         "topology": result.topology_name,
@@ -174,13 +182,14 @@ def _cmd_elect(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    from .api import run as run_election
+
     topology = parse_topology(args.topology, seed=args.topology_seed)
     rows: List[dict] = []
     for name in args.algorithms:
         spec = ProtocolSpec.parse(name)
-        runner = protocol_runner(spec)
         for seed in range(args.seeds):
-            result = runner(topology, seed)
+            result = run_election(spec, topology, seed=seed)
             rows.append(
                 {
                     "algorithm": str(spec),
@@ -195,71 +204,27 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def build_sweep_specs(args: argparse.Namespace, topologies: Sequence[Topology]):
-    """Expand the parsed ``sweep`` arguments into experiment specs.
+    """Expand the parsed ``sweep``/``query`` arguments into experiment specs.
 
     Returns ``(specs, adversarial)`` where ``adversarial`` says whether
     the grid injects faults (and the sweep's exit criterion becomes the
-    safety verdict).  Split out of :func:`_cmd_sweep` so the scenario
-    registries' CLI spelling is testable without running a sweep.
+    safety verdict).  A thin argparse adapter over
+    :func:`repro.api.plan_sweep` — the CLI, the library facade and the
+    HTTP endpoint all plan grids through the same function, so their
+    spellings cannot drift.  Kept as a named seam so the scenario
+    registries' CLI spelling stays testable without running a sweep.
     """
-    from .workloads import (
-        DYNAMIC_SCENARIOS,
-        PROTOCOL_SCENARIOS,
-        dynamic_scenario,
-        protocol_scenario,
-        sweep_specs,
+    from .api import plan_sweep
+
+    return plan_sweep(
+        topologies=topologies,
+        algorithms=args.algorithms,
+        scenario=args.scenario,
+        adversary=args.adversary,
+        adversary_params=args.adversary_param,
+        seeds=args.seeds,
+        collect_profile=not args.no_profile,
     )
-
-    algorithms = args.algorithms or ["flooding", "gilbert"]
-    adversarial = bool(args.adversary or args.scenario in DYNAMIC_SCENARIOS)
-    if args.scenario and args.scenario in PROTOCOL_SCENARIOS:
-        # A protocol scenario fixes the algorithm list itself: a ladder of
-        # parameterised variants of the protocols under study.
-        if args.algorithms is not None:
-            raise ReproError(
-                f"--scenario {args.scenario} is a protocol ladder that "
-                f"fixes the algorithm list; drop --algorithms (dynamic "
-                f"scenarios {sorted(DYNAMIC_SCENARIOS)} do combine with it)"
-            )
-        specs = sweep_specs(
-            protocol_scenario(args.scenario),
-            topologies,
-            seeds=tuple(range(args.seeds)),
-            collect_profile=not args.no_profile,
-        )
-    elif args.scenario:
-        from .dynamics import robustness_specs
-
-        if args.scenario not in DYNAMIC_SCENARIOS:
-            raise ReproError(
-                f"unknown scenario {args.scenario!r}; available: dynamic "
-                f"{sorted(DYNAMIC_SCENARIOS)}, protocol "
-                f"{sorted(PROTOCOL_SCENARIOS)}"
-            )
-        specs = robustness_specs(
-            algorithms,
-            topologies,
-            dynamic_scenario(args.scenario),
-            seeds=tuple(range(args.seeds)),
-            collect_profile=not args.no_profile,
-        )
-    else:
-        adversary = None
-        if args.adversary:
-            from .dynamics import parse_adversary_params, spec_from_cli
-
-            adversary = spec_from_cli(
-                args.adversary,
-                parse_adversary_params(args.adversary_param or []),
-            )
-        specs = sweep_specs(
-            algorithms,
-            topologies,
-            seeds=tuple(range(args.seeds)),
-            collect_profile=not args.no_profile,
-            adversary=adversary,
-        )
-    return specs, adversarial
 
 
 def _print_telemetry_summary(summary: Dict[str, object], *, title: str) -> None:
@@ -325,9 +290,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     from .analysis import summarize_results
     from .analysis.streaming import JsonlSink, ProgressSink
+    from .api import SweepConfig, sweep as run_sweep
     from .election.base import SafetyTally
     from .obs import TelemetrySink
-    from .parallel import AUTO_SHARD, parse_shard, run_experiments
+    from .parallel import AUTO_SHARD, parse_shard
     from .workloads import DYNAMIC_SCENARIOS, suite_by_name
 
     if args.workers < 1:
@@ -390,6 +356,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"{shard_label}: writing telemetry to {telemetry_path}")
     telemetry = TelemetrySink(telemetry_path) if telemetry_path else None
     sinks: List[object] = [JsonlSink(jsonl)] if jsonl else []
+    if args.archive:
+        from .archive import ArchiveSink
+
+        # Live archiving: completed runs land in the shared archive as
+        # they finish, so the sweep is also the populate step for later
+        # `repro-le query` calls.  Concurrent shard jobs pointed at one
+        # archive serialize on the database lock and dedupe by task key.
+        sinks.append(
+            ArchiveSink(
+                args.archive,
+                specs,
+                derive_seeds=args.derive_seeds,
+                base_seed=args.base_seed,
+            )
+        )
     if args.progress:
         # Count this job's slice, not the whole grid: a sharded job owns
         # the round-robin slice i, i+k, i+2k, ... of the pooled task list.
@@ -401,8 +382,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         elif shard is not None:
             total = len(range(shard[0], total, shard[1]))
         sinks.append(ProgressSink(total, label=shard_label))
-    results = run_experiments(
-        specs,
+    config = SweepConfig(
         workers=args.workers,
         checkpoint=args.checkpoint,
         checkpoint_compact=args.checkpoint_compact,
@@ -411,7 +391,6 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         derive_seeds=args.derive_seeds,
         base_seed=args.base_seed,
         shard=shard,
-        sinks=sinks,
         backend=args.backend,
         telemetry=telemetry,
         profile=args.profile,
@@ -419,6 +398,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         task_timeout=args.task_timeout,
         lease_timeout=args.lease_timeout,
     )
+    results = run_sweep(specs, config=config, sinks=sinks)
     rows = summarize_results(results)
     title = f"sweep over suite {args.suite!r}"
     if shard is not None:
@@ -486,6 +466,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
+    # Exit contract (lint's 0/1/2 convention): 0 = summarized task
+    # records, 1 = files read cleanly but hold no task records (a sweep
+    # that never ran — a CI gate watching exit codes should notice),
+    # 2 = usage/configuration errors.
     from .obs import read_telemetry, summarize_telemetry
 
     records: List[Dict[str, object]] = []
@@ -500,14 +484,28 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             raise ReproError(
                 f"{path} is not valid telemetry JSONL: {error}"
             ) from error
-    summary = summarize_telemetry(records, top=args.top)
+    try:
+        summary = summarize_telemetry(records, top=args.top)
+    except (KeyError, TypeError, ValueError) as error:
+        raise ReproError(
+            f"telemetry records are malformed: {error}"
+        ) from error
     _print_telemetry_summary(
         summary, title=f"telemetry summary: {', '.join(args.telemetry)}"
     )
+    if not summary.get("runs") and not summary.get("restored"):
+        print(
+            "no task records found (did the sweep run with --telemetry?)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
 def _cmd_merge(args: argparse.Namespace) -> int:
+    # Exit contract (lint's 0/1/2 convention): 0 = full-coverage merge,
+    # 1 = merge completed but partial (--allow-partial with shards or
+    # tasks missing), 2 = usage/configuration errors.
     from pathlib import Path
 
     from .parallel import merge_shard_checkpoints
@@ -524,14 +522,159 @@ def _cmd_merge(args: argparse.Namespace) -> int:
                 f"cannot derive an output path from {manifest!r}; pass --output"
             )
         output = str(Path(manifest).with_name(name.replace(".manifest", "", 1)))
-    summary = merge_shard_checkpoints(
-        manifest,
-        output,
-        allow_partial=args.allow_partial,
-        compact=args.compact,
-    )
+    try:
+        summary = merge_shard_checkpoints(
+            manifest,
+            output,
+            allow_partial=args.allow_partial,
+            compact=args.compact,
+        )
+    except OSError as error:
+        raise ReproError(f"merge failed: {error}") from error
     print(render_kv(summary, title="shard merge"))
+    if summary.get("missing_shards") or summary.get("tasks_missing"):
+        print(
+            "partial merge: "
+            f"{summary.get('missing_shards', 0)} shard(s) and "
+            f"{summary.get('tasks_missing', 0)} task(s) missing",
+            file=sys.stderr,
+        )
+        return 1
     return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .analysis import summarize_results
+    from .analysis.robustness import curve_rows, curves_as_dicts, fold_experiments
+    from .api import SweepConfig, query as run_query
+    from .workloads import DYNAMIC_SCENARIOS, suite_by_name
+
+    if args.adversary and args.scenario:
+        raise ReproError("--adversary and --scenario are mutually exclusive")
+    if args.adversary_param and not args.adversary:
+        raise ReproError("--adversary-param requires --adversary")
+    topologies = suite_by_name(args.suite)
+    specs, adversarial = build_sweep_specs(args, topologies)
+    config = SweepConfig(
+        workers=args.workers,
+        backend=args.backend,
+        start_method=args.start_method,
+        derive_seeds=args.derive_seeds,
+        base_seed=args.base_seed,
+    )
+    answer = run_query(specs, archive=args.archive, config=config)
+    rows = summarize_results(answer.results)
+    print(render_table(rows, title=f"query over suite {args.suite!r}"))
+    print()
+    print(render_kv(answer.report.as_dict(), title=f"archive {args.archive}"))
+    curves = fold_experiments(specs, answer.results)
+    if adversarial and args.scenario in DYNAMIC_SCENARIOS:
+        curve_table = curve_rows(curves)
+        if curve_table:
+            print()
+            print(
+                render_table(
+                    curve_table, title="robustness curves (success/safety vs p)"
+                )
+            )
+    if args.json:
+        payload = {
+            "report": answer.report.as_dict(),
+            "adversarial": adversarial,
+            "cells": rows,
+            "curves": curves_as_dicts(curves),
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json_module.dump(payload, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        print(f"\nwrote query JSON to {args.json}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .api import SweepConfig, serve as run_serve
+
+    config = SweepConfig(
+        workers=args.workers,
+        backend=args.backend,
+        start_method=args.start_method,
+    )
+    server = run_serve(
+        archive=args.archive,
+        host=args.host,
+        port=args.port,
+        config=config,
+        block=False,
+    )
+    host, port = server.server_address[:2]
+    print(
+        f"serving archive {args.archive} on http://{host}:{port} "
+        f"(/health, /stats, /query) — Ctrl-C to stop"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def _cmd_archive_add(args: argparse.Namespace) -> int:
+    from .archive import ResultArchive
+    from .parallel.checkpoint import compact_record
+    from .parallel.store import JsonlCheckpointStore
+
+    with ResultArchive(args.archive) as archive:
+        seen = 0
+        added = 0
+        for path in args.files:
+            try:
+                records = JsonlCheckpointStore(path).load()
+            except OSError as error:
+                raise ReproError(
+                    f"cannot read checkpoint {path}: {error}"
+                ) from error
+            except ValueError as error:
+                raise ReproError(
+                    f"{path} is not a checkpoint file: {error}"
+                ) from error
+            if args.compact:
+                records = {
+                    key: compact_record(record)
+                    for key, record in records.items()
+                }
+            seen += len(records)
+            added += archive.add_records(records)
+        print(
+            render_kv(
+                {
+                    "files": len(args.files),
+                    "records_seen": seen,
+                    "records_added": added,
+                    "records_replaced": seen - added,
+                    "archive_runs": len(archive),
+                    "archive": str(archive.path),
+                },
+                title="archive add",
+            )
+        )
+    return 0
+
+
+def _cmd_archive_stats(args: argparse.Namespace) -> int:
+    from .archive import ResultArchive
+
+    with ResultArchive(args.archive) as archive:
+        stats = archive.stats()
+    per_spec = stats.pop("per_spec")
+    print(render_kv(stats, title="archive stats"))
+    if per_spec:
+        print()
+        print(render_table(per_spec, title="runs per spec"))
+    return 0 if stats["runs"] else 1
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -828,12 +971,184 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip expansion-profile computation for the suite",
     )
+    sweep.add_argument(
+        "--archive",
+        default=None,
+        metavar="DB",
+        help="also stream every completed run into a persistent result "
+        "archive (SQLite, keyed by deterministic task key; created if "
+        "missing) — the populate step for `repro-le query`/`serve`. "
+        "Concurrent jobs may share one archive; overlapping runs dedupe "
+        "by key",
+    )
     sweep.set_defaults(func=_cmd_sweep)
+
+    query = subparsers.add_parser(
+        "query",
+        help="answer a sweep grid from a result archive, simulating only "
+        "the runs the archive is missing (and archiving them back)",
+    )
+    query.add_argument(
+        "--archive",
+        required=True,
+        metavar="DB",
+        help="result archive (SQLite) to answer from and write new runs "
+        "back to; populate with `sweep --archive` or `archive add`",
+    )
+    query.add_argument("--suite", default="mixed", help="topology suite name")
+    query.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=None,
+        metavar="NAME[:K=V,...]",
+        help="protocol specs, as in `sweep` (default: flooding gilbert)",
+    )
+    query.add_argument(
+        "--seeds", type=int, default=3, help="number of seeds per cell (0..N-1)"
+    )
+    query.add_argument(
+        "--scenario",
+        default=None,
+        help="named scenario ladder, as in `sweep --scenario`",
+    )
+    query.add_argument(
+        "--adversary",
+        default=None,
+        help="fault model to inject, as in `sweep --adversary`",
+    )
+    query.add_argument(
+        "--adversary-param",
+        action="append",
+        metavar="K=V",
+        help="adversary parameter (repeatable)",
+    )
+    query.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the runs that do simulate",
+    )
+    query.add_argument(
+        "--backend",
+        default="auto",
+        choices=["auto", "round", "event"],
+        help="simulator core for cache misses (results are bit-identical "
+        "either way)",
+    )
+    query.add_argument(
+        "--start-method",
+        default=None,
+        choices=["fork", "spawn", "forkserver"],
+    )
+    query.add_argument(
+        "--derive-seeds",
+        action="store_true",
+        help="derive per-cell seeds from --base-seed, as in `sweep`",
+    )
+    query.add_argument("--base-seed", type=int, default=None)
+    query.add_argument(
+        "--no-profile",
+        action="store_true",
+        help="skip expansion-profile computation for the suite",
+    )
+    query.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the answer (report + cells + curves) to PATH as "
+        "deterministic sorted-key JSON",
+    )
+    query.set_defaults(func=_cmd_query)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve a result archive over HTTP: /health, /stats, and "
+        "/query with the sweep parameter surface",
+    )
+    serve.add_argument(
+        "--archive",
+        required=True,
+        metavar="DB",
+        help="result archive (SQLite) to serve; missing cells simulate "
+        "on demand and archive back",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="TCP port (0 binds an ephemeral port, printed on startup)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for queries that must simulate",
+    )
+    serve.add_argument(
+        "--backend",
+        default="auto",
+        choices=["auto", "round", "event"],
+    )
+    serve.add_argument(
+        "--start-method",
+        default=None,
+        choices=["fork", "spawn", "forkserver"],
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    archive = subparsers.add_parser(
+        "archive",
+        help="maintain a persistent result archive (absorb checkpoints, "
+        "inspect contents)",
+    )
+    archive_sub = archive.add_subparsers(dest="archive_command", required=True)
+    archive_add = archive_sub.add_parser(
+        "add",
+        help="absorb completed runs from checkpoint files (JSONL or "
+        "legacy JSON, including `repro-le merge` outputs) into the "
+        "archive; re-adding is idempotent (merge by task key)",
+    )
+    archive_add.add_argument(
+        "files",
+        nargs="+",
+        metavar="CHECKPOINT",
+        help="checkpoint files written by sweep --checkpoint (per-shard "
+        "files and merged outputs both work)",
+    )
+    archive_add.add_argument(
+        "--archive",
+        required=True,
+        metavar="DB",
+        help="result archive (SQLite) to absorb into; created if missing",
+    )
+    archive_add.add_argument(
+        "--compact",
+        action="store_true",
+        help="strip per-node diagnostic payloads before archiving "
+        "(aggregates are unaffected; archives of very large grids stay "
+        "small)",
+    )
+    archive_add.set_defaults(func=_cmd_archive_add)
+    archive_stats = archive_sub.add_parser(
+        "stats",
+        help="summarize an archive's contents (exits 1 when the archive "
+        "holds no runs)",
+    )
+    archive_stats.add_argument(
+        "--archive",
+        required=True,
+        metavar="DB",
+        help="result archive (SQLite) to inspect",
+    )
+    archive_stats.set_defaults(func=_cmd_archive_stats)
 
     merge = subparsers.add_parser(
         "merge",
         help="fold the per-shard checkpoints of a sharded sweep into one "
-        "checkpoint, validating coverage and conflicts",
+        "checkpoint, validating coverage and conflicts; exits 0 on a "
+        "full merge, 1 on a completed-but-partial merge "
+        "(--allow-partial), 2 on usage errors",
     )
     merge.add_argument(
         "--manifest",
@@ -864,7 +1179,9 @@ def build_parser() -> argparse.ArgumentParser:
     stats = subparsers.add_parser(
         "stats",
         help="summarize a sweep's telemetry JSONL post-hoc (utilization, "
-        "per-cell latency percentiles, stragglers, checkpoint I/O share)",
+        "per-cell latency percentiles, stragglers, checkpoint I/O "
+        "share); exits 0 on a summarized sweep, 1 when the files hold "
+        "no task records, 2 on usage errors",
     )
     stats.add_argument(
         "telemetry",

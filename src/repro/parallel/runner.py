@@ -67,6 +67,7 @@ from ..analysis.experiments import (
     ExperimentSpec,
     cell_from_aggregate,
     resolve_profile,
+    warn_keep_results,
 )
 from ..analysis.streaming import (
     CellAggregatingSink,
@@ -470,6 +471,8 @@ def run_experiments(
     under an in-worker profiler and reports pool-wide hotspots through
     the telemetry summary.
     """
+    if keep_results:
+        warn_keep_results()
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
     if backend not in BACKENDS:

@@ -17,6 +17,7 @@ so a suite is fully reproducible.
 from __future__ import annotations
 
 import itertools
+import warnings
 from typing import (
     TYPE_CHECKING,
     Callable,
@@ -225,16 +226,23 @@ def sweep_specs(
             if protocol is None
             else {"protocol": protocol}
         )
-        specs.append(
-            ExperimentSpec(
-                name=name,
-                topologies=list(topologies),
-                seeds=tuple(seeds),
-                collect_profile=collect_profile,
-                adversary=adversary,
-                **algorithm_source,
+        with warnings.catch_warnings():
+            if protocol is None:
+                # The built-in names deliberately take the legacy runner
+                # path to keep their pre-protocol checkpoint task keys;
+                # that internal choice must not surface the public
+                # ``runner=`` deprecation to every sweep caller.
+                warnings.simplefilter("ignore", DeprecationWarning)
+            specs.append(
+                ExperimentSpec(
+                    name=name,
+                    topologies=list(topologies),
+                    seeds=tuple(seeds),
+                    collect_profile=collect_profile,
+                    adversary=adversary,
+                    **algorithm_source,
+                )
             )
-        )
     return specs
 
 
